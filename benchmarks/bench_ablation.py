@@ -1,0 +1,196 @@
+"""Ablations over the design choices DESIGN.md calls out.
+
+* range-search backend (kdtree / rangetree / brute) — same answers,
+  different query cost profiles;
+* candidate tolerance beta and envelope growth factor — convergence
+  speed vs evaluated-candidate volume;
+* alpha (alpha-diameter multiplicity) — storage cost vs distortion
+  recall;
+* discrete vs continuous vs symmetric measure — ranking agreement.
+"""
+
+import time
+
+import numpy as np
+import pytest
+
+from repro import GeometricSimilarityMatcher, Shape, ShapeBase
+from repro.imaging import generate_workload, make_query_set
+from repro.imaging.synthesis import distort
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def small_workload():
+    rng = np.random.default_rng(31)
+    workload = generate_workload(30, rng, shapes_per_image=4.0,
+                                 noise=0.01, num_prototypes=10)
+    return workload
+
+
+def build_base(workload, alpha=0.1, backend="kdtree"):
+    base = ShapeBase(alpha=alpha, backend=backend)
+    for image in workload.images:
+        for shape in image.shapes:
+            base.add_shape(shape, image_id=image.image_id)
+    base.index
+    return base
+
+
+# ----------------------------------------------------------------------
+# Backend ablation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def backend_ablation(small_workload):
+    queries = make_query_set(small_workload, 4, np.random.default_rng(2),
+                             noise=0.01)
+    rows = []
+    results = {}
+    for backend in ("brute", "kdtree", "rangetree"):
+        base = build_base(small_workload, backend=backend)
+        matcher = GeometricSimilarityMatcher(base)
+        start = time.perf_counter()
+        answers = []
+        for query, _ in queries:
+            matches, _ = matcher.query(query, k=1)
+            answers.append((matches[0].shape_id,
+                            round(matches[0].distance, 9)))
+        elapsed = (time.perf_counter() - start) / len(queries)
+        results[backend] = {"time": elapsed, "answers": answers}
+        rows.append(f"{backend:10s} {elapsed * 1e3:8.1f} ms/query")
+    write_table("ablation_backend", [
+        "Ablation: range-search backend (identical answers required)",
+        ""] + rows)
+    return results
+
+
+def test_backends_same_answers(backend_ablation, benchmark):
+    benchmark(lambda: None)
+    answers = [backend_ablation[b]["answers"]
+               for b in ("brute", "kdtree", "rangetree")]
+    assert answers[0] == answers[1] == answers[2]
+
+
+def test_kdtree_not_slowest(backend_ablation, benchmark):
+    benchmark(lambda: None)
+    times = {b: backend_ablation[b]["time"]
+             for b in ("brute", "kdtree", "rangetree")}
+    assert times["kdtree"] <= max(times.values())
+
+
+# ----------------------------------------------------------------------
+# beta / growth ablation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def beta_growth_ablation(small_workload):
+    base = build_base(small_workload)
+    queries = make_query_set(small_workload, 4, np.random.default_rng(9),
+                             noise=0.01)
+    rows = [f"{'beta':>6s} {'growth':>7s} {'iters':>6s} {'K':>8s} "
+            f"{'cands':>6s} {'top1 ok':>8s}"]
+    grid = {}
+    for beta in (0.1, 0.25, 0.5):
+        for growth in (1.3, 1.6, 2.5):
+            matcher = GeometricSimilarityMatcher(base, beta=beta,
+                                                 growth=growth)
+            iters, processed, cands, hits = [], [], [], 0
+            for query, label in queries:
+                matches, stats = matcher.query(query, k=1)
+                iters.append(stats.iterations)
+                processed.append(stats.vertices_processed)
+                cands.append(stats.candidates_evaluated)
+                image = small_workload.images[matches[0].image_id]
+                ids = base.shapes_of_image(matches[0].image_id)
+                pos = ids.index(matches[0].shape_id)
+                hits += (pos < len(image.labels) and
+                         image.labels[pos] == label)
+            grid[(beta, growth)] = {
+                "iterations": float(np.mean(iters)),
+                "processed": float(np.mean(processed)),
+                "candidates": float(np.mean(cands)),
+                "hits": hits,
+            }
+            rows.append(f"{beta:6.2f} {growth:7.2f} "
+                        f"{np.mean(iters):6.1f} {np.mean(processed):8.0f} "
+                        f"{np.mean(cands):6.0f} {hits:5d}/{len(queries)}")
+    write_table("ablation_beta_growth", [
+        "Ablation: candidate tolerance beta x envelope growth factor",
+        ""] + rows)
+    return grid, len(queries)
+
+
+def test_correctness_across_beta_growth(beta_growth_ablation, benchmark):
+    """The paper: alpha/beta choices affect speed, not correctness."""
+    benchmark(lambda: None)
+    grid, num_queries = beta_growth_ablation
+    for stats in grid.values():
+        assert stats["hits"] == num_queries
+
+
+def test_faster_growth_fewer_iterations(beta_growth_ablation, benchmark):
+    benchmark(lambda: None)
+    grid, _ = beta_growth_ablation
+    for beta in (0.1, 0.25, 0.5):
+        assert grid[(beta, 2.5)]["iterations"] <= \
+            grid[(beta, 1.3)]["iterations"]
+
+
+# ----------------------------------------------------------------------
+# alpha ablation
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def alpha_ablation(small_workload):
+    rng = np.random.default_rng(77)
+    rows = [f"{'alpha':>6s} {'copies/shape':>13s} {'recall':>7s}"]
+    results = {}
+    # Heavy local distortion: enough to occasionally flip the diameter.
+    queries = []
+    for _ in range(6):
+        prototype = small_workload.prototypes[
+            int(rng.integers(len(small_workload.prototypes)))]
+        queries.append((distort(prototype, 0.04, rng), prototype))
+    for alpha in (0.0, 0.1, 0.25):
+        base = build_base(small_workload, alpha=alpha)
+        matcher = GeometricSimilarityMatcher(base)
+        recall = 0
+        for query, prototype in queries:
+            matches, _ = matcher.query(query, k=1)
+            if matches and matches[0].distance < 0.08:
+                recall += 1
+        copies = base.num_entries / base.num_shapes
+        results[alpha] = {"copies": copies, "recall": recall}
+        rows.append(f"{alpha:6.2f} {copies:13.1f} "
+                    f"{recall:4d}/{len(queries)}")
+    write_table("ablation_alpha", [
+        "Ablation: alpha-diameter tolerance vs storage and recall",
+        "(heavily distorted queries, 4% vertex noise)", ""] + rows)
+    return results, len(queries)
+
+
+def test_alpha_grows_storage(alpha_ablation, benchmark):
+    benchmark(lambda: None)
+    results, _ = alpha_ablation
+    assert results[0.25]["copies"] > results[0.0]["copies"]
+
+
+def test_alpha_never_hurts_recall(alpha_ablation, benchmark):
+    benchmark(lambda: None)
+    results, _ = alpha_ablation
+    assert results[0.25]["recall"] >= results[0.0]["recall"]
+
+
+# ----------------------------------------------------------------------
+# measure-mode ablation
+# ----------------------------------------------------------------------
+def test_measure_modes_agree_on_exact_match(small_workload, benchmark):
+    base = build_base(small_workload)
+    shape_id = base.shape_ids()[5]
+    query = base.shapes[shape_id].rotated(0.8).scaled(2.0)
+    winners = {}
+    for measure in ("discrete", "continuous", "symmetric"):
+        matcher = GeometricSimilarityMatcher(base, measure=measure)
+        matches, _ = matcher.query(query, k=1)
+        winners[measure] = matches[0].shape_id
+    benchmark(lambda: None)
+    assert len(set(winners.values())) == 1
+    assert winners["discrete"] == shape_id

@@ -1,0 +1,66 @@
+"""Section 4: auxiliary geometric structures in external memory.
+
+The paper stores the range-search structures on disk using optimal
+external-memory indexes [2, 25].  This benchmark measures the disk-
+resident spatial index directly: I/O per envelope-style query as the
+buffer grows, and the selectivity of small queries versus full scans.
+"""
+
+import numpy as np
+import pytest
+
+from repro.geometry.envelope import band_cover_triangles
+from repro.geometry.transform import normalize_about_diameter
+from repro.rangesearch import ExternalSpatialIndex
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def external_experiment(base, query_set):
+    points = base.vertex_points
+    query, _ = query_set[0]
+    normalized = normalize_about_diameter(query).shape
+    triangles = band_cover_triangles(normalized, 0.0, 0.02)
+    rows = [f"points: {len(points)}  query triangles: {len(triangles)}",
+            "", f"{'buffer':>7s} {'reads/envelope query':>22s}"]
+    series = {}
+    for buffer_blocks in (1, 4, 16, 64, 256):
+        index = ExternalSpatialIndex(points, buffer_blocks=buffer_blocks)
+        index.reset_io()
+        for triangle in triangles:
+            index.report_triangle(triangle[0], triangle[1], triangle[2])
+        series[buffer_blocks] = index.io_reads()
+        rows.append(f"{buffer_blocks:7d} {series[buffer_blocks]:22d}")
+    index = ExternalSpatialIndex(points, buffer_blocks=4)
+    total_blocks = index.device.num_blocks
+    rows += ["", f"index size: {total_blocks} blocks"]
+    write_table("external_index", [
+        "Section 4 reproduction: external-memory range index I/O",
+        ""] + rows)
+    return series, total_blocks, points, triangles
+
+
+def test_external_buffer_monotone(external_experiment, benchmark):
+    benchmark(lambda: None)
+    series, _, _, _ = external_experiment
+    buffers = sorted(series)
+    for small, large in zip(buffers, buffers[1:]):
+        assert series[large] <= series[small]
+
+
+def test_external_envelope_query_selective(external_experiment, benchmark):
+    """A thin-envelope query touches a fraction of the index blocks."""
+    benchmark(lambda: None)
+    series, total_blocks, _, _ = external_experiment
+    assert series[256] < total_blocks
+
+
+def test_external_query_throughput(external_experiment, benchmark):
+    _, _, points, triangles = external_experiment
+    index = ExternalSpatialIndex(points, buffer_blocks=64)
+    tri = triangles[0]
+
+    def run():
+        return index.report_triangle(tri[0], tri[1], tri[2])
+
+    benchmark(run)

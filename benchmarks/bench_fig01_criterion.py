@@ -1,0 +1,43 @@
+"""Figure 1: the similarity-criterion motivating example.
+
+The figure shows a query Q matched against two candidates: A (globally
+offset) and B (the intuitive answer, penalized by Hausdorff for one far
+feature).  Regeneration logic:
+:func:`repro.experiments.criterion_example`.
+"""
+
+import pytest
+
+from repro.core.measures import average_distance, hausdorff, kth_hausdorff
+from repro.experiments import criterion_example
+from repro.experiments.criterion import (FIGURE1_A, FIGURE1_B,
+                                         FIGURE1_QUERY)
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def figure1():
+    result = criterion_example()
+    write_table("fig01_criterion", [result.render()])
+    return result
+
+
+def test_fig01_hausdorff_matches_a(figure1, benchmark):
+    benchmark(hausdorff, FIGURE1_QUERY, FIGURE1_A)
+    assert figure1.metrics["Hausdorff H winner is B"] == 0.0
+
+
+def test_fig01_average_matches_b(figure1, benchmark):
+    benchmark(average_distance, FIGURE1_QUERY, FIGURE1_B)
+    assert figure1.metrics["h_avg (ours) winner is B"] == 1.0
+
+
+def test_fig01_kth_hausdorff_less_dominated(figure1, benchmark):
+    """The generalized Hausdorff softens the farthest-point domination
+    (here it even flips to B, since the spike is a minority of
+    vertices)."""
+    benchmark(kth_hausdorff, FIGURE1_QUERY, FIGURE1_B)
+    rows = {row[0]: row for row in figure1.rows}
+    h_a, h_b = rows["Hausdorff H"][1], rows["Hausdorff H"][2]
+    k_a, k_b = rows["k-th Hausdorff"][1], rows["k-th Hausdorff"][2]
+    assert (k_b / max(k_a, 1e-12)) < (h_b / max(h_a, 1e-12))

@@ -1,0 +1,67 @@
+"""Figure 5: the equal-area function E(x) and its derivative.
+
+The paper plots E(x) and dE/dx over [0, 1] to argue both are continuous
+(so gradient-based root finding is safe).  We regenerate both series,
+check the claimed properties numerically, and benchmark the k = 50
+curve-family solve the paper's Figure 4 (right) uses.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hashing.curves import (QUARTER_AREA, HashCurveFamily, curve_area,
+                                  curve_area_derivative,
+                                  solve_curve_parameters)
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def figure5():
+    xs = np.linspace(0.0, 1.0, 51)
+    e_values = np.array([curve_area(float(x)) for x in xs])
+    d_values = np.array([curve_area_derivative(float(x)) for x in xs])
+    lines = ["Figure 5 reproduction: E(x) and dE(x)/dx on [0, 1]",
+             "", f"{'x':>6s} {'E(x)':>10s} {'dE/dx':>10s}"]
+    for x, e, d in zip(xs[::5], e_values[::5], d_values[::5]):
+        lines.append(f"{x:6.2f} {e:10.6f} {d:10.6f}")
+    lines += ["",
+              f"E(0) = {e_values[0]:.6f} (paper: 0)",
+              f"E(1) = {e_values[-1]:.6f} (paper: A0/4 = {QUARTER_AREA:.6f})"]
+    write_table("fig05_hashcurves", lines)
+    return xs, e_values, d_values
+
+
+def test_fig05_e_monotone_continuous(figure5, benchmark):
+    xs, e_values, _ = figure5
+    benchmark(curve_area, 0.37)
+    assert e_values[0] == pytest.approx(0.0)
+    assert e_values[-1] == pytest.approx(QUARTER_AREA)
+    assert (np.diff(e_values) >= -1e-12).all()
+    # Continuity on the interior: no jump bigger than the local slope
+    # allows (the slope legitimately blows up only at x -> 1, where
+    # sqrt(1 - x^2) vanishes).
+    interior = e_values[xs <= 0.9]
+    assert np.abs(np.diff(interior)).max() < 0.05
+
+
+def test_fig05_derivative_continuous(figure5, benchmark):
+    xs, _, d_values = figure5
+    benchmark(curve_area_derivative, 0.37)
+    assert (d_values >= -1e-9).all()
+    interior = d_values[xs <= 0.9]
+    assert np.abs(np.diff(interior)).max() < 0.25
+    # The endpoint singularity is real: the slope keeps growing.
+    assert d_values[-2] > interior[-1]
+
+
+def test_fig05_solve_family_k50(benchmark):
+    """Figure 4 (right): the 50 equal-area arcs."""
+    xs = benchmark(solve_curve_parameters, 50)
+    areas = np.array([curve_area(float(x)) for x in xs])
+    expected = QUARTER_AREA * np.arange(1, 51) / 50
+    assert np.allclose(areas, expected, atol=1e-9)
+
+
+def test_fig05_family_build(benchmark):
+    family = benchmark(HashCurveFamily, 50)
+    assert family.k == 50

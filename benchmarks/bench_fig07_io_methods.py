@@ -1,0 +1,50 @@
+"""Figure 7: average I/O per query for the three sort-based layouts.
+
+The paper stores the shape base under methods (i) mean-curve sort,
+(ii) lexicographic quadruple sort, (iii) median-curve sort, runs its
+query set retrieving the k = 1..10 best matches through a 100-block
+buffer, and reports the mean I/O count per query; method (i) wins.
+
+The regeneration logic lives in :func:`repro.experiments.io_methods`;
+this bench runs it at the configured scale and asserts the paper's
+orderings.
+"""
+
+import pytest
+
+from repro.experiments import io_methods
+from .conftest import BENCH_IMAGES, BENCH_QUERIES, write_table
+
+
+@pytest.fixture(scope="module")
+def figure7():
+    result = io_methods(num_images=BENCH_IMAGES,
+                        num_queries=BENCH_QUERIES)
+    write_table("fig07_io_methods", [result.render()])
+    return result
+
+
+def test_fig07_method_i_wins_on_average(figure7, benchmark):
+    """Paper: 'Method (i) exhibits the best average time in terms of
+    I/O operations.'"""
+    benchmark(lambda: None)
+    means = {name: figure7.metrics[f"mean_{name}"]
+             for name in ("mean", "lexicographic", "median")}
+    assert means["mean"] <= min(means.values()) * 1.05
+
+
+def test_fig07_io_grows_with_k(figure7, benchmark):
+    """Retrieving more best-matches costs more I/O (weakly)."""
+    benchmark(lambda: None)
+    for _, points in figure7.series:
+        by_k = dict(points)
+        assert by_k[max(by_k)] >= by_k[min(by_k)] * 0.9
+
+
+def test_fig07_experiment_throughput(benchmark):
+    """One full Figure 7 regeneration at reduced scale."""
+    result = benchmark.pedantic(io_methods,
+                                kwargs={"num_images": 10,
+                                        "num_queries": 2, "seed": 5},
+                                rounds=1, iterations=1)
+    assert result.rows

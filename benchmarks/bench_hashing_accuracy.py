@@ -1,0 +1,77 @@
+"""Section 3: geometric-hashing approximate retrieval.
+
+The paper claims (a) close shapes land on the same or neighbouring
+curves, (b) growing the family keeps expected bucket occupancy small so
+lookup is logarithmic in the number of curves, and (c) the fallback
+returns good approximate matches.  We sweep the family size k and
+report top-1 accuracy, mean bucket occupancy and lookup cost.
+"""
+
+import numpy as np
+import pytest
+
+from repro.hashing import ApproximateRetriever
+from repro.imaging import make_query_set
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def accuracy_sweep(base, workload):
+    queries = make_query_set(workload, 10, np.random.default_rng(3),
+                             noise=0.012)
+    rows = []
+    results = {}
+    for k_curves in (10, 25, 50, 100):
+        retriever = ApproximateRetriever(base, k_curves=k_curves,
+                                         neighbor_radius=1)
+        hits = 0
+        candidate_counts = []
+        for query, label in queries:
+            matches = retriever.query(query, k=1)
+            if not matches:
+                continue
+            image = workload.images[matches[0].image_id]
+            shape_ids = base.shapes_of_image(matches[0].image_id)
+            position = shape_ids.index(matches[0].shape_id)
+            if position < len(image.labels) and \
+                    image.labels[position] == label:
+                hits += 1
+            quadruple = retriever.signature_of(query)
+            candidate_counts.append(
+                len(retriever.table.candidates(quadruple, 1)))
+        occupancy = retriever.table.occupancy()
+        mean_bucket = (sum(size * count for size, count
+                           in occupancy.items()) /
+                       max(1, sum(occupancy.values())))
+        results[k_curves] = {
+            "accuracy": hits / len(queries),
+            "mean_bucket": mean_bucket,
+            "mean_candidates": float(np.mean(candidate_counts)),
+        }
+        rows.append(f"k={k_curves:4d}  top-1 accuracy {hits}/{len(queries)}"
+                    f"  mean bucket {mean_bucket:6.1f}"
+                    f"  candidates/query {np.mean(candidate_counts):7.1f}")
+    write_table("hashing_accuracy", [
+        "Section 3 reproduction: approximate retrieval vs family size k",
+        f"base: {base.num_entries} entries", ""] + rows)
+    return results
+
+
+def test_hashing_more_curves_smaller_buckets(accuracy_sweep, benchmark):
+    benchmark(lambda: None)
+    buckets = [accuracy_sweep[k]["mean_bucket"] for k in (10, 25, 50, 100)]
+    assert buckets[-1] < buckets[0]
+
+
+def test_hashing_accuracy_reasonable(accuracy_sweep, benchmark):
+    """With a generous family the approximate path finds the right
+    prototype most of the time."""
+    benchmark(lambda: None)
+    assert accuracy_sweep[100]["accuracy"] >= 0.6
+
+
+def test_hashing_query_cost(base, workload, benchmark):
+    retriever = ApproximateRetriever(base, k_curves=50)
+    query = workload.prototypes[0]
+    matches = benchmark(retriever.query, query, 1)
+    assert matches

@@ -1,0 +1,44 @@
+"""Section 2.5: expected poly-logarithmic matching complexity.
+
+The paper proves an expected O(log^4 n) bound and notes the observed
+behaviour is "much better".  Regeneration logic:
+:func:`repro.experiments.matching_scaling` (planted exact-match queries
+— the output-sensitive regime; see EXPERIMENTS.md finding 3).
+"""
+
+import pytest
+
+from repro.experiments import matching_scaling
+from .conftest import write_table
+
+SIZES = (15, 30, 60, 120)
+
+
+@pytest.fixture(scope="module")
+def scaling():
+    result = matching_scaling(sizes=SIZES)
+    write_table("matching_scaling", [result.render()])
+    return result
+
+
+def test_scaling_sublinear_time(scaling, benchmark):
+    benchmark(lambda: None)
+    assert scaling.metrics["n_ratio"] >= 6.0     # sweep actually spans
+    assert scaling.metrics["time_ratio"] < 0.6 * scaling.metrics["n_ratio"]
+
+
+def test_scaling_sublinear_vertices_processed(scaling, benchmark):
+    """K (vertices in envelopes) grows sublinearly with n."""
+    benchmark(lambda: None)
+    assert scaling.metrics["K_ratio"] < 0.8 * scaling.metrics["n_ratio"]
+
+
+def test_scaling_iterations_stay_small(scaling, benchmark):
+    benchmark(lambda: None)
+    assert all(row[3] <= 40 for row in scaling.rows)
+
+
+def test_single_query_benchmark(base, matcher, query_set, benchmark):
+    query, _ = query_set[0]
+    matches, _ = benchmark(matcher.query, query, 1)
+    assert matches

@@ -1,0 +1,39 @@
+"""Noise tolerance: the abstract's headline claim, versus baselines.
+
+Regeneration logic: :func:`repro.experiments.noise_tolerance`.
+"""
+
+import pytest
+
+from repro.experiments import noise_tolerance
+from .conftest import write_table
+
+
+@pytest.fixture(scope="module")
+def noise_experiment():
+    result = noise_tolerance()
+    write_table("noise_tolerance", [result.render()])
+    return result
+
+
+def test_ours_dominates_on_average(noise_experiment, benchmark):
+    benchmark(lambda: None)
+    assert noise_experiment.metrics["ours_mean"] >= \
+        noise_experiment.metrics["mg_mean"]
+    assert noise_experiment.metrics["ours_mean"] > \
+        noise_experiment.metrics["moments_mean"]
+
+
+def test_ours_robust_at_moderate_noise(noise_experiment, benchmark):
+    """At 2% vertex noise ours still resolves nearly everything."""
+    benchmark(lambda: None)
+    assert noise_experiment.metrics["ours_at_0.02"] >= 0.8
+
+
+def test_moments_fail_under_rotation(noise_experiment, benchmark):
+    """The dimensionality-reduction strawman is rotation sensitive —
+    even noiseless rotated queries confuse it."""
+    benchmark(lambda: None)
+    noiseless = noise_experiment.rows[0]
+    ours, moments = noiseless[1], noiseless[3]
+    assert moments <= ours

@@ -1,0 +1,34 @@
+"""repro — a reproduction of *Geometric-Similarity Retrieval in Large
+Image Bases* (Fudos, Palios, Pitoura; ICDE 2002) — the GeoSIR system.
+
+Public API highlights
+---------------------
+:class:`~repro.geometry.Shape`
+    Polygons/polylines, the universal shape abstraction.
+:class:`~repro.core.ShapeBase`
+    The database of diameter-normalized shape copies.
+:class:`~repro.core.GeometricSimilarityMatcher`
+    The incremental envelope-fattening retrieval algorithm.
+:mod:`repro.hashing`
+    Geometric hashing over the lune for approximate matching.
+:mod:`repro.storage`
+    Simulated external storage: block device, LRU buffer, layouts.
+:mod:`repro.query`
+    Topological query algebra, selectivity estimation, planner.
+:class:`~repro.geosir.GeoSIR`
+    The end-to-end prototype facade.
+"""
+
+from .core import (GeometricSimilarityMatcher, Match, MatchStats, ShapeBase,
+                   average_distance, continuous_average_distance,
+                   directed_average_distance, hausdorff)
+from .geometry import Shape, SimilarityTransform
+
+__version__ = "1.0.0"
+
+__all__ = [
+    "GeometricSimilarityMatcher", "Match", "MatchStats", "Shape",
+    "ShapeBase", "SimilarityTransform", "average_distance",
+    "continuous_average_distance", "directed_average_distance", "hausdorff",
+    "__version__",
+]

@@ -1,0 +1,12 @@
+"""Baseline retrieval methods the paper compares against: the
+Mehrotra-Gary per-edge feature index and a QBIC-style moment-feature
+(dimensionality-reduction) matcher.
+"""
+
+from .mehrotra_gary import MehrotraGaryIndex, edge_normalized_feature
+from .moments import MomentFeatureIndex, moment_feature
+
+__all__ = [
+    "MehrotraGaryIndex", "MomentFeatureIndex", "edge_normalized_feature",
+    "moment_feature",
+]

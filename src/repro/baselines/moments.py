@@ -1,0 +1,77 @@
+"""Dimensionality-reduction baseline (QBIC-style moment features).
+
+QBIC's shape path reduces each shape to a low-dimensional feature
+vector and compares vectors with Euclidean distance; the paper notes
+this is "sensitive to rotation, translation and scaling" [24].  We use
+scale-normalized central moments of the vertex set up to order 3:
+translation invariant and scale normalized but deliberately *not*
+rotation invariant — the failure mode the motivating benchmarks
+demonstrate.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Optional, Tuple
+
+import numpy as np
+from scipy.spatial import cKDTree
+
+from ..geometry.polyline import Shape
+
+#: (p, q) exponents of the moments used, all orders 2..3.
+MOMENT_ORDERS = ((2, 0), (1, 1), (0, 2), (3, 0), (2, 1), (1, 2), (0, 3))
+
+
+def moment_feature(shape: Shape) -> np.ndarray:
+    """Normalized central moments of the vertex set.
+
+    ``mu_pq / mu_00^(1 + (p+q)/2)`` — the classic scale-normalized
+    central moments, computed on the vertex point set with unit mass
+    per vertex.
+    """
+    points = shape.vertices
+    center = points.mean(axis=0)
+    dx = points[:, 0] - center[0]
+    dy = points[:, 1] - center[1]
+    mu00 = float(len(points))
+    spread = float((dx * dx + dy * dy).mean()) ** 0.5
+    if spread <= 0:
+        spread = 1.0
+    dx = dx / spread
+    dy = dy / spread
+    return np.array([float((dx ** p * dy ** q).sum()) / mu00
+                     for p, q in MOMENT_ORDERS])
+
+
+class MomentFeatureIndex:
+    """Nearest-neighbour retrieval on moment vectors."""
+
+    def __init__(self):
+        self._vectors: List[np.ndarray] = []
+        self._ids: List[int] = []
+        self.shapes: Dict[int, Shape] = {}
+        self._tree: Optional[cKDTree] = None
+
+    def add_shape(self, shape: Shape, shape_id: int) -> int:
+        if shape_id in self.shapes:
+            raise ValueError(f"shape id {shape_id} already present")
+        self.shapes[shape_id] = shape
+        self._vectors.append(moment_feature(shape))
+        self._ids.append(shape_id)
+        self._tree = None
+        return shape_id
+
+    def query(self, shape: Shape, k: int = 1) -> List[Tuple[int, float]]:
+        if not self._vectors:
+            raise ValueError("index is empty")
+        if self._tree is None:
+            self._tree = cKDTree(np.vstack(self._vectors))
+        fetch = min(k, len(self._vectors))
+        distances, indices = self._tree.query(moment_feature(shape), k=fetch)
+        distances = np.atleast_1d(distances)
+        indices = np.atleast_1d(indices)
+        return [(self._ids[int(i)], float(d))
+                for d, i in zip(distances, indices)]
+
+    def __repr__(self) -> str:
+        return f"MomentFeatureIndex(shapes={len(self.shapes)})"

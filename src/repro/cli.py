@@ -1,0 +1,179 @@
+"""Command-line interface: build, inspect and query shape bases.
+
+Usage (``python -m repro ...``)::
+
+    repro demo                                   # synthetic walkthrough
+    repro build  --images imgs.json --out b.gsir [--alpha 0.1]
+    repro stats  --base b.gsir
+    repro query  --base b.gsir --sketch sk.json [-k 3] [--threshold T]
+
+``imgs.json`` / ``sk.json`` use the format of
+:mod:`repro.geometry.io`; a query sketch file should contain exactly
+one shape (extra shapes are ignored with a warning).
+"""
+
+from __future__ import annotations
+
+import argparse
+import sys
+from typing import List, Optional
+
+from .core.matcher import GeometricSimilarityMatcher
+from .core.shapebase import ShapeBase
+from .geometry.io import load_images, load_shapes
+from .storage.persist import load_base, save_base
+
+
+def _cmd_build(args: argparse.Namespace) -> int:
+    base = ShapeBase(alpha=args.alpha)
+    images = load_images(args.images)
+    next_id = 0
+    for image_id, shapes in images:
+        if image_id is None:
+            image_id = next_id
+        next_id = max(next_id, image_id + 1)
+        for shape in shapes:
+            base.add_shape(shape, image_id=image_id)
+    written = save_base(base, args.out)
+    print(f"built base: {base.num_shapes} shapes over "
+          f"{base.num_images} images -> {base.num_entries} copies, "
+          f"{written} bytes at {args.out}")
+    return 0
+
+
+def _cmd_stats(args: argparse.Namespace) -> int:
+    base = load_base(args.base)
+    print(f"shapes:           {base.num_shapes}")
+    print(f"images:           {base.num_images}")
+    print(f"normalized copies: {base.num_entries}")
+    print(f"indexed vertices: {base.total_vertices}")
+    print(f"alpha:            {base.alpha}")
+    if base.num_shapes:
+        print(f"copies per shape: "
+              f"{base.num_entries / base.num_shapes:.1f}")
+    return 0
+
+
+def _load_sketch(path: str):
+    shapes = load_shapes(path)
+    if not shapes:
+        raise SystemExit("sketch file contains no shapes")
+    if len(shapes) > 1:
+        print(f"warning: sketch file has {len(shapes)} shapes; "
+              f"using the first", file=sys.stderr)
+    return shapes[0]
+
+
+def _cmd_query(args: argparse.Namespace) -> int:
+    base = load_base(args.base)
+    if base.num_shapes == 0:
+        print("the base is empty", file=sys.stderr)
+        return 1
+    sketch = _load_sketch(args.sketch)
+    matcher = GeometricSimilarityMatcher(base)
+    if args.threshold is not None:
+        matches, stats = matcher.query_threshold(sketch, args.threshold)
+    else:
+        matches, stats = matcher.query(sketch, k=args.k)
+    print(f"{len(matches)} match(es) "
+          f"({stats.iterations} envelope iterations, "
+          f"{stats.candidates_evaluated} candidates evaluated)")
+    for rank, match in enumerate(matches, start=1):
+        print(f"  #{rank}: shape {match.shape_id} "
+              f"(image {match.image_id}) distance {match.distance:.6f}")
+    return 0
+
+
+def _cmd_demo(args: argparse.Namespace) -> int:
+    import numpy as np
+
+    from .imaging.synthesis import generate_workload, make_query_set
+    rng = np.random.default_rng(args.seed)
+    workload = generate_workload(args.images, rng, shapes_per_image=4.0,
+                                 noise=0.01)
+    base = ShapeBase(alpha=0.1)
+    for image in workload.images:
+        for shape in image.shapes:
+            base.add_shape(shape, image_id=image.image_id)
+    print(f"demo base: {base.num_shapes} shapes, "
+          f"{base.num_entries} copies")
+    matcher = GeometricSimilarityMatcher(base)
+    for query, label in make_query_set(workload, 3, rng, noise=0.01):
+        matches, stats = matcher.query(query, k=1)
+        best = matches[0]
+        print(f"query (prototype {label}) -> shape {best.shape_id} "
+              f"in image {best.image_id}, distance {best.distance:.5f} "
+              f"[{stats.iterations} iterations]")
+    return 0
+
+
+def build_parser() -> argparse.ArgumentParser:
+    parser = argparse.ArgumentParser(
+        prog="repro",
+        description="GeoSIR: geometric-similarity shape retrieval")
+    commands = parser.add_subparsers(dest="command", required=True)
+
+    build = commands.add_parser("build", help="build a base from JSON")
+    build.add_argument("--images", required=True,
+                       help="JSON file of images/shapes")
+    build.add_argument("--out", required=True, help="output .gsir file")
+    build.add_argument("--alpha", type=float, default=0.1,
+                       help="alpha-diameter tolerance (default 0.1)")
+    build.set_defaults(func=_cmd_build)
+
+    stats = commands.add_parser("stats", help="inspect a stored base")
+    stats.add_argument("--base", required=True, help=".gsir file")
+    stats.set_defaults(func=_cmd_stats)
+
+    query = commands.add_parser("query", help="query a stored base")
+    query.add_argument("--base", required=True, help=".gsir file")
+    query.add_argument("--sketch", required=True,
+                       help="JSON file with the query shape")
+    query.add_argument("-k", type=int, default=1,
+                       help="number of best matches (default 1)")
+    query.add_argument("--threshold", type=float, default=None,
+                       help="return all matches within this distance "
+                            "instead of the k best")
+    query.set_defaults(func=_cmd_query)
+
+    demo = commands.add_parser("demo", help="synthetic walkthrough")
+    demo.add_argument("--images", type=int, default=15)
+    demo.add_argument("--seed", type=int, default=0)
+    demo.set_defaults(func=_cmd_demo)
+
+    experiment = commands.add_parser(
+        "experiment", help="regenerate one of the paper's figures")
+    experiment.add_argument("name",
+                            help="experiment name (or 'list')")
+    experiment.add_argument("--no-chart", action="store_true",
+                            help="table only, no ASCII chart")
+    experiment.set_defaults(func=_cmd_experiment)
+    return parser
+
+
+def _cmd_experiment(args: argparse.Namespace) -> int:
+    from .experiments import EXPERIMENTS
+    if args.name == "list":
+        for name, fn in sorted(EXPERIMENTS.items()):
+            summary = (fn.__doc__ or "").strip().splitlines()[0]
+            print(f"{name:10s} {summary}")
+        return 0
+    try:
+        fn = EXPERIMENTS[args.name]
+    except KeyError:
+        print(f"unknown experiment {args.name!r}; try 'list'",
+              file=sys.stderr)
+        return 2
+    result = fn()
+    print(result.render(chart=not args.no_chart))
+    return 0
+
+
+def main(argv: Optional[List[str]] = None) -> int:
+    parser = build_parser()
+    args = parser.parse_args(argv)
+    return args.func(args)
+
+
+if __name__ == "__main__":       # pragma: no cover
+    raise SystemExit(main())

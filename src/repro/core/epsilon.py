@@ -1,0 +1,105 @@
+"""Epsilon scheduling for the envelope-fattening matcher (Section 2.5).
+
+Three ingredients, straight from the paper:
+
+* an *initial* width chosen so the first envelope is likely to contain
+  about one shape's worth of vertices (step 1 "iteratively adjusts" from
+  there);
+* a growth rule for subsequent widths (geometric, factor configurable);
+* the *termination threshold* of step 5,
+  ``eps_max = A / (2 p l_Q) * log^3 n``, where ``A`` is the area of the
+  locus of normalized shapes (the lune), ``p`` the number of shapes,
+  ``n`` the total vertex count and ``l_Q`` the query perimeter.
+
+All formulas use the first-order envelope-area estimate
+``area(eps-envelope) ~ 2 * eps * l_Q`` and the uniform-density
+assumption ``n / A`` vertices per unit area.
+"""
+
+from __future__ import annotations
+
+import math
+from dataclasses import dataclass
+
+from ..geometry.lune import LUNE_AREA
+from ..geometry.polyline import Shape
+
+
+@dataclass(frozen=True)
+class EpsilonSchedule:
+    """Concrete schedule for one query against one base."""
+
+    initial: float
+    growth: float
+    maximum: float
+
+    def __post_init__(self):
+        if self.initial <= 0:
+            raise ValueError("initial epsilon must be positive")
+        if self.growth <= 1.0:
+            raise ValueError("growth factor must exceed 1")
+        if self.maximum <= 0:
+            raise ValueError("maximum epsilon must be positive")
+
+    def widths(self):
+        """Yield eps_1, eps_2, ... capped at the termination threshold.
+
+        The final yielded value is exactly ``maximum`` when the
+        geometric sequence would overshoot it, so the last envelope the
+        matcher examines is the paper's threshold envelope.
+        """
+        eps = min(self.initial, self.maximum)
+        while True:
+            yield eps
+            if eps >= self.maximum:
+                return
+            eps = min(eps * self.growth, self.maximum)
+
+
+def expected_band_count(total_vertices: int, perimeter: float, eps: float,
+                        locus_area: float = LUNE_AREA) -> float:
+    """Expected vertices inside an eps-envelope under uniform density."""
+    return total_vertices * 2.0 * eps * perimeter / locus_area
+
+
+def initial_epsilon(total_vertices: int, perimeter: float,
+                    target_count: float,
+                    locus_area: float = LUNE_AREA) -> float:
+    """Width whose envelope is expected to hold ``target_count`` vertices."""
+    if total_vertices <= 0 or perimeter <= 0 or target_count <= 0:
+        raise ValueError("all inputs must be positive")
+    return target_count * locus_area / (2.0 * total_vertices * perimeter)
+
+
+def termination_epsilon(num_shapes: int, total_vertices: int,
+                        perimeter: float,
+                        locus_area: float = LUNE_AREA,
+                        slack: float = 1.0) -> float:
+    """The paper's step-5 threshold ``A / (2 p l_Q) * log^3 n``.
+
+    ``slack`` scales the threshold (ablation knob); natural log as the
+    paper leaves the base unspecified, with a floor of 1 on the log term
+    so tiny bases still search a non-degenerate range.
+    """
+    if num_shapes <= 0 or perimeter <= 0:
+        raise ValueError("num_shapes and perimeter must be positive")
+    log_term = max(1.0, math.log(max(2, total_vertices))) ** 3
+    return slack * locus_area / (2.0 * num_shapes * perimeter) * log_term
+
+
+def schedule_for(query: Shape, num_shapes: int, total_vertices: int,
+                 average_vertices: float, growth: float = 1.6,
+                 locus_area: float = LUNE_AREA,
+                 slack: float = 1.0) -> EpsilonSchedule:
+    """Build the full schedule for one query.
+
+    The initial width targets one average shape's worth of vertices in
+    the first envelope — the likely-hit heuristic of step 1.
+    """
+    perimeter = query.perimeter
+    first = initial_epsilon(total_vertices, perimeter,
+                            max(1.0, average_vertices), locus_area)
+    last = termination_epsilon(num_shapes, total_vertices, perimeter,
+                               locus_area, slack)
+    return EpsilonSchedule(initial=min(first, last), growth=growth,
+                           maximum=last)

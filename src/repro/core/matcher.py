@@ -1,0 +1,333 @@
+"""The incremental-fattening retrieval algorithm (paper Section 2.5).
+
+Given a query shape Q the matcher:
+
+1. normalizes Q about its diameter (the base already holds every shape
+   normalized about its alpha-diameters, both endpoint orders, so one
+   canonical query copy suffices);
+2. grows a sequence of epsilon-envelopes around the normalized query;
+3. per iteration, decomposes the envelope difference into O(m)
+   triangles and asks the simplex range-search index for the base
+   vertices inside them, re-checking each report against the exact
+   distance predicate and a visited set so every vertex is processed
+   exactly once;
+4. bumps a counter per normalized copy; a copy with a fraction
+   ``>= 1 - beta`` of its (indexed) vertices inside the current
+   envelope becomes a *candidate* and gets its exact measure evaluated;
+5. stops as soon as the k-th best evaluated measure is ``<= beta *
+   eps_i`` — every copy that is not yet a candidate has more than a
+   ``beta`` fraction of vertices at distance ``> eps_i``, hence a
+   discrete average distance ``> beta * eps_i``, so no unseen copy can
+   beat the current winners — or when the envelope exceeds the paper's
+   termination threshold, in which case the caller should fall back to
+   geometric hashing (Section 3).
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass, field
+from typing import Callable, Dict, List, Optional, Tuple
+
+import numpy as np
+
+from ..geometry.envelope import band_cover_triangles
+from ..geometry.nearest import BoundaryDistance
+from ..geometry.polyline import Shape
+from ..geometry.primitives import EPSILON
+from ..geometry.transform import normalize_about_diameter
+from .epsilon import EpsilonSchedule, schedule_for
+from .measures import continuous_average_distance
+from .shapebase import ShapeBase, ShapeEntry
+
+
+@dataclass
+class Match:
+    """One retrieved shape, ranked by its average-distance measure."""
+
+    shape_id: int
+    image_id: Optional[int]
+    distance: float
+    entry_id: int
+    approximate: bool = False     # True when produced by hashing fallback
+
+    def __repr__(self) -> str:
+        tag = " approx" if self.approximate else ""
+        return (f"Match(shape={self.shape_id}, image={self.image_id}, "
+                f"distance={self.distance:.6f}{tag})")
+
+
+@dataclass
+class MatchStats:
+    """Work accounting for one query (drives the scaling benchmarks)."""
+
+    iterations: int = 0
+    epsilons: List[float] = field(default_factory=list)
+    triangles_queried: int = 0
+    vertices_reported: int = 0
+    vertices_processed: int = 0
+    candidates_evaluated: int = 0
+    guaranteed: bool = False      # early-terminated with a guarantee
+    exhausted: bool = False       # hit the termination envelope
+
+    @property
+    def total_reported(self) -> int:
+        return self.vertices_reported
+
+
+#: Per-shape best: shape id -> (measure value, entry id).
+BestByShape = Dict[int, Tuple[float, int]]
+
+
+class GeometricSimilarityMatcher:
+    """Retrieval by incremental envelope fattening over a ShapeBase.
+
+    Parameters
+    ----------
+    base:
+        The populated :class:`ShapeBase`.
+    beta:
+        Candidate tolerance of step 3: a copy needs a fraction
+        ``>= 1 - beta`` of its vertices inside the envelope.  Must be in
+        ``(0, 1)`` for the early-termination guarantee to be active.
+    growth:
+        Geometric growth factor of the envelope widths.
+    measure:
+        ``"discrete"`` ranks candidates by the vertex-average distance
+        (the form the termination bound is stated for); ``"continuous"``
+        refines candidate values with the boundary-integrated measure;
+        ``"symmetric"`` uses ``max`` of both discrete directions, which
+        additionally requires the candidate to cover the query's
+        boundary (the ``g_similar`` semantics of Section 5.1 — and the
+        regime in which Figure 10's inverse V_S relationship holds).
+        The candidate/termination machinery stays sound for all three:
+        each refined value upper-bounds the discrete directed one, so a
+        value passing the ``beta * eps`` bound under them also passes it
+        under the discrete measure.
+    cap_sectors:
+        Fan resolution of the conservative envelope cover.
+    slack:
+        Multiplier on the paper's termination threshold (ablation knob).
+    """
+
+    def __init__(self, base: ShapeBase, beta: float = 0.25,
+                 growth: float = 1.6, measure: str = "discrete",
+                 cap_sectors: int = 8, slack: float = 1.0,
+                 samples_per_edge: int = 8):
+        if not 0.0 < beta < 1.0:
+            raise ValueError("beta must be in (0, 1)")
+        if measure not in ("discrete", "continuous", "symmetric"):
+            raise ValueError("measure must be 'discrete', 'continuous' "
+                             "or 'symmetric'")
+        self.base = base
+        self.beta = float(beta)
+        self.growth = float(growth)
+        self.measure = measure
+        self.cap_sectors = int(cap_sectors)
+        self.slack = float(slack)
+        self.samples_per_edge = int(samples_per_edge)
+
+    # ------------------------------------------------------------------
+    def normalize_query(self, query: Shape) -> Shape:
+        """Normalize the query about its diameter (Section 2.3)."""
+        return normalize_about_diameter(query).shape
+
+    def _entry_measure(self, entry: ShapeEntry, engine: BoundaryDistance,
+                       normalized_query: Shape) -> float:
+        vertices = self.base.entry_vertices(entry.entry_id)
+        discrete = float(engine.distances(vertices).mean())
+        if self.measure == "discrete":
+            return discrete
+        if self.measure == "symmetric":
+            reverse = BoundaryDistance(entry.shape)
+            other = float(reverse.distances(
+                normalized_query.vertices).mean())
+            return max(discrete, other)
+        return continuous_average_distance(
+            entry.shape, normalized_query, engine=engine,
+            samples_per_edge=self.samples_per_edge)
+
+    def make_schedule(self, normalized_query: Shape) -> EpsilonSchedule:
+        return schedule_for(normalized_query, self.base.num_shapes,
+                            self.base.total_vertices,
+                            self.base.average_vertices_per_entry,
+                            growth=self.growth, slack=self.slack)
+
+    def calibrate_initial_epsilon(self, normalized_query: Shape,
+                                  max_rounds: int = 32) -> float:
+        """Step 1 of the paper: adjust eps_1 by simplex range *counting*.
+
+        Starting from the density-heuristic width, the envelope is
+        grown until the range-counting structure reports at least one
+        vertex inside it (cover-triangle counts over-estimate slightly
+        because the triangles overlap near joints, which only makes the
+        calibration conservative).  Returns the calibrated width,
+        capped at the termination threshold.
+        """
+        schedule = self.make_schedule(normalized_query)
+        index = self.base.index
+        eps = schedule.initial
+        for _ in range(max_rounds):
+            count = 0
+            for triangle in band_cover_triangles(normalized_query, 0.0,
+                                                 eps, self.cap_sectors):
+                count += index.count_triangle(triangle[0], triangle[1],
+                                              triangle[2])
+                if count:
+                    break
+            if count or eps >= schedule.maximum:
+                break
+            eps = min(eps * self.growth, schedule.maximum)
+        return eps
+
+    # ------------------------------------------------------------------
+    # The shared fattening driver (steps 2-5 of the paper's algorithm)
+    # ------------------------------------------------------------------
+    def _drive(self, normalized_query: Shape, engine: BoundaryDistance,
+               schedule: EpsilonSchedule, stats: MatchStats,
+               on_candidate: Optional[Callable[[ShapeEntry], None]],
+               should_stop: Callable[[float, BestByShape], bool]
+               ) -> BestByShape:
+        """Grow envelopes until ``should_stop(eps, best)`` or exhaustion.
+
+        Maintains the per-copy inside counters, promotes candidates and
+        evaluates their exact measures; sets ``stats.guaranteed`` or
+        ``stats.exhausted`` according to how the loop ended.
+        """
+        points = self.base.vertex_points
+        owner = self.base.vertex_owner
+        sizes = self.base.entry_sizes
+        index = self.base.index
+        # ceil((1 - beta) * size): the step-3 candidate threshold.
+        thresholds = np.ceil((1.0 - self.beta) * sizes).astype(np.int64)
+        np.maximum(thresholds, 1, out=thresholds)
+
+        visited = np.zeros(len(points), dtype=bool)
+        inside_counts = np.zeros(self.base.num_entries, dtype=np.int64)
+        evaluated = np.zeros(self.base.num_entries, dtype=bool)
+        best_by_shape: BestByShape = {}
+
+        eps_prev = 0.0
+        for eps in schedule.widths():
+            stats.iterations += 1
+            stats.epsilons.append(eps)
+            triangles = band_cover_triangles(normalized_query, eps_prev,
+                                             eps, self.cap_sectors)
+            stats.triangles_queried += len(triangles)
+            reported: List[np.ndarray] = []
+            for triangle in triangles:
+                hits = index.report_triangle(triangle[0], triangle[1],
+                                             triangle[2])
+                if len(hits):
+                    reported.append(hits)
+            if reported:
+                ids = np.unique(np.concatenate(reported))
+                stats.vertices_reported += int(ids.size)
+                ids = ids[~visited[ids]]
+            else:
+                ids = np.zeros(0, dtype=np.int64)
+            if len(ids):
+                distances = engine.distances(points[ids])
+                inside = ids[distances <= eps + EPSILON]
+                visited[inside] = True
+                stats.vertices_processed += len(inside)
+                np.add.at(inside_counts, owner[inside], 1)
+                touched = np.unique(owner[inside])
+            else:
+                touched = np.zeros(0, dtype=np.int64)
+
+            fresh = touched[(inside_counts[touched] >= thresholds[touched])
+                            & ~evaluated[touched]]
+            for entry_id in fresh:
+                entry = self.base.entry(int(entry_id))
+                value = self._entry_measure(entry, engine, normalized_query)
+                evaluated[entry_id] = True
+                stats.candidates_evaluated += 1
+                if on_candidate is not None:
+                    on_candidate(entry)
+                current = best_by_shape.get(entry.shape_id)
+                if current is None or value < current[0]:
+                    best_by_shape[entry.shape_id] = (value, entry.entry_id)
+
+            if should_stop(eps, best_by_shape):
+                stats.guaranteed = True
+                return best_by_shape
+            eps_prev = eps
+        stats.exhausted = True
+        return best_by_shape
+
+    # ------------------------------------------------------------------
+    def query(self, query: Shape, k: int = 1,
+              on_candidate: Optional[Callable[[ShapeEntry], None]] = None
+              ) -> Tuple[List[Match], MatchStats]:
+        """Return up to ``k`` best matches and the work statistics.
+
+        ``on_candidate`` fires, in evaluation order, for every entry
+        whose exact measure is computed — the access trace the external
+        storage experiments of Section 4 replay.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        stats = MatchStats()
+        if self.base.num_entries == 0:
+            stats.exhausted = True
+            return [], stats
+        normalized_query = self.normalize_query(query)
+        engine = BoundaryDistance(normalized_query)
+        schedule = self.make_schedule(normalized_query)
+
+        def kth_best_guaranteed(eps: float, best: BestByShape) -> bool:
+            if len(best) < k:
+                return False
+            kth_value = sorted(v for v, _ in best.values())[k - 1]
+            return kth_value <= self.beta * eps + EPSILON
+
+        best_by_shape = self._drive(normalized_query, engine, schedule,
+                                    stats, on_candidate,
+                                    kth_best_guaranteed)
+        return self._rank(best_by_shape, k), stats
+
+    # ------------------------------------------------------------------
+    def query_threshold(self, query: Shape, distance_threshold: float,
+                        on_candidate: Optional[Callable[[ShapeEntry], None]]
+                        = None) -> Tuple[List[Match], MatchStats]:
+        """All shapes whose measure is ``<= distance_threshold``.
+
+        This is the ``shape_similar(Q)`` primitive of Section 5.2.
+        Guarantee: a copy with discrete average distance ``<= t`` has at
+        most a fraction ``t / eps`` of vertices outside the
+        eps-envelope, so iterating until ``eps >= t / beta`` makes every
+        qualifying copy a candidate.  The envelope is therefore grown to
+        ``max(threshold / beta, paper threshold)``.
+        """
+        if distance_threshold < 0:
+            raise ValueError("distance_threshold must be non-negative")
+        stats = MatchStats()
+        if self.base.num_entries == 0:
+            stats.exhausted = True
+            return [], stats
+        normalized_query = self.normalize_query(query)
+        engine = BoundaryDistance(normalized_query)
+        base_schedule = self.make_schedule(normalized_query)
+        needed = distance_threshold / self.beta
+        schedule = EpsilonSchedule(
+            initial=base_schedule.initial, growth=base_schedule.growth,
+            maximum=max(base_schedule.maximum, needed,
+                        base_schedule.initial))
+
+        def envelope_wide_enough(eps: float, best: BestByShape) -> bool:
+            return eps >= needed
+
+        best_by_shape = self._drive(normalized_query, engine, schedule,
+                                    stats, on_candidate,
+                                    envelope_wide_enough)
+        qualifying = {sid: bv for sid, bv in best_by_shape.items()
+                      if bv[0] <= distance_threshold + EPSILON}
+        return self._rank(qualifying, len(qualifying) or 1), stats
+
+    # ------------------------------------------------------------------
+    def _rank(self, best_by_shape: BestByShape, k: int) -> List[Match]:
+        ranked = sorted(best_by_shape.items(), key=lambda kv: kv[1][0])[:k]
+        return [Match(shape_id=sid,
+                      image_id=self.base.image_of_shape(sid),
+                      distance=value, entry_id=entry_id)
+                for sid, (value, entry_id) in ranked]

@@ -1,0 +1,290 @@
+"""The shape base: normalized copies of every database shape (Section 2.4).
+
+Each shape added to the base is normalized about all of its
+alpha-diameters, twice per pair (both endpoint orders), and every
+normalized copy becomes an *entry*.  The base maintains flat numpy
+arrays over the vertices of all entries — the static point set the
+simplex range-search index is built on — plus the bookkeeping the
+matcher needs (per-entry vertex slices, owner lookup, per-shape entry
+lists, per-image shape lists).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Iterator, List, Optional, Sequence
+
+import numpy as np
+
+from ..geometry.polyline import Shape
+from ..geometry.transform import NormalizedCopy, normalized_copies
+from ..rangesearch import TriangleRangeIndex, make_index
+
+
+class ShapeEntry:
+    """One normalized copy stored in the base."""
+
+    __slots__ = ("entry_id", "shape_id", "image_id", "copy")
+
+    def __init__(self, entry_id: int, shape_id: int,
+                 image_id: Optional[int], copy: NormalizedCopy):
+        self.entry_id = entry_id
+        self.shape_id = shape_id
+        self.image_id = image_id
+        self.copy = copy
+
+    @property
+    def shape(self) -> Shape:
+        """The normalized shape of this entry."""
+        return self.copy.shape
+
+    def __repr__(self) -> str:
+        return (f"ShapeEntry(id={self.entry_id}, shape={self.shape_id}, "
+                f"image={self.image_id}, pair={self.copy.pair})")
+
+
+class ShapeBase:
+    """Database of normalized shape copies.
+
+    Parameters
+    ----------
+    alpha:
+        The alpha-diameter tolerance of Section 2.4 (``0`` stores only
+        the true diameter pair; larger values add copies and distortion
+        tolerance at the cost of space — the paper's test base averages
+        ~10 copies per shape).
+    backend:
+        Range-search backend name passed to
+        :func:`repro.rangesearch.make_index`.
+    """
+
+    def __init__(self, alpha: float = 0.1, backend: str = "kdtree"):
+        if not 0.0 <= alpha < 1.0:
+            raise ValueError("alpha must be in [0, 1)")
+        self.alpha = float(alpha)
+        self.backend = backend
+        self.entries: List[ShapeEntry] = []
+        self.shapes: Dict[int, Shape] = {}
+        self.shape_image: Dict[int, Optional[int]] = {}
+        self._entries_by_shape: Dict[int, List[int]] = {}
+        self._shapes_by_image: Dict[int, List[int]] = {}
+        self._next_shape_id = 0
+        self._index: Optional[TriangleRangeIndex] = None
+        self._vertex_points: Optional[np.ndarray] = None
+        self._vertex_owner: Optional[np.ndarray] = None
+        self._entry_sizes: Optional[np.ndarray] = None
+        self._entry_offsets: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    # Population
+    # ------------------------------------------------------------------
+    def add_shape(self, shape: Shape, image_id: Optional[int] = None,
+                  shape_id: Optional[int] = None) -> int:
+        """Add one original shape; returns its shape id.
+
+        The shape is normalized about all its alpha-diameters (both
+        orders) and each copy becomes an entry.  Invalidates the
+        range-search index, which is rebuilt lazily.
+        """
+        if shape_id is None:
+            shape_id = self._next_shape_id
+        if shape_id in self.shapes:
+            raise ValueError(f"shape id {shape_id} already present")
+        self._next_shape_id = max(self._next_shape_id, shape_id + 1)
+        self.shapes[shape_id] = shape
+        self.shape_image[shape_id] = image_id
+        entry_ids: List[int] = []
+        for copy in normalized_copies(shape, self.alpha):
+            entry_id = len(self.entries)
+            self.entries.append(ShapeEntry(entry_id, shape_id, image_id, copy))
+            entry_ids.append(entry_id)
+        self._entries_by_shape[shape_id] = entry_ids
+        if image_id is not None:
+            self._shapes_by_image.setdefault(image_id, []).append(shape_id)
+        self._index = None
+        return shape_id
+
+    def add_shapes(self, shapes: Sequence[Shape],
+                   image_id: Optional[int] = None) -> List[int]:
+        """Add several shapes belonging to the same image."""
+        return [self.add_shape(s, image_id=image_id) for s in shapes]
+
+    def remove_shape(self, shape_id: int) -> None:
+        """Remove a shape and all its normalized copies.
+
+        Entry ids are compacted (entries are renumbered), so any
+        externally held entry ids become stale — rebuild dependent
+        structures (hash tables, external stores) after removals.  The
+        range index is rebuilt lazily on next use.  This is the
+        "dynamic environments" operation the paper's related-work
+        section contrasts against [5, 7].
+        """
+        if shape_id not in self.shapes:
+            raise KeyError(f"shape id {shape_id} not in the base")
+        del self.shapes[shape_id]
+        image_id = self.shape_image.pop(shape_id)
+        del self._entries_by_shape[shape_id]
+        if image_id is not None:
+            remaining = [s for s in self._shapes_by_image[image_id]
+                         if s != shape_id]
+            if remaining:
+                self._shapes_by_image[image_id] = remaining
+            else:
+                del self._shapes_by_image[image_id]
+        survivors = [e for e in self.entries if e.shape_id != shape_id]
+        self.entries = []
+        self._entries_by_shape = {sid: [] for sid in self.shapes}
+        for entry in survivors:
+            entry.entry_id = len(self.entries)
+            self.entries.append(entry)
+            self._entries_by_shape[entry.shape_id].append(entry.entry_id)
+        self._index = None
+        self._vertex_points = None
+
+    # ------------------------------------------------------------------
+    # Statistics (the paper's p, n, ...)
+    # ------------------------------------------------------------------
+    @property
+    def num_shapes(self) -> int:
+        """``p``: the number of distinct database shapes."""
+        return len(self.shapes)
+
+    @property
+    def num_entries(self) -> int:
+        """Number of normalized copies stored."""
+        return len(self.entries)
+
+    @property
+    def num_images(self) -> int:
+        return len(self._shapes_by_image)
+
+    @property
+    def total_vertices(self) -> int:
+        """``n``: total *indexed* (non-anchor) vertices over all copies.
+
+        Every copy additionally holds its two anchor vertices at
+        (0, 0)/(1, 0); those are excluded from the index (see
+        ``_ensure_arrays``) and from this count, which is the ``n`` the
+        density formulas use.
+        """
+        self._ensure_arrays()
+        return len(self._vertex_points)
+
+    @property
+    def average_vertices_per_entry(self) -> float:
+        if not self.entries:
+            return 0.0
+        return self.total_vertices / self.num_entries
+
+    # ------------------------------------------------------------------
+    # Lookup
+    # ------------------------------------------------------------------
+    def entry(self, entry_id: int) -> ShapeEntry:
+        return self.entries[entry_id]
+
+    def entries_of_shape(self, shape_id: int) -> List[int]:
+        return list(self._entries_by_shape.get(shape_id, []))
+
+    def shapes_of_image(self, image_id: int) -> List[int]:
+        return list(self._shapes_by_image.get(image_id, []))
+
+    def image_of_shape(self, shape_id: int) -> Optional[int]:
+        """``S.image`` in the paper's notation (Section 5)."""
+        return self.shape_image[shape_id]
+
+    def image_ids(self) -> List[int]:
+        return sorted(self._shapes_by_image)
+
+    def shape_ids(self) -> List[int]:
+        return sorted(self.shapes)
+
+    def __iter__(self) -> Iterator[ShapeEntry]:
+        return iter(self.entries)
+
+    def __len__(self) -> int:
+        return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # Flattened vertex arrays and the range index
+    # ------------------------------------------------------------------
+    def _ensure_arrays(self) -> None:
+        """Build the flat vertex arrays and the range-search index.
+
+        The two *anchor* vertices of every copy sit at exactly (0, 0)
+        and (1, 0) by construction, so any query envelope of any width
+        contains all of them — they carry zero discriminative
+        information and, left in the index, make the per-iteration
+        output K grow linearly with the base size (breaking the paper's
+        uniform-density analysis).  They are therefore excluded from
+        the indexed point set and from the candidate-counter sizes;
+        exact measures still use the full vertex set via
+        :meth:`entry_vertices`.
+        """
+        if self._vertex_points is not None and self._index is not None:
+            return
+        points_list = []
+        sizes = np.zeros(len(self.entries), dtype=np.int64)
+        for position, entry in enumerate(self.entries):
+            vertices = entry.shape.vertices
+            i, j = entry.copy.pair
+            mask = np.ones(len(vertices), dtype=bool)
+            mask[i] = mask[j] = False
+            non_anchor = vertices[mask]
+            sizes[position] = len(non_anchor)
+            points_list.append(non_anchor)
+        offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        if self.entries:
+            points = np.vstack(points_list)
+            owner = np.repeat(np.arange(len(self.entries)), sizes)
+        else:
+            points = np.zeros((0, 2))
+            owner = np.zeros(0, dtype=np.int64)
+        self._entry_sizes = sizes
+        self._entry_offsets = offsets
+        self._vertex_points = points
+        self._vertex_owner = owner
+        self._index = make_index(points, self.backend)
+
+    @property
+    def vertex_points(self) -> np.ndarray:
+        """``(n, 2)`` array of all entry vertices."""
+        self._ensure_arrays()
+        return self._vertex_points
+
+    @property
+    def vertex_owner(self) -> np.ndarray:
+        """For each vertex row, the owning entry id."""
+        self._ensure_arrays()
+        return self._vertex_owner
+
+    @property
+    def entry_sizes(self) -> np.ndarray:
+        """Indexed (non-anchor) vertex count of each entry."""
+        self._ensure_arrays()
+        return self._entry_sizes
+
+    def entry_vertices(self, entry_id: int) -> np.ndarray:
+        """The *full* vertex set of one entry (anchors included).
+
+        Exact measure evaluation uses all vertices; only the
+        range-search index drops the anchors.
+        """
+        return self.entries[entry_id].shape.vertices
+
+    def entry_indexed_vertices(self, entry_id: int) -> np.ndarray:
+        """The indexed (non-anchor) vertex slice of one entry."""
+        self._ensure_arrays()
+        lo = self._entry_offsets[entry_id]
+        hi = self._entry_offsets[entry_id + 1]
+        return self._vertex_points[lo:hi]
+
+    @property
+    def index(self) -> TriangleRangeIndex:
+        """The simplex range-search index over all entry vertices."""
+        self._ensure_arrays()
+        return self._index
+
+    def __repr__(self) -> str:
+        return (f"ShapeBase(shapes={self.num_shapes}, "
+                f"entries={self.num_entries}, alpha={self.alpha}, "
+                f"backend={self.backend!r})")

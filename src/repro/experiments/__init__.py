@@ -1,0 +1,46 @@
+"""First-class experiment harnesses: every figure of the paper's
+evaluation, regenerable as ordinary library calls.
+
+Each function returns an :class:`~repro.experiments.common.ExperimentResult`
+whose ``render()`` prints the same rows/series the paper reports; the
+benchmark suite asserts on the returned metrics and the
+``repro experiment`` CLI subcommand prints them.
+
+=============  ===========================================
+name           reproduces
+=============  ===========================================
+``fig01``      Figure 1 (criterion motivating example)
+``fig07``      Figure 7 (avg I/O per query vs k, 3 sorts)
+``fig08``      Figure 8 (avg I/O vs buffer size, k = 2)
+``fig10``      Figure 10 (selectivity vs V_S, 2:1 bases)
+``localopt``   Section 4.2 (greedy layout vs sorts)
+``scaling``    Section 2.5 (poly-log matching cost)
+``noise``      the abstract's noise-tolerance claim
+=============  ===========================================
+"""
+
+from typing import Callable, Dict
+
+from .common import ExperimentResult, build_workload_base
+from .criterion import criterion_example, noise_tolerance
+from .scaling import matching_scaling
+from .selectivity import selectivity_experiment, spectrum_shape
+from .storage import buffer_sweep, io_methods, localopt_comparison
+
+#: Registry used by the CLI: name -> zero-argument-friendly callable.
+EXPERIMENTS: Dict[str, Callable[..., ExperimentResult]] = {
+    "fig01": criterion_example,
+    "fig07": io_methods,
+    "fig08": buffer_sweep,
+    "fig10": selectivity_experiment,
+    "localopt": localopt_comparison,
+    "scaling": matching_scaling,
+    "noise": noise_tolerance,
+}
+
+__all__ = [
+    "EXPERIMENTS", "ExperimentResult", "buffer_sweep",
+    "build_workload_base", "criterion_example", "io_methods",
+    "localopt_comparison", "matching_scaling", "noise_tolerance",
+    "selectivity_experiment", "spectrum_shape",
+]

@@ -1,0 +1,95 @@
+"""Figure 10: hyperbolic selectivity in the significant-vertex count.
+
+The relation is a property of the image domain (structurally simple
+shapes resemble many others); the experiment therefore synthesizes a
+*complexity spectrum* of radial-noise blobs — near-circles (low V_S,
+mutually similar) through jagged outlines (high V_S, distinctive) —
+builds two bases at a 2:1 size ratio, and fits ``size ~ c / V_S``.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence, Tuple
+
+import numpy as np
+
+from ..core.matcher import GeometricSimilarityMatcher
+from ..core.shapebase import ShapeBase
+from ..geometry.polyline import Shape
+from ..query.selectivity import fit_hyperbola, significant_vertices
+from .common import ExperimentResult
+
+
+def spectrum_shape(rng: np.random.Generator, complexity: float) -> Shape:
+    """A blob whose jaggedness and vertex count grow with complexity.
+
+    ``complexity`` in [0, 1]: 0 gives a near-circular 10-gon (low V_S),
+    1 a 28-vertex jagged outline (high V_S).
+    """
+    num_vertices = 10 + int(round(18 * complexity))
+    amplitude = 0.02 + 0.45 * complexity
+    angles = np.sort(rng.uniform(0, 2 * np.pi, num_vertices))
+    angles += np.linspace(0, 1e-6, num_vertices)
+    radii = np.clip(1.0 + amplitude * rng.standard_normal(num_vertices),
+                    0.25, None)
+    return Shape(np.column_stack([radii * np.cos(angles),
+                                  radii * np.sin(angles)]), closed=True)
+
+
+def _spectrum_base(num_shapes: int, seed: int) -> ShapeBase:
+    rng = np.random.default_rng(seed)
+    base = ShapeBase(alpha=0.05)
+    for index in range(num_shapes):
+        base.add_shape(spectrum_shape(rng, float(rng.uniform(0, 1))),
+                       image_id=index % max(1, num_shapes // 5))
+    return base
+
+
+def _series(base: ShapeBase, queries: Sequence[Shape],
+            threshold: float) -> Tuple[np.ndarray, np.ndarray]:
+    # Symmetric measure: the g_similar semantics under which the
+    # inverse V_S relation is observable (see EXPERIMENTS.md).
+    matcher = GeometricSimilarityMatcher(base, measure="symmetric")
+    vs_values, sizes = [], []
+    for query in queries:
+        matches, _ = matcher.query_threshold(query, threshold)
+        vs_values.append(significant_vertices(query))
+        sizes.append(len(matches))
+    return np.array(vs_values), np.array(sizes)
+
+
+def selectivity_experiment(num_shapes: int = 120, seed: int = 11,
+                           num_queries: int = 16,
+                           threshold: float = 0.06) -> ExperimentResult:
+    """Figure 10: |shape_similar(Q)| vs V_S(Q) for bases at a 2:1 ratio."""
+    base1 = _spectrum_base(num_shapes, seed)
+    base2 = _spectrum_base(num_shapes // 2, seed + 2)
+    query_rng = np.random.default_rng(seed + 6)
+    queries = [spectrum_shape(query_rng, c)
+               for c in np.linspace(0.0, 1.0, num_queries)]
+    vs1, sizes1 = _series(base1, queries, threshold)
+    vs2, sizes2 = _series(base2, queries, threshold)
+    c1 = fit_hyperbola(vs1, sizes1)
+    c2 = fit_hyperbola(vs2, sizes2)
+    correlation = float(np.corrcoef(1.0 / vs1, sizes1)[0, 1])
+
+    order = np.argsort(vs1)
+    rows = [[float(vs1[i]), int(sizes1[i]), int(sizes2[i])] for i in order]
+    return ExperimentResult(
+        name="fig10",
+        title=(f"Figure 10: #similar shapes vs V_S(Q) "
+               f"(threshold {threshold}, bases {base1.num_shapes} vs "
+               f"{base2.num_shapes} shapes)"),
+        headers=["V_S(Q)", "exp1 |similar|", "exp2 |similar|"],
+        rows=rows,
+        metrics={"c1": c1, "c2": c2,
+                 "c_ratio": c1 / max(c2, 1e-9),
+                 "inverse_correlation": correlation,
+                 "p1": float(base1.num_shapes),
+                 "p2": float(base2.num_shapes)},
+        series=[("experiment 1",
+                 [(float(v), float(s)) for v, s in zip(vs1, sizes1)]),
+                ("experiment 2",
+                 [(float(v), float(s)) for v, s in zip(vs2, sizes2)])],
+        notes=[f"hyperbola fit c1={c1:.1f}, c2={c2:.1f}; "
+               f"c1/c2={c1 / max(c2, 1e-9):.2f} (paper: ~2)"])

@@ -1,0 +1,155 @@
+"""Shape diameters and alpha-diameters (paper Section 2.4).
+
+The diameter of a shape is the pair of vertices that are farthest apart.
+The paper normalizes every shape about *all* of its alpha-diameters —
+the vertex pairs whose distance is at least ``(1 - alpha)`` times the
+diameter length — to buy tolerance against local distortion.
+
+For the ~20-vertex shapes the paper's base contains, the brute-force
+O(n^2) pair scan is already fast; for larger inputs we go through the
+convex hull and rotating calipers, which is O(n log n).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Tuple
+
+import numpy as np
+
+from .primitives import as_points, cross, squared_distance
+
+VertexPair = Tuple[int, int]
+
+
+def convex_hull(points: np.ndarray) -> List[int]:
+    """Indices of the convex hull in counter-clockwise order.
+
+    Andrew's monotone chain; collinear points on the hull boundary are
+    dropped.  Returns indices into the *input* array.
+    """
+    pts = as_points(points)
+    n = len(pts)
+    if n < 3:
+        return list(range(n))
+    order = np.lexsort((pts[:, 1], pts[:, 0]))
+
+    def build(indices) -> List[int]:
+        chain: List[int] = []
+        for idx in indices:
+            while len(chain) >= 2 and \
+                    cross(pts[chain[-2]], pts[chain[-1]], pts[idx]) <= 0:
+                chain.pop()
+            chain.append(int(idx))
+        return chain
+
+    lower = build(order)
+    upper = build(order[::-1])
+    hull = lower[:-1] + upper[:-1]
+    if len(hull) < 3:         # all points collinear: keep the two extremes
+        return [int(order[0]), int(order[-1])]
+    return hull
+
+
+def diameter_bruteforce(points: np.ndarray) -> Tuple[VertexPair, float]:
+    """Farthest vertex pair by exhaustive O(n^2) scan (vectorized)."""
+    pts = as_points(points)
+    n = len(pts)
+    if n < 2:
+        raise ValueError("need at least two points")
+    best = (0, 1)
+    best_sq = -1.0
+    for i in range(n - 1):
+        delta = pts[i + 1:] - pts[i]
+        sq = delta[:, 0] ** 2 + delta[:, 1] ** 2
+        j = int(np.argmax(sq))
+        if sq[j] > best_sq:
+            best_sq = float(sq[j])
+            best = (i, i + 1 + j)
+    return best, math.sqrt(best_sq)
+
+
+def diameter_rotating_calipers(points: np.ndarray) -> Tuple[VertexPair, float]:
+    """Farthest vertex pair via convex hull + rotating calipers.
+
+    O(n log n) overall; falls back to the brute-force scan for tiny or
+    degenerate inputs.  The diameter of a point set is always attained
+    by a pair of hull vertices (an antipodal pair).
+    """
+    pts = as_points(points)
+    hull = convex_hull(pts)
+    h = len(hull)
+    if h < 3:
+        return diameter_bruteforce(pts)
+    hull_pts = pts[hull]
+    best_sq = -1.0
+    best = (hull[0], hull[1])
+    j = 1
+    for i in range(h):
+        ni = (i + 1) % h
+        # advance j while the area (distance from edge i->ni) keeps growing
+        while True:
+            nj = (j + 1) % h
+            area_now = abs(cross(hull_pts[i], hull_pts[ni], hull_pts[j]))
+            area_next = abs(cross(hull_pts[i], hull_pts[ni], hull_pts[nj]))
+            if area_next > area_now:
+                j = nj
+            else:
+                break
+        for candidate in (j, (j + 1) % h):
+            sq = squared_distance(hull_pts[i], hull_pts[candidate])
+            if sq > best_sq:
+                best_sq = sq
+                best = (hull[i], hull[candidate])
+        sq = squared_distance(hull_pts[ni], hull_pts[j])
+        if sq > best_sq:
+            best_sq = sq
+            best = (hull[ni], hull[j])
+    i, j = best
+    if i > j:
+        i, j = j, i
+    return (i, j), math.sqrt(best_sq)
+
+
+def diameter(points: np.ndarray, method: str = "auto") -> Tuple[VertexPair, float]:
+    """Farthest vertex pair ``((i, j), length)`` with ``i < j``.
+
+    ``method`` is one of ``"auto"``, ``"brute"``, ``"calipers"``; auto
+    uses brute force below 64 vertices (faster in practice) and calipers
+    above.
+    """
+    pts = as_points(points)
+    if method == "brute" or (method == "auto" and len(pts) < 64):
+        pair, length = diameter_bruteforce(pts)
+    elif method in ("calipers", "auto"):
+        pair, length = diameter_rotating_calipers(pts)
+    else:
+        raise ValueError(f"unknown diameter method {method!r}")
+    i, j = pair
+    if i > j:
+        i, j = j, i
+    return (i, j), length
+
+
+def alpha_diameters(points: np.ndarray, alpha: float
+                    ) -> Tuple[List[VertexPair], float]:
+    """All vertex pairs at distance >= ``(1 - alpha) * diameter``.
+
+    Returns ``(pairs, diameter_length)``; pairs are ``(i, j)`` with
+    ``i < j`` and always include the true diameter pair.  ``alpha = 0``
+    yields exactly the diameter pair(s).  Section 2.4: every shape is
+    normalized (twice) about each of these pairs.
+    """
+    if not 0.0 <= alpha < 1.0:
+        raise ValueError("alpha must be in [0, 1)")
+    pts = as_points(points)
+    _, diam = diameter(pts)
+    threshold_sq = ((1.0 - alpha) * diam) ** 2
+    pairs: List[VertexPair] = []
+    n = len(pts)
+    for i in range(n - 1):
+        delta = pts[i + 1:] - pts[i]
+        sq = delta[:, 0] ** 2 + delta[:, 1] ** 2
+        for offset in np.nonzero(sq >= threshold_sq - 1e-12)[0]:
+            pairs.append((i, i + 1 + int(offset)))
+    return pairs, diam

@@ -1,0 +1,93 @@
+"""JSON interchange for shapes and image collections.
+
+A minimal, stable text format so bases can be built from external
+tooling (sketch editors, extraction pipelines) and results inspected:
+
+.. code-block:: json
+
+    {
+      "images": [
+        {"id": 0,
+         "shapes": [
+            {"closed": true, "vertices": [[0, 0], [4, 0], [2, 3]]}
+         ]}
+      ]
+    }
+
+A bare top-level ``{"shapes": [...]}`` (no image grouping) is also
+accepted and written by the single-list helpers.
+"""
+
+from __future__ import annotations
+
+import json
+from pathlib import Path
+from typing import Dict, List, Optional, Sequence, Tuple, Union
+
+from .polyline import Shape
+
+PathLike = Union[str, Path]
+
+
+def shape_to_dict(shape: Shape) -> dict:
+    """One shape as a JSON-ready dict."""
+    return {"closed": shape.closed,
+            "vertices": [[float(x), float(y)] for x, y in shape.vertices]}
+
+
+def shape_from_dict(payload: dict) -> Shape:
+    """Inverse of :func:`shape_to_dict` (with validation)."""
+    if "vertices" not in payload:
+        raise ValueError("shape record lacks 'vertices'")
+    vertices = payload["vertices"]
+    closed = bool(payload.get("closed", True))
+    return Shape(vertices, closed=closed)
+
+
+def save_shapes(shapes: Sequence[Shape], path: PathLike) -> None:
+    """Write a flat shape list."""
+    payload = {"shapes": [shape_to_dict(s) for s in shapes]}
+    Path(path).write_text(json.dumps(payload, indent=1))
+
+
+def load_shapes(path: PathLike) -> List[Shape]:
+    """Read a flat shape list (also accepts the grouped format,
+    flattening it)."""
+    payload = json.loads(Path(path).read_text())
+    if "shapes" in payload:
+        return [shape_from_dict(s) for s in payload["shapes"]]
+    if "images" in payload:
+        return [shape_from_dict(s)
+                for image in payload["images"]
+                for s in image.get("shapes", [])]
+    raise ValueError("expected a 'shapes' or 'images' key")
+
+
+def save_images(images: Sequence[Tuple[Optional[int], Sequence[Shape]]],
+                path: PathLike) -> None:
+    """Write grouped images: an iterable of ``(image_id, shapes)``."""
+    records = []
+    for image_id, shapes in images:
+        record: Dict = {"shapes": [shape_to_dict(s) for s in shapes]}
+        if image_id is not None:
+            record["id"] = int(image_id)
+        records.append(record)
+    Path(path).write_text(json.dumps({"images": records}, indent=1))
+
+
+def load_images(path: PathLike) -> List[Tuple[Optional[int], List[Shape]]]:
+    """Read grouped images as ``(image_id, shapes)`` pairs.
+
+    A flat ``shapes`` file is treated as a single anonymous image.
+    """
+    payload = json.loads(Path(path).read_text())
+    if "images" in payload:
+        out = []
+        for record in payload["images"]:
+            image_id = record.get("id")
+            shapes = [shape_from_dict(s) for s in record.get("shapes", [])]
+            out.append((image_id, shapes))
+        return out
+    if "shapes" in payload:
+        return [(None, [shape_from_dict(s) for s in payload["shapes"]])]
+    raise ValueError("expected a 'shapes' or 'images' key")

@@ -1,0 +1,135 @@
+"""The lune: locus of normalized shape vertices (paper Section 3).
+
+After a shape is normalized about its diameter, every vertex lies within
+distance 1 of both diameter endpoints (otherwise the pair would not be
+the farthest one).  The locus is therefore the *lune* — the intersection
+of the two unit disks centered at (0, 0) and (1, 0).  Geometric hashing
+partitions the lune into the four quarters of Figure 4 and covers each
+quarter with a family of equal-area arcs.
+
+Vertices of copies normalized about alpha-diameters (alpha > 0) can fall
+slightly outside; the paper treats them "as if they are located on the
+boundary of the lune", which is what :func:`clamp_to_lune` implements.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+
+from .primitives import as_points
+
+#: Centers of the two defining unit circles.
+LEFT_CENTER = (0.0, 0.0)
+RIGHT_CENTER = (1.0, 0.0)
+
+#: Corners of the lune (intersection points of the two circles).
+TOP_CORNER = (0.5, math.sqrt(3.0) / 2.0)
+BOTTOM_CORNER = (0.5, -math.sqrt(3.0) / 2.0)
+
+#: Exact lune area: 2 * pi / 3 - sqrt(3) / 2 (two unit circles, centers
+#: distance 1 apart).  This is the ``A_0`` of the paper's E(x) equation.
+LUNE_AREA = 2.0 * math.pi / 3.0 - math.sqrt(3.0) / 2.0
+
+
+def in_lune(points: np.ndarray, tolerance: float = 1e-9) -> np.ndarray:
+    """Boolean mask: which points lie in the (closed) lune."""
+    pts = as_points(points)
+    d_left = np.hypot(pts[:, 0], pts[:, 1])
+    d_right = np.hypot(pts[:, 0] - 1.0, pts[:, 1])
+    return (d_left <= 1.0 + tolerance) & (d_right <= 1.0 + tolerance)
+
+
+def quarter_of(x: float, y: float) -> int:
+    """Quarter index 1..4 of a lune point (Figure 4, left).
+
+    The lune is split by the vertical line ``x = 1/2`` and the
+    horizontal axis ``y = 0``: q1 upper-left, q2 upper-right, q3
+    lower-left, q4 lower-right.  Points exactly on a split line go to
+    the lower-index quarter.
+    """
+    if y >= 0.0:
+        return 1 if x <= 0.5 else 2
+    return 3 if x <= 0.5 else 4
+
+
+def quarters_of(points: np.ndarray) -> np.ndarray:
+    """Vectorized :func:`quarter_of`."""
+    pts = as_points(points)
+    upper = pts[:, 1] >= 0.0
+    left = pts[:, 0] <= 0.5
+    out = np.full(len(pts), 4, dtype=np.int8)
+    out[upper & left] = 1
+    out[upper & ~left] = 2
+    out[~upper & left] = 3
+    return out
+
+
+def _nearest_on_arc(point: Tuple[float, float], center: Tuple[float, float],
+                    other_center: Tuple[float, float]) -> Tuple[float, float]:
+    """Nearest point to ``point`` on the lune-boundary arc of one circle.
+
+    The arc consists of the points of the unit circle around ``center``
+    that also lie within the unit disk around ``other_center``.  When the
+    radial projection leaves that disk, the nearest valid point is one of
+    the lune corners.
+    """
+    dx, dy = point[0] - center[0], point[1] - center[1]
+    norm = math.hypot(dx, dy)
+    if norm < 1e-12:
+        projected = (center[0] + 1.0, center[1])
+    else:
+        projected = (center[0] + dx / norm, center[1] + dy / norm)
+    if math.hypot(projected[0] - other_center[0],
+                  projected[1] - other_center[1]) <= 1.0 + 1e-12:
+        return projected
+    top = math.hypot(point[0] - TOP_CORNER[0], point[1] - TOP_CORNER[1])
+    bottom = math.hypot(point[0] - BOTTOM_CORNER[0],
+                        point[1] - BOTTOM_CORNER[1])
+    return TOP_CORNER if top <= bottom else BOTTOM_CORNER
+
+
+def clamp_to_lune(points: np.ndarray) -> np.ndarray:
+    """Project points outside the lune onto its boundary.
+
+    Points already inside are returned unchanged.  This realizes the
+    paper's rule for alpha-diameter copies whose vertices spill outside
+    the diameter locus.
+    """
+    pts = as_points(points).copy()
+    inside = in_lune(pts)
+    for row in np.nonzero(~inside)[0]:
+        p = (float(pts[row, 0]), float(pts[row, 1]))
+        candidates = [_nearest_on_arc(p, LEFT_CENTER, RIGHT_CENTER),
+                      _nearest_on_arc(p, RIGHT_CENTER, LEFT_CENTER)]
+        best = min(candidates,
+                   key=lambda c: (c[0] - p[0]) ** 2 + (c[1] - p[1]) ** 2)
+        pts[row] = best
+    return pts
+
+
+def sample_lune(count: int, rng: np.random.Generator) -> np.ndarray:
+    """Uniform random points in the lune (rejection sampling).
+
+    Workload generators use this to synthesize vertex distributions that
+    match the paper's "uniform distribution of the vertices inside the
+    lune" assumption (Section 2.5 complexity analysis).
+    """
+    if count < 0:
+        raise ValueError("count must be non-negative")
+    out = np.empty((count, 2))
+    filled = 0
+    height = math.sqrt(3.0) / 2.0
+    while filled < count:
+        need = count - filled
+        batch = max(16, int(need / 0.70) + 1)   # lune fills ~71% of its bbox
+        candidates = np.column_stack([
+            rng.uniform(0.0, 1.0, batch),
+            rng.uniform(-height, height, batch)])
+        good = candidates[in_lune(candidates)]
+        take = min(len(good), need)
+        out[filled:filled + take] = good[:take]
+        filled += take
+    return out

@@ -1,0 +1,250 @@
+"""Exact-ish geometric predicates: orientation, intersection, containment.
+
+These are the classical computational-geometry predicates the paper's
+machinery rests on: the envelope decomposition needs point-in-triangle
+tests, the topological operators of Section 5 need polygon containment
+and overlap tests, and the GeoSIR ingestion pipeline (Section 6) needs
+segment-intersection tests to decompose self-intersecting polylines.
+"""
+
+from __future__ import annotations
+
+from typing import Optional, Sequence, Tuple
+
+import numpy as np
+
+from .primitives import EPSILON, as_points, cross
+
+Point = Sequence[float]
+
+
+def orientation(a: Point, b: Point, c: Point, eps: float = EPSILON) -> int:
+    """Return +1 for a left turn, -1 for a right turn, 0 for collinear."""
+    value = cross(a, b, c)
+    if value > eps:
+        return 1
+    if value < -eps:
+        return -1
+    return 0
+
+
+def on_segment(p: Point, a: Point, b: Point, eps: float = EPSILON) -> bool:
+    """True when collinear point ``p`` lies on the closed segment ``ab``."""
+    return (min(a[0], b[0]) - eps <= p[0] <= max(a[0], b[0]) + eps and
+            min(a[1], b[1]) - eps <= p[1] <= max(a[1], b[1]) + eps)
+
+
+def segments_intersect(a: Point, b: Point, c: Point, d: Point,
+                       eps: float = EPSILON) -> bool:
+    """True when closed segments ``ab`` and ``cd`` share at least one point."""
+    o1 = orientation(a, b, c, eps)
+    o2 = orientation(a, b, d, eps)
+    o3 = orientation(c, d, a, eps)
+    o4 = orientation(c, d, b, eps)
+    if o1 != o2 and o3 != o4:
+        return True
+    if o1 == 0 and on_segment(c, a, b, eps):
+        return True
+    if o2 == 0 and on_segment(d, a, b, eps):
+        return True
+    if o3 == 0 and on_segment(a, c, d, eps):
+        return True
+    if o4 == 0 and on_segment(b, c, d, eps):
+        return True
+    return False
+
+
+def segments_properly_intersect(a: Point, b: Point, c: Point, d: Point,
+                                eps: float = EPSILON) -> bool:
+    """True when ``ab`` and ``cd`` cross at a single interior point."""
+    o1 = orientation(a, b, c, eps)
+    o2 = orientation(a, b, d, eps)
+    o3 = orientation(c, d, a, eps)
+    o4 = orientation(c, d, b, eps)
+    return o1 != o2 and o3 != o4 and 0 not in (o1, o2, o3, o4)
+
+
+def segment_intersection_point(a: Point, b: Point, c: Point,
+                               d: Point) -> Optional[Tuple[float, float]]:
+    """Intersection point of the *lines* through ``ab`` and ``cd``.
+
+    Returns the point when the segments properly intersect; ``None`` when
+    the segments are parallel or miss each other.  Touching endpoints are
+    treated as intersections (the cluster-decomposition stage of the
+    GeoSIR pipeline wants them).
+    """
+    r = (b[0] - a[0], b[1] - a[1])
+    s = (d[0] - c[0], d[1] - c[1])
+    denominator = r[0] * s[1] - r[1] * s[0]
+    if abs(denominator) < EPSILON:
+        return None
+    qp = (c[0] - a[0], c[1] - a[1])
+    t = (qp[0] * s[1] - qp[1] * s[0]) / denominator
+    u = (qp[0] * r[1] - qp[1] * r[0]) / denominator
+    if -EPSILON <= t <= 1.0 + EPSILON and -EPSILON <= u <= 1.0 + EPSILON:
+        return (a[0] + t * r[0], a[1] + t * r[1])
+    return None
+
+
+def point_in_triangle(p: Point, a: Point, b: Point, c: Point,
+                      eps: float = EPSILON) -> bool:
+    """True when ``p`` lies inside or on the boundary of triangle ``abc``.
+
+    Degenerate (collinear) triangles are handled consistently: the
+    bounding-box constraint keeps "inside" meaning "on the segment"
+    instead of the half-plane test's vacuous everywhere-true.
+    """
+    if not (min(a[0], b[0], c[0]) - eps <= p[0] <= max(a[0], b[0], c[0]) + eps
+            and min(a[1], b[1], c[1]) - eps <= p[1]
+            <= max(a[1], b[1], c[1]) + eps):
+        return False
+    d1 = cross(a, b, p)
+    d2 = cross(b, c, p)
+    d3 = cross(c, a, p)
+    has_neg = (d1 < -eps) or (d2 < -eps) or (d3 < -eps)
+    has_pos = (d1 > eps) or (d2 > eps) or (d3 > eps)
+    return not (has_neg and has_pos)
+
+
+def points_in_triangle(points: np.ndarray, a: Point, b: Point, c: Point,
+                       eps: float = EPSILON) -> np.ndarray:
+    """Vectorized triangle-containment test; returns a boolean mask.
+
+    This is the predicate the simplex-range-search substrate answers in
+    bulk (Section 2.5 step 2): "which shape-base vertices fall inside this
+    query triangle?".
+    """
+    points = as_points(points)
+    px, py = points[:, 0], points[:, 1]
+
+    def half_plane(o: Point, q: Point) -> np.ndarray:
+        return (q[0] - o[0]) * (py - o[1]) - (q[1] - o[1]) * (px - o[0])
+
+    d1 = half_plane(a, b)
+    d2 = half_plane(b, c)
+    d3 = half_plane(c, a)
+    has_neg = (d1 < -eps) | (d2 < -eps) | (d3 < -eps)
+    has_pos = (d1 > eps) | (d2 > eps) | (d3 > eps)
+    in_box = ((px >= min(a[0], b[0], c[0]) - eps) &
+              (px <= max(a[0], b[0], c[0]) + eps) &
+              (py >= min(a[1], b[1], c[1]) - eps) &
+              (py <= max(a[1], b[1], c[1]) + eps))
+    return ~(has_neg & has_pos) & in_box
+
+
+def point_in_polygon(p: Point, vertices: np.ndarray,
+                     eps: float = EPSILON) -> bool:
+    """Even-odd test: is ``p`` inside the closed polygon ``vertices``?
+
+    Boundary points count as inside, matching the semantics the
+    ``contain`` topological predicate of Section 5.1 needs (a shape
+    touching its container from inside is still contained).
+    """
+    v = as_points(vertices)
+    n = len(v)
+    inside = False
+    j = n - 1
+    for i in range(n):
+        xi, yi = v[i]
+        xj, yj = v[j]
+        if on_segment(p, (xi, yi), (xj, yj), eps) and \
+                orientation((xi, yi), (xj, yj), p, eps) == 0:
+            return True
+        if (yi > p[1]) != (yj > p[1]):
+            x_cross = (xj - xi) * (p[1] - yi) / (yj - yi) + xi
+            if p[0] < x_cross:
+                inside = not inside
+        j = i
+    return inside
+
+
+def points_in_polygon(points: np.ndarray, vertices: np.ndarray) -> np.ndarray:
+    """Vectorized even-odd point-in-polygon test (boundary ~ inside)."""
+    points = as_points(points)
+    v = as_points(vertices)
+    px, py = points[:, 0], points[:, 1]
+    inside = np.zeros(len(points), dtype=bool)
+    n = len(v)
+    j = n - 1
+    for i in range(n):
+        xi, yi = v[i]
+        xj, yj = v[j]
+        crosses = (yi > py) != (yj > py)
+        if np.any(crosses):
+            x_cross = (xj - xi) * (py[crosses] - yi) / (yj - yi) + xi
+            flips = np.zeros(len(points), dtype=bool)
+            flips[crosses] = px[crosses] < x_cross
+            inside ^= flips
+        j = i
+    return inside
+
+
+def polygon_is_simple(vertices: np.ndarray, closed: bool = True,
+                      eps: float = EPSILON) -> bool:
+    """True when the polyline/polygon has no self-intersections.
+
+    Adjacent edges sharing an endpoint are allowed; everything else is
+    checked pairwise (O(m^2), fine for the ~20-vertex shapes the paper's
+    base contains).
+    """
+    v = as_points(vertices)
+    n = len(v)
+    if n < 3:
+        return True
+    edge_count = n if closed else n - 1
+    edges = [(v[i], v[(i + 1) % n]) for i in range(edge_count)]
+    for i in range(edge_count):
+        for j in range(i + 1, edge_count):
+            adjacent = (j == i + 1) or (closed and i == 0 and j == edge_count - 1)
+            a, b = edges[i]
+            c, d = edges[j]
+            if adjacent:
+                if segments_properly_intersect(a, b, c, d, eps):
+                    return False
+                continue
+            if segments_intersect(a, b, c, d, eps):
+                return False
+    return True
+
+
+def triangle_intersects_box(a: Point, b: Point, c: Point,
+                            xmin: float, ymin: float,
+                            xmax: float, ymax: float) -> bool:
+    """Separating-axis test between triangle ``abc`` and an AABB.
+
+    Used by the kd-tree triangle-range-search backend to prune subtrees.
+    """
+    tx = (a[0], b[0], c[0])
+    ty = (a[1], b[1], c[1])
+    # The slack mirrors the eps tolerance of the point-level predicates,
+    # so tree pruning never rejects a point the exact test would accept.
+    if max(tx) < xmin - EPSILON or min(tx) > xmax + EPSILON or \
+            max(ty) < ymin - EPSILON or min(ty) > ymax + EPSILON:
+        return False
+    corners = ((xmin, ymin), (xmax, ymin), (xmax, ymax), (xmin, ymax))
+    # Triangle edge normals as separating axes.
+    vertices = (a, b, c)
+    for i in range(3):
+        p, q = vertices[i], vertices[(i + 1) % 3]
+        nx, ny = q[1] - p[1], p[0] - q[0]
+        tri_proj = [nx * vx + ny * vy for vx, vy in vertices]
+        box_proj = [nx * vx + ny * vy for vx, vy in corners]
+        if max(tri_proj) < min(box_proj) - EPSILON or \
+                min(tri_proj) > max(box_proj) + EPSILON:
+            return False
+    return True
+
+
+def box_inside_triangle(a: Point, b: Point, c: Point,
+                        xmin: float, ymin: float,
+                        xmax: float, ymax: float) -> bool:
+    """True when the whole AABB lies inside triangle ``abc``.
+
+    Lets the range-search backends report entire subtrees without
+    per-point tests (the output-sensitive ``+ kappa`` term of the paper's
+    ``O(log^3 n + kappa)`` query bound).
+    """
+    for corner in ((xmin, ymin), (xmax, ymin), (xmax, ymax), (xmin, ymax)):
+        if not point_in_triangle(corner, a, b, c):
+            return False
+    return True

@@ -1,0 +1,191 @@
+"""Similarity transforms and diameter normalization (paper Sections 2.3-2.4).
+
+A *similarity transform* is scale + rotation + translation (no shear, no
+reflection).  Normalizing a shape about a vertex pair ``(p, q)`` applies
+the unique similarity transform mapping ``p -> (0, 0)`` and
+``q -> (1, 0)``; the paper stores each shape base entry this way, once
+per direction per alpha-diameter, and keeps the *inverse* transform so
+that query processing can recover original diameters (Section 5.3).
+"""
+
+from __future__ import annotations
+
+import math
+from typing import List, Sequence, Tuple
+
+import numpy as np
+
+from .diameter import alpha_diameters
+from .polyline import Shape
+from .primitives import EPSILON, as_points
+
+
+class SimilarityTransform:
+    """``T(x) = scale * R(theta) @ x + t`` — an orientation-preserving
+    similarity of the plane.
+
+    Stored as the four numbers ``(a, b, tx, ty)`` where the linear part
+    is ``[[a, -b], [b, a]]`` (so ``scale = hypot(a, b)`` and
+    ``theta = atan2(b, a)``).  Four floats per record is exactly the
+    footprint the paper's ~200-byte shape record budget assumes.
+    """
+
+    __slots__ = ("a", "b", "tx", "ty")
+
+    def __init__(self, a: float, b: float, tx: float, ty: float):
+        self.a = float(a)
+        self.b = float(b)
+        self.tx = float(tx)
+        self.ty = float(ty)
+
+    # -- constructors ---------------------------------------------------
+    @classmethod
+    def identity(cls) -> "SimilarityTransform":
+        return cls(1.0, 0.0, 0.0, 0.0)
+
+    @classmethod
+    def from_scale_rotation_translation(cls, scale: float, theta: float,
+                                        tx: float, ty: float
+                                        ) -> "SimilarityTransform":
+        if scale <= 0:
+            raise ValueError("scale must be positive")
+        return cls(scale * math.cos(theta), scale * math.sin(theta), tx, ty)
+
+    @classmethod
+    def mapping_segment_to_unit(cls, p: Sequence[float],
+                                q: Sequence[float]) -> "SimilarityTransform":
+        """The transform sending ``p -> (0, 0)`` and ``q -> (1, 0)``."""
+        dx, dy = q[0] - p[0], q[1] - p[1]
+        norm_sq = dx * dx + dy * dy
+        if norm_sq < EPSILON * EPSILON:
+            raise ValueError("cannot normalize about a zero-length segment")
+        # Linear part: conjugate of (dx + i dy) divided by |pq|^2.
+        a = dx / norm_sq
+        b = -dy / norm_sq
+        tx = -(a * p[0] - b * p[1])
+        ty = -(b * p[0] + a * p[1])
+        return cls(a, b, tx, ty)
+
+    # -- algebra ---------------------------------------------------------
+    @property
+    def scale(self) -> float:
+        return math.hypot(self.a, self.b)
+
+    @property
+    def rotation(self) -> float:
+        return math.atan2(self.b, self.a)
+
+    @property
+    def translation(self) -> Tuple[float, float]:
+        return (self.tx, self.ty)
+
+    def apply(self, points: np.ndarray) -> np.ndarray:
+        """Transform an ``(n, 2)`` array (or a single point) of inputs."""
+        pts = as_points(points)
+        x, y = pts[:, 0], pts[:, 1]
+        out = np.column_stack([self.a * x - self.b * y + self.tx,
+                               self.b * x + self.a * y + self.ty])
+        return out
+
+    def apply_point(self, p: Sequence[float]) -> Tuple[float, float]:
+        return (self.a * p[0] - self.b * p[1] + self.tx,
+                self.b * p[0] + self.a * p[1] + self.ty)
+
+    def apply_shape(self, shape: Shape) -> Shape:
+        return Shape(self.apply(shape.vertices), closed=shape.closed)
+
+    def compose(self, other: "SimilarityTransform") -> "SimilarityTransform":
+        """Return ``self o other`` (apply ``other`` first)."""
+        a = self.a * other.a - self.b * other.b
+        b = self.b * other.a + self.a * other.b
+        tx, ty = self.apply_point((other.tx, other.ty))
+        return SimilarityTransform(a, b, tx, ty)
+
+    def inverse(self) -> "SimilarityTransform":
+        norm_sq = self.a * self.a + self.b * self.b
+        if norm_sq < EPSILON * EPSILON:
+            raise ValueError("transform is singular")
+        ia = self.a / norm_sq
+        ib = -self.b / norm_sq
+        itx = -(ia * self.tx - ib * self.ty)
+        ity = -(ib * self.tx + ia * self.ty)
+        return SimilarityTransform(ia, ib, itx, ity)
+
+    def as_tuple(self) -> Tuple[float, float, float, float]:
+        return (self.a, self.b, self.tx, self.ty)
+
+    def __eq__(self, other: object) -> bool:
+        if not isinstance(other, SimilarityTransform):
+            return NotImplemented
+        return all(abs(x - y) < 1e-9
+                   for x, y in zip(self.as_tuple(), other.as_tuple()))
+
+    def __repr__(self) -> str:
+        return (f"SimilarityTransform(scale={self.scale:.6g}, "
+                f"rotation={self.rotation:.6g}, t=({self.tx:.6g}, {self.ty:.6g}))")
+
+
+class NormalizedCopy:
+    """One normalized entry of the shape base.
+
+    Carries the normalized shape, the forward transform that produced it
+    and the pair of original vertex indices that served as the
+    alpha-diameter.  ``inverse`` recovers original coordinates — the
+    query processor uses ``inverse.apply`` on the canonical diameter
+    ``((0,0), (1,0))`` to compute signed angles between shapes
+    (Section 5.3).
+    """
+
+    __slots__ = ("shape", "transform", "pair")
+
+    def __init__(self, shape: Shape, transform: SimilarityTransform,
+                 pair: Tuple[int, int]):
+        self.shape = shape
+        self.transform = transform
+        self.pair = pair
+
+    @property
+    def inverse(self) -> SimilarityTransform:
+        return self.transform.inverse()
+
+    def original_diameter_vector(self) -> Tuple[float, float]:
+        """The normalized x-axis mapped back to original coordinates."""
+        inv = self.inverse
+        p0 = inv.apply_point((0.0, 0.0))
+        p1 = inv.apply_point((1.0, 0.0))
+        return (p1[0] - p0[0], p1[1] - p0[1])
+
+    def __repr__(self) -> str:
+        return f"NormalizedCopy(pair={self.pair}, {self.shape!r})"
+
+
+def normalize_about(shape: Shape, i: int, j: int) -> NormalizedCopy:
+    """Normalize ``shape`` so vertex ``i`` lands on (0,0) and ``j`` on (1,0)."""
+    v = shape.vertices
+    transform = SimilarityTransform.mapping_segment_to_unit(v[i], v[j])
+    return NormalizedCopy(transform.apply_shape(shape), transform, (i, j))
+
+
+def normalize_about_diameter(shape: Shape) -> NormalizedCopy:
+    """Normalize about the true diameter (the query-side normalization).
+
+    The database carries every alpha-diameter in both orientations, so a
+    query only needs this single canonical copy (Section 2.3).
+    """
+    from .diameter import diameter as _diameter
+    (i, j), _ = _diameter(shape.vertices)
+    return normalize_about(shape, i, j)
+
+
+def normalized_copies(shape: Shape, alpha: float = 0.0) -> List[NormalizedCopy]:
+    """All normalized copies of ``shape`` per the paper's Section 2.4.
+
+    For each alpha-diameter ``(i, j)`` two copies are produced: one with
+    ``i -> (0,0), j -> (1,0)`` and one with the endpoints swapped.
+    """
+    pairs, _ = alpha_diameters(shape.vertices, alpha)
+    copies: List[NormalizedCopy] = []
+    for i, j in pairs:
+        copies.append(normalize_about(shape, i, j))
+        copies.append(normalize_about(shape, j, i))
+    return copies

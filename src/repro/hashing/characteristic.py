@@ -1,0 +1,98 @@
+"""Characteristic hash curves of a normalized shape (paper Section 3).
+
+A normalized shape's vertices are partitioned over the four lune
+quarters; for each non-empty quarter the *characteristic curve* is the
+family member minimizing the average vertex distance (Figure 6).  The
+resulting quadruple ``(c1, c2, c3, c4)`` is the shape's hash signature
+and also the sort key of the external storage layouts of Section 4.1.
+
+Vertices falling outside the lune (alpha-diameter copies) are treated
+as lying on the lune boundary, per the paper.
+"""
+
+from __future__ import annotations
+
+from typing import Tuple
+
+from ..geometry.lune import clamp_to_lune, quarters_of
+from ..geometry.polyline import Shape
+from .curves import HashCurveFamily
+
+#: Sentinel for "no vertices in this quarter".
+EMPTY_QUARTER = 0
+
+Quadruple = Tuple[int, int, int, int]
+
+
+def characteristic_quadruple(shape: Shape, family: HashCurveFamily,
+                             exhaustive: bool = False) -> Quadruple:
+    """Hash signature of one *normalized* shape.
+
+    ``exhaustive`` switches the per-quarter curve search from the
+    logarithmic ternary search to the linear oracle (tests compare the
+    two).  Quarters containing no vertices yield :data:`EMPTY_QUARTER`.
+    """
+    points = clamp_to_lune(shape.vertices)
+    quarters = quarters_of(points)
+    signature = []
+    for quarter in (1, 2, 3, 4):
+        mask = quarters == quarter
+        if not mask.any():
+            signature.append(EMPTY_QUARTER)
+            continue
+        subset = points[mask]
+        if exhaustive:
+            signature.append(family.closest_curve_exhaustive(subset, quarter))
+        else:
+            signature.append(family.closest_curve(subset, quarter))
+    return tuple(signature)
+
+
+def quadruple_mean_curve(quadruple: Quadruple) -> int:
+    """Sort key (i) of Section 4.1: round of the mean over the quadruple.
+
+    Empty-quarter sentinels are excluded from the mean (a zero would
+    drag shapes with sparse quarters towards the low curves for no
+    geometric reason).
+    """
+    values = [c for c in quadruple if c != EMPTY_QUARTER]
+    if not values:
+        return EMPTY_QUARTER
+    return int(round(sum(values) / len(values)))
+
+
+def quadruple_median_curve(quadruple: Quadruple) -> int:
+    """Sort key (iii) of Section 4.1.
+
+    Sort the four elements, take the two medians, and of those return
+    the one closest to the mean of all four.
+    """
+    values = sorted(c for c in quadruple if c != EMPTY_QUARTER)
+    if not values:
+        return EMPTY_QUARTER
+    if len(values) <= 2:
+        return values[0]
+    mid_low = values[(len(values) - 1) // 2]
+    mid_high = values[len(values) // 2]
+    mean = sum(values) / len(values)
+    if abs(mid_low - mean) <= abs(mid_high - mean):
+        return mid_low
+    return mid_high
+
+
+def quadruple_distance(a: Quadruple, b: Quadruple) -> float:
+    """L1 distance between signatures over the shared non-empty quarters.
+
+    Used by tests and diagnostics: similar shapes should land on the
+    same or neighbouring curves, i.e. small quadruple distance.
+    """
+    total = 0.0
+    counted = 0
+    for ca, cb in zip(a, b):
+        if ca == EMPTY_QUARTER or cb == EMPTY_QUARTER:
+            continue
+        total += abs(ca - cb)
+        counted += 1
+    if counted == 0:
+        return float("inf")
+    return total / counted

@@ -1,0 +1,187 @@
+"""The equal-area hash-curve family over the lune (paper Section 3).
+
+For the upper-left quarter ``q1`` the family consists of ``k`` arcs of
+unit circles through (0, 0) whose centers ``(x, -sqrt(1 - x^2))`` lie on
+the unit circle below the x-axis.  The *i*-th arc parameter ``x_i``
+solves the paper's equal-area equation
+
+    E(x) = integral_0^{min(2x, 1/2)} ( sqrt(1 - (t - x)^2)
+                                       - sqrt(1 - x^2) ) dt
+         = (A_0 / 4) * (i / k)
+
+where ``A_0`` is the lune area.  ``E`` has the closed form used below
+(antiderivative of ``sqrt(1 - u^2)``), is continuous and strictly
+increasing on [0, 1] with ``E(0) = 0`` and ``E(1) = A_0 / 4``, so a
+bracketed root-finder pins each ``x_i`` quickly — the "fast
+gradient-based numerical methods" of the paper.
+
+The other quarters are mirror images: ``q2`` mirrors ``q1`` about the
+vertical line ``x = 1/2`` (circles through (1, 0)), ``q3``/``q4``
+mirror ``q1``/``q2`` about the x-axis.
+"""
+
+from __future__ import annotations
+
+import math
+from typing import Tuple
+
+import numpy as np
+from scipy.optimize import brentq
+
+from ..geometry.lune import LUNE_AREA
+
+#: Area of one lune quarter (the right-hand side scale of E).
+QUARTER_AREA = LUNE_AREA / 4.0
+
+
+def _circle_antiderivative(u: float) -> float:
+    """Antiderivative of ``sqrt(1 - u^2)`` at ``u`` (|u| <= 1)."""
+    u = max(-1.0, min(1.0, u))
+    return 0.5 * (u * math.sqrt(max(0.0, 1.0 - u * u)) + math.asin(u))
+
+
+def curve_area(x: float) -> float:
+    """The paper's ``E(x)`` — area carved below the arc with parameter x."""
+    if not 0.0 <= x <= 1.0:
+        raise ValueError("x must be in [0, 1]")
+    upper = min(2.0 * x, 0.5)
+    # integral of sqrt(1 - (t - x)^2) dt from 0 to upper
+    arc_part = _circle_antiderivative(upper - x) - _circle_antiderivative(-x)
+    flat_part = upper * math.sqrt(max(0.0, 1.0 - x * x))
+    return arc_part - flat_part
+
+
+def curve_area_derivative(x: float, step: float = 1e-6) -> float:
+    """``dE/dx`` by central difference (continuous per the paper, Fig. 5)."""
+    lo = max(0.0, x - step)
+    hi = min(1.0, x + step)
+    if hi <= lo:
+        return 0.0
+    return (curve_area(hi) - curve_area(lo)) / (hi - lo)
+
+
+def solve_curve_parameters(k: int) -> np.ndarray:
+    """The ``x_i`` (i = 1..k) splitting a quarter into k equal areas.
+
+    ``x_k`` is exactly 1 (E(1) = A_0 / 4); the rest come from brentq on
+    the monotone ``E``.
+    """
+    if k < 1:
+        raise ValueError("k must be >= 1")
+    xs = np.empty(k)
+    for i in range(1, k + 1):
+        target = QUARTER_AREA * i / k
+        if i == k:
+            xs[i - 1] = 1.0
+            continue
+        xs[i - 1] = brentq(lambda x: curve_area(x) - target, 0.0, 1.0,
+                           xtol=1e-12)
+    return xs
+
+
+class HashCurveFamily:
+    """The full four-quarter family of ``k`` hash curves each.
+
+    Curves are identified by ``(quarter, index)`` with quarter in 1..4
+    and index in 1..k.  All circles have radius 1; only the center
+    differs.  The distance from a point to curve ``(q, i)`` is
+    ``| dist(point, center_{q,i}) - 1 |``.
+    """
+
+    def __init__(self, k: int = 50):
+        self.k = int(k)
+        self.xs = solve_curve_parameters(self.k)
+        # Centers for q1; other quarters by mirroring.
+        y = -np.sqrt(np.maximum(0.0, 1.0 - self.xs ** 2))
+        self._centers = {
+            1: np.column_stack([self.xs, y]),
+            2: np.column_stack([1.0 - self.xs, y]),
+            3: np.column_stack([self.xs, -y]),
+            4: np.column_stack([1.0 - self.xs, -y]),
+        }
+
+    def center(self, quarter: int, index: int) -> Tuple[float, float]:
+        """Center of curve ``index`` (1-based) in ``quarter``."""
+        self._check(quarter, index)
+        c = self._centers[quarter][index - 1]
+        return (float(c[0]), float(c[1]))
+
+    def _check(self, quarter: int, index: int) -> None:
+        if quarter not in (1, 2, 3, 4):
+            raise ValueError("quarter must be 1..4")
+        if not 1 <= index <= self.k:
+            raise ValueError(f"curve index must be in 1..{self.k}")
+
+    def distance_to_curve(self, points: np.ndarray, quarter: int,
+                          index: int) -> np.ndarray:
+        """|dist(p, center) - 1| for each point."""
+        self._check(quarter, index)
+        c = self._centers[quarter][index - 1]
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+        return np.abs(np.hypot(pts[:, 0] - c[0], pts[:, 1] - c[1]) - 1.0)
+
+    def average_distance(self, points: np.ndarray, quarter: int,
+                         index: int) -> float:
+        """Average vertex distance to one curve (the hashing objective)."""
+        return float(self.distance_to_curve(points, quarter, index).mean())
+
+    # ------------------------------------------------------------------
+    def closest_curve_exhaustive(self, points: np.ndarray,
+                                 quarter: int) -> int:
+        """Arg-min curve index by scanning all k curves (the oracle)."""
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+        centers = self._centers[quarter]
+        d = np.abs(np.hypot(pts[:, None, 0] - centers[None, :, 0],
+                            pts[:, None, 1] - centers[None, :, 1]) - 1.0)
+        return int(np.argmin(d.mean(axis=0))) + 1
+
+    def closest_curve(self, points: np.ndarray, quarter: int) -> int:
+        """Closest curve by ternary search over the discrete family.
+
+        The paper observes the average distance has a single local
+        minimum along the continuous family, so a logarithmic-time
+        search suffices ("perform a binary search in the discrete space
+        of curves").  A final local scan over the neighbours guards the
+        discretization boundary.
+        """
+        pts = np.asarray(points, dtype=np.float64).reshape(-1, 2)
+        lo, hi = 1, self.k
+        while hi - lo > 2:
+            m1 = lo + (hi - lo) // 3
+            m2 = hi - (hi - lo) // 3
+            if self.average_distance(pts, quarter, m1) <= \
+                    self.average_distance(pts, quarter, m2):
+                hi = m2
+            else:
+                lo = m1
+        best = min(range(lo, hi + 1),
+                   key=lambda i: self.average_distance(pts, quarter, i))
+        neighbours = [i for i in (best - 1, best, best + 1)
+                      if 1 <= i <= self.k]
+        return min(neighbours,
+                   key=lambda i: self.average_distance(pts, quarter, i))
+
+    def arc_polyline(self, quarter: int, index: int,
+                     samples: int = 64) -> np.ndarray:
+        """Sample the arc of one hash curve clipped to the lune.
+
+        Returns an ``(s, 2)`` array of points on the unit circle around
+        the curve's center that lie inside the lune — what Figure 4
+        (right) plots.  May be empty for curves whose arc barely grazes
+        the lune.
+        """
+        self._check(quarter, index)
+        if samples < 2:
+            raise ValueError("need at least two samples")
+        from ..geometry.lune import in_lune
+        cx, cy = self.center(quarter, index)
+        theta = np.linspace(0.0, 2.0 * np.pi, samples * 4, endpoint=False)
+        circle = np.column_stack([cx + np.cos(theta), cy + np.sin(theta)])
+        inside = circle[in_lune(circle, tolerance=1e-9)]
+        if len(inside) <= samples:
+            return inside
+        step = max(1, len(inside) // samples)
+        return inside[::step]
+
+    def __repr__(self) -> str:
+        return f"HashCurveFamily(k={self.k})"

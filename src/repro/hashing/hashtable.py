@@ -1,0 +1,136 @@
+"""The geometric hash table and approximate retrieval (paper Section 3).
+
+Every shape-base entry is inserted under its four characteristic curves
+(one bucket per ``(quarter, curve)`` pair).  A query shape is hashed the
+same way; the union of its four buckets (optionally widened to
+neighbouring curves) is the candidate set, which is then ranked by the
+exact average-distance measure.  With enough curves the expected bucket
+occupancy is constant, so retrieval is logarithmic in the number of
+curves — the paper's complexity claim.
+"""
+
+from __future__ import annotations
+
+from collections import Counter
+from typing import Dict, List, Optional, Set, Tuple
+
+from ..core.matcher import Match
+from ..core.shapebase import ShapeBase
+from ..geometry.nearest import BoundaryDistance
+from ..geometry.polyline import Shape
+from .characteristic import (EMPTY_QUARTER, Quadruple,
+                             characteristic_quadruple)
+from .curves import HashCurveFamily
+
+BucketKey = Tuple[int, int]       # (quarter, curve index)
+
+
+class GeometricHashTable:
+    """Buckets of entry ids keyed by (quarter, characteristic curve)."""
+
+    def __init__(self, family: HashCurveFamily):
+        self.family = family
+        self._buckets: Dict[BucketKey, Set[int]] = {}
+        self._signatures: Dict[int, Quadruple] = {}
+
+    def insert(self, entry_id: int, quadruple: Quadruple) -> None:
+        """Register one entry under its four characteristic curves."""
+        self._signatures[entry_id] = quadruple
+        for quarter, curve in enumerate(quadruple, start=1):
+            if curve == EMPTY_QUARTER:
+                continue
+            self._buckets.setdefault((quarter, curve), set()).add(entry_id)
+
+    def remove(self, entry_id: int) -> None:
+        quadruple = self._signatures.pop(entry_id, None)
+        if quadruple is None:
+            return
+        for quarter, curve in enumerate(quadruple, start=1):
+            bucket = self._buckets.get((quarter, curve))
+            if bucket is not None:
+                bucket.discard(entry_id)
+                if not bucket:
+                    del self._buckets[(quarter, curve)]
+
+    def signature(self, entry_id: int) -> Optional[Quadruple]:
+        return self._signatures.get(entry_id)
+
+    def candidates(self, quadruple: Quadruple,
+                   neighbor_radius: int = 0) -> Set[int]:
+        """Union of the buckets of the query's curves (plus neighbours).
+
+        ``neighbor_radius`` widens each lookup to the ``2r`` adjacent
+        curves — the paper notes that close shapes may land on
+        *neighbouring* curves.
+        """
+        found: Set[int] = set()
+        for quarter, curve in enumerate(quadruple, start=1):
+            if curve == EMPTY_QUARTER:
+                continue
+            lo = max(1, curve - neighbor_radius)
+            hi = min(self.family.k, curve + neighbor_radius)
+            for index in range(lo, hi + 1):
+                found |= self._buckets.get((quarter, index), set())
+        return found
+
+    def occupancy(self) -> Counter:
+        """Histogram: bucket size -> number of buckets (diagnostics)."""
+        return Counter(len(bucket) for bucket in self._buckets.values())
+
+    @property
+    def num_buckets(self) -> int:
+        return len(self._buckets)
+
+    def __len__(self) -> int:
+        return len(self._signatures)
+
+
+class ApproximateRetriever:
+    """Hashing-based approximate matcher over a :class:`ShapeBase`.
+
+    This is the fallback path of the GeoSIR pipeline: when the
+    envelope-fattening matcher exhausts its epsilon budget without a
+    sufficiently similar shape, the hash table supplies approximate
+    candidates in (expected) constant bucket size.
+    """
+
+    def __init__(self, base: ShapeBase, k_curves: int = 50,
+                 neighbor_radius: int = 1):
+        self.base = base
+        self.family = HashCurveFamily(k_curves)
+        self.neighbor_radius = int(neighbor_radius)
+        self.table = GeometricHashTable(self.family)
+        for entry in base:
+            self.table.insert(
+                entry.entry_id,
+                characteristic_quadruple(entry.shape, self.family))
+
+    def query(self, query: Shape, k: int = 1,
+              neighbor_radius: Optional[int] = None) -> List[Match]:
+        """Up to ``k`` approximate matches ranked by average distance."""
+        from ..core.matcher import GeometricSimilarityMatcher
+        normalized = GeometricSimilarityMatcher(self.base).normalize_query(query)
+        quadruple = characteristic_quadruple(normalized, self.family)
+        radius = self.neighbor_radius if neighbor_radius is None \
+            else neighbor_radius
+        candidate_entries = self.table.candidates(quadruple, radius)
+        engine = BoundaryDistance(normalized)
+        best: Dict[int, Tuple[float, int]] = {}
+        for entry_id in candidate_entries:
+            entry = self.base.entry(entry_id)
+            value = float(engine.distances(
+                self.base.entry_vertices(entry_id)).mean())
+            current = best.get(entry.shape_id)
+            if current is None or value < current[0]:
+                best[entry.shape_id] = (value, entry_id)
+        ranked = sorted(best.items(), key=lambda kv: kv[1][0])[:k]
+        return [Match(shape_id=sid,
+                      image_id=self.base.image_of_shape(sid),
+                      distance=value, entry_id=entry_id, approximate=True)
+                for sid, (value, entry_id) in ranked]
+
+    def signature_of(self, shape: Shape) -> Quadruple:
+        """Characteristic quadruple of an arbitrary (raw) shape."""
+        from ..core.matcher import GeometricSimilarityMatcher
+        normalized = GeometricSimilarityMatcher(self.base).normalize_query(shape)
+        return characteristic_quadruple(normalized, self.family)

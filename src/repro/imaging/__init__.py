@@ -1,0 +1,26 @@
+"""Imaging substrate (paper Section 6): binary rasters, boundary
+extraction, segment approximation, polyline clustering, decomposition of
+self-intersecting polylines, and the synthetic workload generator that
+stands in for the paper's real image base.
+"""
+
+from .clusters import UnionFind, cluster_shapes, detect_clusters
+from .contours import (extract_contour_shapes, label_components,
+                       trace_boundaries)
+from .decompose import decompose_all, decompose_polyline
+from .raster import BinaryImage, rasterize_shapes
+from .simplify import douglas_peucker, resample_polyline
+from .synthesis import (GeneratedImage, SyntheticWorkload, distort,
+                        generate_workload, make_query_set, notched_box,
+                        place_randomly, prototype_pool, random_blob,
+                        star_polygon, zigzag_polyline)
+
+__all__ = [
+    "BinaryImage", "GeneratedImage", "SyntheticWorkload", "UnionFind",
+    "cluster_shapes", "decompose_all", "decompose_polyline",
+    "detect_clusters", "distort", "douglas_peucker",
+    "extract_contour_shapes", "generate_workload", "label_components",
+    "make_query_set", "notched_box", "place_randomly", "prototype_pool",
+    "random_blob", "rasterize_shapes", "resample_polyline", "star_polygon",
+    "trace_boundaries", "zigzag_polyline",
+]

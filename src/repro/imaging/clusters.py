@@ -1,0 +1,85 @@
+"""Polyline cluster detection (paper Section 6, Figure 11).
+
+After boundary extraction an image holds many polylines; GeoSIR groups
+them into *clusters* — maximal sets of polylines that share edges or
+vertices — because one object boundary may have been extracted as
+several touching pieces.  Sharing is detected on quantized vertex
+coordinates (extraction noise keeps "the same" junction within a small
+snap radius), and grouping is a plain union-find.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Sequence, Tuple
+
+import numpy as np
+
+from ..geometry.polyline import Shape
+
+
+class UnionFind:
+    """Path-compressing, union-by-size disjoint sets over 0..n-1."""
+
+    def __init__(self, size: int):
+        self.parent = list(range(size))
+        self.size = [1] * size
+
+    def find(self, x: int) -> int:
+        root = x
+        while self.parent[root] != root:
+            root = self.parent[root]
+        while self.parent[x] != root:
+            self.parent[x], x = root, self.parent[x]
+        return root
+
+    def union(self, a: int, b: int) -> bool:
+        ra, rb = self.find(a), self.find(b)
+        if ra == rb:
+            return False
+        if self.size[ra] < self.size[rb]:
+            ra, rb = rb, ra
+        self.parent[rb] = ra
+        self.size[ra] += self.size[rb]
+        return True
+
+    def groups(self) -> Dict[int, List[int]]:
+        out: Dict[int, List[int]] = {}
+        for x in range(len(self.parent)):
+            out.setdefault(self.find(x), []).append(x)
+        return out
+
+
+def _vertex_keys(shape: Shape, snap: float) -> List[Tuple[int, int]]:
+    quantized = np.round(shape.vertices / snap).astype(np.int64)
+    return [tuple(q) for q in quantized]
+
+
+def detect_clusters(polylines: Sequence[Shape],
+                    snap: float = 0.5) -> List[List[int]]:
+    """Group polylines that share (snapped) vertices.
+
+    Returns lists of indices into ``polylines``, one list per cluster,
+    in first-seen order.  ``snap`` is the junction snap radius in the
+    polylines' coordinate units (pixels, for raster-extracted input).
+    """
+    if snap <= 0:
+        raise ValueError("snap must be positive")
+    uf = UnionFind(len(polylines))
+    seen: Dict[Tuple[int, int], int] = {}
+    for index, shape in enumerate(polylines):
+        for key in _vertex_keys(shape, snap):
+            owner = seen.get(key)
+            if owner is None:
+                seen[key] = index
+            else:
+                uf.union(owner, index)
+    groups = uf.groups()
+    ordered_roots = sorted(groups, key=lambda r: min(groups[r]))
+    return [sorted(groups[root]) for root in ordered_roots]
+
+
+def cluster_shapes(polylines: Sequence[Shape],
+                   snap: float = 0.5) -> List[List[Shape]]:
+    """Same as :func:`detect_clusters` but returns the shapes."""
+    return [[polylines[i] for i in group]
+            for group in detect_clusters(polylines, snap)]

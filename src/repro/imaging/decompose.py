@@ -1,0 +1,149 @@
+"""Decomposition of self-intersecting polylines (paper Sections 2.4, 6).
+
+The shape base only admits simple (non-self-intersecting) polylines;
+"self-intersecting polygons or polylines extracted from an image are
+decomposed in a number of shapes".  We split every edge at its
+intersection points with other edges, build the induced planar graph on
+snapped nodes, and peel off maximal simple chains: walking from nodes of
+degree != 2 (and then around leftover cycles), so each output piece is a
+simple open polyline or a simple closed loop.
+"""
+
+from __future__ import annotations
+
+from typing import Dict, List, Set, Tuple
+
+import numpy as np
+
+from ..geometry.polyline import Shape
+from ..geometry.predicates import segment_intersection_point
+from ..geometry.primitives import EPSILON
+
+
+def _snap_key(point: Tuple[float, float],
+              snap: float) -> Tuple[int, int]:
+    return (int(round(point[0] / snap)), int(round(point[1] / snap)))
+
+
+def _split_edges(shape: Shape, snap: float) -> List[Tuple[Tuple[float, float],
+                                                          Tuple[float, float]]]:
+    """Split every edge at its intersections with all other edges."""
+    starts, ends = shape.edges()
+    edges = list(zip(map(tuple, starts), map(tuple, ends)))
+    pieces: List[Tuple[Tuple[float, float], Tuple[float, float]]] = []
+    for i, (a, b) in enumerate(edges):
+        cuts: List[Tuple[float, Tuple[float, float]]] = []
+        for j, (c, d) in enumerate(edges):
+            if j == i:
+                continue
+            point = segment_intersection_point(a, b, c, d)
+            if point is None:
+                continue
+            length_sq = (b[0] - a[0]) ** 2 + (b[1] - a[1]) ** 2
+            if length_sq < EPSILON:
+                continue
+            t = ((point[0] - a[0]) * (b[0] - a[0]) +
+                 (point[1] - a[1]) * (b[1] - a[1])) / length_sq
+            if snap / 10.0 < t * np.sqrt(length_sq) and \
+                    t * np.sqrt(length_sq) < np.sqrt(length_sq) - snap / 10.0:
+                cuts.append((t, point))
+        cuts.sort()
+        previous = a
+        for _, point in cuts:
+            if _snap_key(previous, snap) != _snap_key(point, snap):
+                pieces.append((previous, point))
+            previous = point
+        if _snap_key(previous, snap) != _snap_key(b, snap):
+            pieces.append((previous, b))
+    return pieces
+
+
+def decompose_polyline(shape: Shape, snap: float = 1e-6) -> List[Shape]:
+    """Split a possibly self-intersecting polyline into simple shapes.
+
+    A shape that is already simple is returned as-is (single-element
+    list).  Otherwise the planar subdivision induced by the
+    self-intersections is computed and maximal degree-2 chains are
+    extracted; chains whose two endpoints coincide become closed
+    shapes.
+    """
+    if shape.is_simple():
+        return [shape]
+    pieces = _split_edges(shape, snap)
+    # Build the graph on snapped nodes.
+    coords: Dict[Tuple[int, int], Tuple[float, float]] = {}
+    adjacency: Dict[Tuple[int, int], List[Tuple[int, int]]] = {}
+    edge_set: Set[Tuple[Tuple[int, int], Tuple[int, int]]] = set()
+    for a, b in pieces:
+        ka, kb = _snap_key(a, snap), _snap_key(b, snap)
+        if ka == kb:
+            continue
+        coords.setdefault(ka, a)
+        coords.setdefault(kb, b)
+        key = (ka, kb) if ka <= kb else (kb, ka)
+        if key in edge_set:
+            continue
+        edge_set.add(key)
+        adjacency.setdefault(ka, []).append(kb)
+        adjacency.setdefault(kb, []).append(ka)
+
+    used: Set[Tuple[Tuple[int, int], Tuple[int, int]]] = set()
+
+    def walk(start: Tuple[int, int],
+             nxt: Tuple[int, int]) -> List[Tuple[int, int]]:
+        """Follow a chain through degree-2 nodes until a junction/end."""
+        chain = [start, nxt]
+        used.add((start, nxt) if start <= nxt else (nxt, start))
+        current, previous = nxt, start
+        while len(adjacency[current]) == 2:
+            a, b = adjacency[current]
+            following = a if b == previous else b
+            key = (current, following) if current <= following \
+                else (following, current)
+            if key in used:
+                break
+            used.add(key)
+            chain.append(following)
+            previous, current = current, following
+            if current == chain[0]:
+                break
+        return chain
+
+    results: List[Shape] = []
+
+    def emit(chain: List[Tuple[int, int]]) -> None:
+        points = [coords[k] for k in chain]
+        closed = chain[0] == chain[-1] and len(chain) > 3
+        if closed:
+            points = points[:-1]
+            if len(points) >= 3:
+                results.append(Shape(points, closed=True))
+        elif len(points) >= 2:
+            results.append(Shape(points, closed=False))
+
+    junctions = [node for node, nbrs in adjacency.items()
+                 if len(nbrs) != 2]
+    for node in junctions:
+        for neighbour in adjacency[node]:
+            key = (node, neighbour) if node <= neighbour \
+                else (neighbour, node)
+            if key in used:
+                continue
+            emit(walk(node, neighbour))
+    # Leftover pure cycles (no junction on them).
+    for node, neighbours in adjacency.items():
+        for neighbour in neighbours:
+            key = (node, neighbour) if node <= neighbour \
+                else (neighbour, node)
+            if key in used:
+                continue
+            emit(walk(node, neighbour))
+    return results
+
+
+def decompose_all(shapes: List[Shape], snap: float = 1e-6) -> List[Shape]:
+    """Decompose a batch; simple inputs pass through untouched."""
+    out: List[Shape] = []
+    for shape in shapes:
+        out.extend(decompose_polyline(shape, snap))
+    return out

@@ -1,0 +1,95 @@
+"""Segment approximation of boundaries (Douglas-Peucker).
+
+GeoSIR's ingestion "first performs image processing that achieves
+segment approximation of boundaries" (Section 6); Douglas-Peucker is
+the standard such approximation: it keeps the fewest vertices such that
+no dropped point deviates more than ``tolerance`` from the kept
+polyline.
+"""
+
+from __future__ import annotations
+
+from typing import List
+
+import numpy as np
+
+from ..geometry.primitives import as_points, points_segment_distance
+
+
+def _simplify_open(points: np.ndarray, tolerance: float) -> np.ndarray:
+    """Iterative (stack-based) Douglas-Peucker on an open chain."""
+    n = len(points)
+    keep = np.zeros(n, dtype=bool)
+    keep[0] = keep[n - 1] = True
+    stack: List[tuple] = [(0, n - 1)]
+    while stack:
+        first, last = stack.pop()
+        if last - first < 2:
+            continue
+        segment = points[first + 1:last]
+        distances = points_segment_distance(segment, points[first],
+                                            points[last])
+        worst = int(np.argmax(distances))
+        if distances[worst] > tolerance:
+            split = first + 1 + worst
+            keep[split] = True
+            stack.append((first, split))
+            stack.append((split, last))
+    return points[keep]
+
+
+def douglas_peucker(points: np.ndarray, tolerance: float,
+                    closed: bool = False) -> np.ndarray:
+    """Simplify a chain of points to within ``tolerance``.
+
+    For closed rings, the two anchors are chosen as the extremes of the
+    ring's diameter axis (the farthest pair of the first/middle split),
+    the ring is simplified as two open halves, and the halves are
+    re-joined — the usual way to make Douglas-Peucker start-point
+    independent on rings.
+    """
+    pts = as_points(points)
+    if tolerance < 0:
+        raise ValueError("tolerance must be non-negative")
+    if len(pts) <= 2:
+        return pts.copy()
+    if not closed:
+        return _simplify_open(pts, tolerance)
+    # Closed ring: anchor at the point farthest from points[0], split
+    # the ring there, simplify both halves.
+    deltas = pts - pts[0]
+    far = int(np.argmax(deltas[:, 0] ** 2 + deltas[:, 1] ** 2))
+    if far == 0:
+        return pts[:1].copy()
+    first_half = _simplify_open(pts[:far + 1], tolerance)
+    second_half = _simplify_open(np.vstack([pts[far:], pts[:1]]), tolerance)
+    return np.vstack([first_half[:-1], second_half[:-1]])
+
+
+def resample_polyline(points: np.ndarray, spacing: float,
+                      closed: bool = False) -> np.ndarray:
+    """Uniform arc-length resampling (the inverse knob of simplify).
+
+    Handy for building vertex-count sweeps in the measure benchmarks:
+    the same geometric shape represented with many or few vertices.
+    """
+    pts = as_points(points)
+    if spacing <= 0:
+        raise ValueError("spacing must be positive")
+    if closed:
+        pts = np.vstack([pts, pts[:1]])
+    deltas = np.diff(pts, axis=0)
+    lengths = np.hypot(deltas[:, 0], deltas[:, 1])
+    cumulative = np.concatenate([[0.0], np.cumsum(lengths)])
+    total = cumulative[-1]
+    if total <= 0:
+        return pts[:1].copy()
+    count = max(3 if closed else 2, int(round(total / spacing)))
+    targets = np.linspace(0.0, total, count, endpoint=not closed)
+    out = np.empty((len(targets), 2))
+    for i, t in enumerate(targets):
+        j = int(np.searchsorted(cumulative, t, side="right")) - 1
+        j = min(j, len(lengths) - 1)
+        local = (t - cumulative[j]) / lengths[j] if lengths[j] > 0 else 0.0
+        out[i] = pts[j] + local * deltas[j]
+    return out

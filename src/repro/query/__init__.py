@@ -1,0 +1,24 @@
+"""Query processing (paper Section 5): image relation graphs, the
+topological query algebra, selectivity estimation via significant
+vertices, and the planning/executing engine.
+"""
+
+from .algebra import (ComplementNode, IntersectionNode, Literal, QueryNode,
+                      Similar, Topological, UnionNode, contain, disjoint,
+                      overlap, tangent, to_dnf)
+from .executor import EngineCounters, QueryEngine
+from .graph import (ANY_ANGLE, CONTAIN, DISJOINT, OVERLAP, RELATIONS,
+                    TANGENT, ImageGraph, RelationEdge, angle_matches,
+                    diameter_angle, diameter_vector, relation_between)
+from .selectivity import (SelectivityModel, fit_hyperbola,
+                          significant_vertices, vertex_significance)
+
+__all__ = [
+    "ANY_ANGLE", "CONTAIN", "ComplementNode", "DISJOINT", "EngineCounters",
+    "ImageGraph", "IntersectionNode", "Literal", "OVERLAP", "QueryEngine",
+    "QueryNode", "RELATIONS", "RelationEdge", "SelectivityModel", "Similar",
+    "TANGENT", "Topological", "UnionNode", "angle_matches", "contain",
+    "diameter_angle", "diameter_vector", "disjoint", "fit_hyperbola",
+    "overlap", "relation_between", "significant_vertices", "tangent",
+    "to_dnf", "vertex_significance",
+]

@@ -1,0 +1,161 @@
+"""The topological query algebra (paper Section 5.1).
+
+Queries are built from two operator kinds —
+
+* ``Similar(Q)``: images containing a shape similar to Q, and
+* ``Topological(relation, Q1, Q2, theta)`` for relation in
+  {contain, overlap, disjoint}: images containing S1 similar to Q1 and
+  S2 similar to Q2 with ``g_relation(S1, S2, theta)``
+
+— closed under union, intersection and complement.  Python's ``|``,
+``&`` and ``~`` are overloaded as sugar.  The planner first rewrites a
+query into disjunctive normal form (Section 5.4: "we re-write the
+initial query into the form t1 U t2 U ... U tn, where each t_i contains
+only intersection and complement operators").
+"""
+
+from __future__ import annotations
+
+from typing import List, Union
+
+from ..geometry.polyline import Shape
+from .graph import ANY_ANGLE, CONTAIN, DISJOINT, OVERLAP, RELATIONS
+
+Theta = Union[float, str]
+
+
+class QueryNode:
+    """Base class of all query AST nodes."""
+
+    def __or__(self, other: "QueryNode") -> "UnionNode":
+        return UnionNode(self, other)
+
+    def __and__(self, other: "QueryNode") -> "IntersectionNode":
+        return IntersectionNode(self, other)
+
+    def __invert__(self) -> "ComplementNode":
+        return ComplementNode(self)
+
+
+class Similar(QueryNode):
+    """``similar(Q)``: images containing a shape similar to Q."""
+
+    def __init__(self, query_shape: Shape):
+        self.query_shape = query_shape
+
+    def __repr__(self) -> str:
+        return f"similar({self.query_shape!r})"
+
+
+class Topological(QueryNode):
+    """``r(Q1, Q2, theta)`` for r in {contain, overlap, disjoint}."""
+
+    def __init__(self, relation: str, q1: Shape, q2: Shape,
+                 theta: Theta = ANY_ANGLE):
+        if relation not in RELATIONS:
+            raise ValueError(f"relation must be one of {RELATIONS}")
+        if theta != ANY_ANGLE:
+            theta = float(theta)
+        self.relation = relation
+        self.q1 = q1
+        self.q2 = q2
+        self.theta = theta
+
+    def __repr__(self) -> str:
+        return f"{self.relation}({self.q1!r}, {self.q2!r}, {self.theta})"
+
+
+def contain(q1: Shape, q2: Shape, theta: Theta = ANY_ANGLE) -> Topological:
+    """Images where a shape similar to Q1 contains one similar to Q2."""
+    return Topological(CONTAIN, q1, q2, theta)
+
+
+def overlap(q1: Shape, q2: Shape, theta: Theta = ANY_ANGLE) -> Topological:
+    """Images where shapes similar to Q1 and Q2 overlap."""
+    return Topological(OVERLAP, q1, q2, theta)
+
+
+def tangent(q1: Shape, q2: Shape, theta: Theta = ANY_ANGLE) -> Topological:
+    """Images where shapes similar to Q1 and Q2 touch without crossing."""
+    from .graph import TANGENT
+    return Topological(TANGENT, q1, q2, theta)
+
+
+def disjoint(q1: Shape, q2: Shape, theta: Theta = ANY_ANGLE) -> Topological:
+    """Images containing disjoint shapes similar to Q1 and Q2."""
+    return Topological(DISJOINT, q1, q2, theta)
+
+
+class UnionNode(QueryNode):
+    def __init__(self, left: QueryNode, right: QueryNode):
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} | {self.right!r})"
+
+
+class IntersectionNode(QueryNode):
+    def __init__(self, left: QueryNode, right: QueryNode):
+        self.left = left
+        self.right = right
+
+    def __repr__(self) -> str:
+        return f"({self.left!r} & {self.right!r})"
+
+
+class ComplementNode(QueryNode):
+    def __init__(self, operand: QueryNode):
+        self.operand = operand
+
+    def __repr__(self) -> str:
+        return f"~{self.operand!r}"
+
+
+class Literal:
+    """A DNF literal: an operator, possibly complemented."""
+
+    __slots__ = ("operator", "negated")
+
+    def __init__(self, operator: QueryNode, negated: bool):
+        if not isinstance(operator, (Similar, Topological)):
+            raise TypeError("literal must wrap a Similar/Topological operator")
+        self.operator = operator
+        self.negated = negated
+
+    def __repr__(self) -> str:
+        return f"~{self.operator!r}" if self.negated else repr(self.operator)
+
+
+ConjunctiveTerm = List[Literal]
+
+
+def to_dnf(node: QueryNode) -> List[ConjunctiveTerm]:
+    """Rewrite a query into a union of conjunctive terms.
+
+    Complements are pushed down with De Morgan's laws onto the operator
+    leaves; intersections are distributed over unions.  The result is
+    the ``t1 U ... U tn`` form the planner of Section 5.4 executes.
+    """
+    return _dnf(node, negated=False)
+
+
+def _dnf(node: QueryNode, negated: bool) -> List[ConjunctiveTerm]:
+    if isinstance(node, (Similar, Topological)):
+        return [[Literal(node, negated)]]
+    if isinstance(node, ComplementNode):
+        return _dnf(node.operand, not negated)
+    if isinstance(node, UnionNode):
+        if negated:     # De Morgan: ~(A | B) = ~A & ~B
+            return _cross(_dnf(node.left, True), _dnf(node.right, True))
+        return _dnf(node.left, False) + _dnf(node.right, False)
+    if isinstance(node, IntersectionNode):
+        if negated:     # De Morgan: ~(A & B) = ~A | ~B
+            return _dnf(node.left, True) + _dnf(node.right, True)
+        return _cross(_dnf(node.left, False), _dnf(node.right, False))
+    raise TypeError(f"unknown query node {type(node).__name__}")
+
+
+def _cross(left: List[ConjunctiveTerm],
+           right: List[ConjunctiveTerm]) -> List[ConjunctiveTerm]:
+    return [lt + rt for lt in left for rt in right]

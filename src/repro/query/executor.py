@@ -1,0 +1,335 @@
+"""Query execution and planning (paper Sections 5.3-5.4).
+
+:class:`QueryEngine` ties together the shape base, the matcher, the
+per-image relation graphs and the selectivity model:
+
+* ``similar(Q)`` runs the matcher's threshold query and projects shape
+  hits onto their images;
+* topological operators run in one of the paper's two strategies —
+  strategy 1 starts from the *smaller* similarity side and walks graph
+  edges, checking the other side shape-by-shape; strategy 2 computes
+  both similarity sets, intersects the image sets, then verifies edges;
+* composite queries are rewritten to DNF and, per conjunctive term, the
+  cheapest (lowest-selectivity) literal is evaluated first with the
+  remaining literals applied as per-image filters.
+
+Work counters are kept for the planner benchmarks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Optional, Set
+
+from ..core.matcher import GeometricSimilarityMatcher
+from ..core.shapebase import ShapeBase
+from ..geometry.nearest import BoundaryDistance
+from ..geometry.polyline import Shape
+from ..geometry.transform import normalize_about_diameter
+from .algebra import (ConjunctiveTerm, Literal, QueryNode, Similar,
+                      Topological, to_dnf)
+from .graph import (ANY_ANGLE, DISJOINT, ImageGraph, angle_matches,
+                    diameter_angle)
+from .selectivity import SelectivityModel
+
+
+@dataclass
+class EngineCounters:
+    """Work accounting across one engine lifetime (reset manually)."""
+
+    threshold_queries: int = 0
+    similarity_checks: int = 0
+    edges_scanned: int = 0
+    pairs_checked: int = 0
+
+    def reset(self) -> None:
+        self.threshold_queries = 0
+        self.similarity_checks = 0
+        self.edges_scanned = 0
+        self.pairs_checked = 0
+
+
+class QueryEngine:
+    """Executes topological queries over a populated :class:`ShapeBase`.
+
+    Parameters
+    ----------
+    base:
+        The shape base; shapes must carry image ids for image-level
+        operators to be meaningful.
+    similarity_threshold:
+        The distance below which ``g_similar`` holds (average-distance
+        measure on normalized copies).
+    angle_tolerance:
+        Absolute tolerance (radians) for matching a predicate's theta.
+    """
+
+    def __init__(self, base: ShapeBase, similarity_threshold: float = 0.05,
+                 angle_tolerance: float = 0.15,
+                 matcher: Optional[GeometricSimilarityMatcher] = None):
+        if similarity_threshold < 0:
+            raise ValueError("similarity_threshold must be non-negative")
+        self.base = base
+        self.similarity_threshold = float(similarity_threshold)
+        self.angle_tolerance = float(angle_tolerance)
+        self.matcher = matcher or GeometricSimilarityMatcher(base)
+        self.selectivity = SelectivityModel()
+        self.counters = EngineCounters()
+        self.graphs: Dict[int, ImageGraph] = {}
+        self._build_graphs()
+        self._similar_cache: Dict[Shape, Set[int]] = {}
+        self._engine_cache: Dict[Shape, BoundaryDistance] = {}
+
+    def _build_graphs(self) -> None:
+        for image_id in self.base.image_ids():
+            graph = ImageGraph(image_id)
+            for shape_id in self.base.shapes_of_image(image_id):
+                graph.add_shape(shape_id, self.base.shapes[shape_id])
+            self.graphs[image_id] = graph
+
+    # ------------------------------------------------------------------
+    # Similarity primitives
+    # ------------------------------------------------------------------
+    def _query_engine(self, query: Shape) -> BoundaryDistance:
+        engine = self._engine_cache.get(query)
+        if engine is None:
+            normalized = normalize_about_diameter(query).shape
+            engine = BoundaryDistance(normalized)
+            self._engine_cache[query] = engine
+        return engine
+
+    def shape_similar(self, query: Shape) -> Set[int]:
+        """``shape_similar(Q)``: ids of all similar database shapes.
+
+        Runs (and caches) a matcher threshold query; each execution
+        feeds the observed result size back into the selectivity model,
+        as Section 5.2 prescribes.
+        """
+        cached = self._similar_cache.get(query)
+        if cached is not None:
+            return set(cached)
+        matches, _ = self.matcher.query_threshold(
+            query, self.similarity_threshold)
+        self.counters.threshold_queries += 1
+        result = {m.shape_id for m in matches}
+        self._similar_cache[query] = set(result)
+        self.selectivity.observe(query, len(result))
+        return result
+
+    def is_similar(self, shape_id: int, query: Shape) -> bool:
+        """Direct ``g_similar(S, Q)`` test for one database shape.
+
+        Used by strategy 1, which checks the non-driving side shape by
+        shape instead of materializing its full similarity set.
+        """
+        self.counters.similarity_checks += 1
+        cached = self._similar_cache.get(query)
+        if cached is not None:
+            return shape_id in cached
+        engine = self._query_engine(query)
+        for entry_id in self.base.entries_of_shape(shape_id):
+            vertices = self.base.entry_vertices(entry_id)
+            if float(engine.distances(vertices).mean()) <= \
+                    self.similarity_threshold:
+                return True
+        return False
+
+    def similar(self, query: Shape) -> Set[int]:
+        """``similar(Q)``: the images containing a similar shape."""
+        images = set()
+        for shape_id in self.shape_similar(query):
+            image_id = self.base.image_of_shape(shape_id)
+            if image_id is not None:
+                images.add(image_id)
+        return images
+
+    # ------------------------------------------------------------------
+    # Topological operators
+    # ------------------------------------------------------------------
+    def topological(self, relation: str, q1: Shape, q2: Shape,
+                    theta=ANY_ANGLE, strategy: Optional[int] = None
+                    ) -> Set[int]:
+        """``r(Q1, Q2, theta)`` with the chosen (or planned) strategy.
+
+        With ``strategy=None`` the planner picks: strategy 1 when the
+        estimated selectivities differ substantially (driving from the
+        small side avoids materializing the big one), else strategy 2.
+        """
+        if strategy is None:
+            s1 = self.selectivity.estimate(q1)
+            s2 = self.selectivity.estimate(q2)
+            strategy = 1 if max(s1, s2) > 2.0 * min(s1, s2) else 2
+        if strategy == 1:
+            return self._topological_strategy1(relation, q1, q2, theta)
+        if strategy == 2:
+            return self._topological_strategy2(relation, q1, q2, theta)
+        raise ValueError("strategy must be 1, 2 or None")
+
+    def _relation_holds(self, graph: ImageGraph, s1: int, s2: int,
+                        relation: str, theta) -> bool:
+        """Does ``g_relation(S1, S2, theta)`` hold inside one image?"""
+        self.counters.pairs_checked += 1
+        found, angle = graph.relation(s1, s2)
+        if relation == DISJOINT:
+            if found != DISJOINT or s1 == s2:
+                return False
+            if theta == ANY_ANGLE:
+                return True
+            angle = diameter_angle(graph.shapes[s1], graph.shapes[s2])
+            return angle_matches(angle, theta, self.angle_tolerance)
+        if found != relation:
+            return False
+        return angle_matches(angle, theta, self.angle_tolerance)
+
+    def _topological_strategy1(self, relation: str, q1: Shape, q2: Shape,
+                               theta) -> Set[int]:
+        """Paper Section 5.3, way 1: drive from the smaller side.
+
+        Compute the similarity set of the more selective query shape;
+        for each of its shapes walk the image-graph edges and test the
+        partner directly against the other query shape.
+        """
+        sel1 = self.selectivity.estimate(q1)
+        sel2 = self.selectivity.estimate(q2)
+        drive_q2 = sel2 <= sel1
+        driver, other = (q2, q1) if drive_q2 else (q1, q2)
+        result: Set[int] = set()
+        for s_drive in self.shape_similar(driver):
+            image_id = self.base.image_of_shape(s_drive)
+            if image_id is None:
+                continue
+            graph = self.graphs[image_id]
+            if image_id in result:
+                continue
+            if relation == DISJOINT:
+                partners = [sid for sid in graph.shapes
+                            if sid != s_drive and
+                            graph.relation(s_drive, sid)[0] == DISJOINT]
+            elif drive_q2:
+                # driver plays the S2 role: follow edges S1 ->r S2.
+                edges = graph.in_edges(s_drive, relation)
+                self.counters.edges_scanned += len(edges)
+                partners = [e.source for e in edges]
+            else:
+                edges = graph.out_edges(s_drive, relation)
+                self.counters.edges_scanned += len(edges)
+                partners = [e.target for e in edges]
+            for partner in partners:
+                s1, s2 = (partner, s_drive) if drive_q2 else (s_drive, partner)
+                if not self._relation_holds(graph, s1, s2, relation, theta):
+                    continue
+                if self.is_similar(partner, other):
+                    result.add(image_id)
+                    break
+        return result
+
+    def _topological_strategy2(self, relation: str, q1: Shape, q2: Shape,
+                               theta) -> Set[int]:
+        """Paper Section 5.3, way 2: materialize both similarity sets.
+
+        Compute ``shape_similar`` for both query shapes, intersect their
+        image projections, then verify relations only inside the common
+        images.
+        """
+        set1 = self.shape_similar(q1)
+        set2 = self.shape_similar(q2)
+        images1 = {self.base.image_of_shape(s) for s in set1}
+        images2 = {self.base.image_of_shape(s) for s in set2}
+        common = (images1 & images2) - {None}
+        result: Set[int] = set()
+        for image_id in common:
+            graph = self.graphs[image_id]
+            members = set(graph.shapes)
+            local1 = set1 & members
+            local2 = set2 & members
+            done = False
+            for s1 in local1:
+                for s2 in local2:
+                    if s1 == s2:
+                        continue
+                    if self._relation_holds(graph, s1, s2, relation, theta):
+                        result.add(image_id)
+                        done = True
+                        break
+                if done:
+                    break
+        return result
+
+    # ------------------------------------------------------------------
+    # Composite queries
+    # ------------------------------------------------------------------
+    def all_images(self) -> Set[int]:
+        """The DB universe for complements."""
+        return set(self.base.image_ids())
+
+    def _literal_selectivity(self, literal: Literal) -> float:
+        op = literal.operator
+        if isinstance(op, Similar):
+            estimate = self.selectivity.estimate(op.query_shape)
+        else:
+            estimate = min(self.selectivity.estimate(op.q1),
+                           self.selectivity.estimate(op.q2))
+        if literal.negated:
+            return max(0.0, len(self.all_images()) - estimate)
+        return estimate
+
+    def _evaluate_operator(self, op: QueryNode) -> Set[int]:
+        if isinstance(op, Similar):
+            return self.similar(op.query_shape)
+        if isinstance(op, Topological):
+            return self.topological(op.relation, op.q1, op.q2, op.theta)
+        raise TypeError(f"not an operator: {type(op).__name__}")
+
+    def _image_satisfies(self, image_id: int, literal: Literal) -> bool:
+        """Restricted evaluation of one literal on one image."""
+        op = literal.operator
+        graph = self.graphs[image_id]
+        if isinstance(op, Similar):
+            value = any(self.is_similar(sid, op.query_shape)
+                        for sid in graph.shapes)
+        else:
+            value = False
+            members = sorted(graph.shapes)
+            for s1 in members:
+                for s2 in members:
+                    if s1 == s2:
+                        continue
+                    if not self._relation_holds(graph, s1, s2, op.relation,
+                                                op.theta):
+                        continue
+                    if self.is_similar(s1, op.q1) and \
+                            self.is_similar(s2, op.q2):
+                        value = True
+                        break
+                if value:
+                    break
+        return value != literal.negated
+
+    def execute(self, query: QueryNode) -> Set[int]:
+        """Evaluate a composite query via DNF + selectivity ordering.
+
+        Per conjunctive term the literal with the smallest estimated
+        result is evaluated in full; the remaining literals only run as
+        per-image filters over that seed set (Section 5.4).  Terms
+        containing only negated literals seed from the whole DB.
+        """
+        result: Set[int] = set()
+        for term in to_dnf(query):
+            result |= self._execute_term(term)
+        return result
+
+    def _execute_term(self, term: ConjunctiveTerm) -> Set[int]:
+        ordered = sorted(term, key=self._literal_selectivity)
+        positives = [lit for lit in ordered if not lit.negated]
+        if positives:
+            seed_literal = positives[0]
+            seed = self._evaluate_operator(seed_literal.operator)
+            rest = [lit for lit in ordered if lit is not seed_literal]
+        else:
+            seed = self.all_images()
+            rest = ordered
+        survivors = set()
+        for image_id in seed:
+            if all(self._image_satisfies(image_id, lit) for lit in rest):
+                survivors.add(image_id)
+        return survivors

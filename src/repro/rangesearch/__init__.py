@@ -1,0 +1,24 @@
+"""Simplex range-search substrate (paper Section 2.5).
+
+Three interchangeable backends behind :func:`make_index`:
+
+* ``"kdtree"`` — array-backed kd-tree (the default; fastest in pure
+  Python on the paper's workloads),
+* ``"rangetree"`` — layered range tree with fractional cascading (the
+  paper's headline technique, reproduced verbatim on the orthogonal
+  sub-problem),
+* ``"brute"`` — the linear-scan oracle.
+"""
+
+from .base import TriangleRangeIndex, make_index
+from .brute import BruteForceIndex
+from .external import ExternalSpatialIndex
+from .fractional_cascading import FractionalCascade
+from .kdtree import KdTreeIndex
+from .layered_range_tree import LayeredRangeTreeIndex
+
+__all__ = [
+    "BruteForceIndex", "ExternalSpatialIndex", "FractionalCascade",
+    "KdTreeIndex", "LayeredRangeTreeIndex", "TriangleRangeIndex",
+    "make_index",
+]

@@ -1,0 +1,79 @@
+"""Common interface for the simplex-range-search backends.
+
+The matcher (Section 2.5) needs two operations over the static set of
+all shape-base vertices:
+
+* ``report_triangle(a, b, c)`` — indices of the vertices inside a query
+  triangle (simplex range *reporting*, the per-iteration workhorse), and
+* ``count_triangle(a, b, c)`` — their number (simplex range *counting*,
+  used while calibrating the initial envelope width in step 1).
+
+The paper cites near-quadratic-space structures with
+``O(log^3 n + kappa)`` query time [17]; see DESIGN.md for why we
+substitute a kd-tree and a fractional-cascading range tree.  All
+backends are exact and interchangeable — equivalence against the brute
+oracle is property-tested.
+"""
+
+from __future__ import annotations
+
+from typing import Sequence
+
+import numpy as np
+
+from ..geometry.primitives import as_points
+
+Point = Sequence[float]
+
+
+class TriangleRangeIndex:
+    """Abstract base: a static point set queryable by triangle."""
+
+    def __init__(self, points: np.ndarray):
+        self.points = as_points(points)
+        self.points.setflags(write=False)
+
+    def __len__(self) -> int:
+        return len(self.points)
+
+    def report_triangle(self, a: Point, b: Point, c: Point) -> np.ndarray:
+        """Sorted indices of the points inside (or on) triangle ``abc``."""
+        raise NotImplementedError
+
+    def count_triangle(self, a: Point, b: Point, c: Point) -> int:
+        """Number of points inside (or on) triangle ``abc``."""
+        return len(self.report_triangle(a, b, c))
+
+    def report_box(self, xmin: float, ymin: float, xmax: float,
+                   ymax: float) -> np.ndarray:
+        """Sorted indices of the points inside the closed AABB."""
+        raise NotImplementedError
+
+    def count_box(self, xmin: float, ymin: float, xmax: float,
+                  ymax: float) -> int:
+        return len(self.report_box(xmin, ymin, xmax, ymax))
+
+
+def make_index(points: np.ndarray, backend: str = "kdtree",
+               **kwargs) -> TriangleRangeIndex:
+    """Factory for the configured range-search backend.
+
+    ``backend`` is one of ``"kdtree"``, ``"rangetree"`` or ``"brute"``.
+    """
+    from .brute import BruteForceIndex
+    from .external import ExternalSpatialIndex
+    from .kdtree import KdTreeIndex
+    from .layered_range_tree import LayeredRangeTreeIndex
+
+    backends = {
+        "kdtree": KdTreeIndex,
+        "rangetree": LayeredRangeTreeIndex,
+        "brute": BruteForceIndex,
+        "external": ExternalSpatialIndex,
+    }
+    try:
+        cls = backends[backend]
+    except KeyError:
+        raise ValueError(f"unknown range-search backend {backend!r}; "
+                         f"expected one of {sorted(backends)}") from None
+    return cls(points, **kwargs)

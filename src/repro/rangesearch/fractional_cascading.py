@@ -1,0 +1,94 @@
+"""Fractional cascading over a chain of sorted catalogs.
+
+The classic Chazelle-Guibas technique the paper leans on: once the
+position of a query value is known in one *augmented* catalog, its
+position in the next catalog follows in O(1) via bridge pointers, so
+searching the same value in ``k`` catalogs of total size ``n`` costs
+``O(log n + k)`` instead of ``O(k log n)``.
+
+The layered range tree (see :mod:`.layered_range_tree`) uses the
+pairwise parent->child form of this idea; :class:`FractionalCascade`
+is the standalone chain form, exposed because the paper's envelope
+iteration re-searches the *same* y-interval in many per-node catalogs
+— exactly the iterated-search pattern fractional cascading was made
+for.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence
+
+import numpy as np
+
+
+class FractionalCascade:
+    """Iterated successor search over a chain of sorted catalogs.
+
+    Parameters
+    ----------
+    catalogs:
+        Sequence of one-dimensional sorted arrays (ascending).  Empty
+        catalogs are allowed.
+
+    ``query(x)`` returns, for every catalog ``L_i``, the index of the
+    first element ``>= x`` (``len(L_i)`` when no such element exists) —
+    the same contract as ``numpy.searchsorted(L_i, x, side="left")``,
+    but with a single ``O(log n)`` binary search for the whole chain.
+    """
+
+    def __init__(self, catalogs: Sequence[Sequence[float]]):
+        self.catalogs: List[np.ndarray] = [
+            np.asarray(c, dtype=np.float64) for c in catalogs]
+        for c in self.catalogs:
+            if c.ndim != 1:
+                raise ValueError("catalogs must be one-dimensional")
+            if len(c) > 1 and np.any(np.diff(c) < 0):
+                raise ValueError("catalogs must be sorted ascending")
+        k = len(self.catalogs)
+        # Augmented catalogs M_i = merge(L_i, every 2nd element of M_{i+1}).
+        self._augmented: List[np.ndarray] = [None] * k
+        #: for each augmented element, index of first own element >= it
+        self._own: List[np.ndarray] = [None] * k
+        #: for each augmented element, index into M_{i+1} of first >= it
+        self._down: List[np.ndarray] = [None] * k
+        previous = np.zeros(0)
+        for i in range(k - 1, -1, -1):
+            sampled = previous[::2]
+            merged = np.concatenate([self.catalogs[i], sampled])
+            merged.sort(kind="mergesort")
+            self._augmented[i] = merged
+            self._own[i] = np.searchsorted(self.catalogs[i], merged,
+                                           side="left")
+            self._down[i] = np.searchsorted(previous, merged, side="left")
+            previous = merged
+
+    def query(self, x: float) -> List[int]:
+        """Index of the first element ``>= x`` in every catalog."""
+        k = len(self.catalogs)
+        result: List[int] = [0] * k
+        if k == 0:
+            return result
+        # One true binary search, in the top augmented catalog.
+        pos = int(np.searchsorted(self._augmented[0], x, side="left"))
+        for i in range(k):
+            aug = self._augmented[i]
+            # Walk back over stale bridge slack: the bridge position is
+            # guaranteed to be within O(1) of the true successor because
+            # M_i contains every other element of M_{i+1}.
+            while pos > 0 and aug[pos - 1] >= x:
+                pos -= 1
+            while pos < len(aug) and aug[pos] < x:
+                pos += 1
+            if pos < len(aug):
+                result[i] = int(self._own[i][pos])
+                down = int(self._down[i][pos])
+            else:
+                result[i] = len(self.catalogs[i])
+                down = len(self._augmented[i + 1]) if i + 1 < k else 0
+            pos = down
+        return result
+
+    def query_bruteforce(self, x: float) -> List[int]:
+        """Reference implementation (independent searches); for tests."""
+        return [int(np.searchsorted(c, x, side="left"))
+                for c in self.catalogs]

@@ -1,0 +1,193 @@
+"""Layered range tree with fractional cascading (2-d range reporting).
+
+The textbook structure: a balanced BST over x; every internal node
+stores the y-sorted array of the points in its subtree plus *bridge*
+arrays into its children's y-arrays.  A query rectangle
+``[x1, x2] x [y1, y2]`` does a single binary search for ``y1``/``y2``
+at the root and thereafter locates both y-positions in every canonical
+node in O(1) via the bridges — fractional cascading brings the query
+down from ``O(log^2 n + k)`` to ``O(log n + k)``.
+
+Space is ``O(n log n)``; construction is ``O(n log n)``.  Triangle
+queries are answered by reporting the triangle's bounding box and
+filtering with the exact point-in-triangle predicate (documented
+substitution; see DESIGN.md).
+"""
+
+from __future__ import annotations
+
+from typing import List, Optional
+
+import numpy as np
+
+from ..geometry.predicates import points_in_triangle
+from .base import Point, TriangleRangeIndex
+
+
+class _Node:
+    __slots__ = ("split_x", "ys", "idx", "left", "right",
+                 "bridge_left", "bridge_right", "point_x")
+
+    def __init__(self):
+        self.split_x: float = 0.0
+        self.ys: Optional[np.ndarray] = None        # sorted y values
+        self.idx: Optional[np.ndarray] = None       # original point indices
+        self.left: Optional["_Node"] = None
+        self.right: Optional["_Node"] = None
+        self.bridge_left: Optional[np.ndarray] = None
+        self.bridge_right: Optional[np.ndarray] = None
+        self.point_x: float = 0.0                   # for leaves
+
+
+class LayeredRangeTreeIndex(TriangleRangeIndex):
+    """Fractional-cascading layered range tree."""
+
+    def __init__(self, points: np.ndarray):
+        super().__init__(points)
+        n = len(self.points)
+        self._root: Optional[_Node] = None
+        if n == 0:
+            return
+        order = np.lexsort((self.points[:, 1], self.points[:, 0]))
+        self._root = self._build(order)
+
+    def _build(self, order: np.ndarray) -> _Node:
+        node = _Node()
+        pts = self.points[order]
+        y_order = np.argsort(pts[:, 1], kind="mergesort")
+        node.idx = order[y_order]
+        node.ys = pts[y_order, 1]
+        if len(order) == 1:
+            node.point_x = float(pts[0, 0])
+            node.split_x = node.point_x
+            return node
+        mid = len(order) // 2
+        node.split_x = float(pts[mid - 1, 0])    # max x in the left subtree
+        node.left = self._build(order[:mid])
+        node.right = self._build(order[mid:])
+        # Bridges: for every position p in node.ys (including the
+        # one-past-the-end position), the position of the first child
+        # element >= node.ys[p].
+        node.bridge_left = np.concatenate([
+            np.searchsorted(node.left.ys, node.ys, side="left"),
+            [len(node.left.ys)]]).astype(np.int64)
+        node.bridge_right = np.concatenate([
+            np.searchsorted(node.right.ys, node.ys, side="left"),
+            [len(node.right.ys)]]).astype(np.int64)
+        return node
+
+    # ------------------------------------------------------------------
+    # Rectangle queries
+    # ------------------------------------------------------------------
+    def _collect(self, x1: float, y1: float, x2: float, y2: float,
+                 out: List[np.ndarray], count_only: bool) -> int:
+        """Walk the tree; append canonical slices to ``out`` (or count)."""
+        node = self._root
+        if node is None:
+            return 0
+        plo = int(np.searchsorted(node.ys, y1, side="left"))
+        phi = int(np.searchsorted(node.ys, y2, side="right"))
+        total = 0
+
+        def leaf_hit(leaf: _Node, lo: int, hi: int) -> int:
+            if lo < hi and x1 <= leaf.point_x <= x2:
+                if not count_only:
+                    out.append(leaf.idx[lo:hi])
+                return hi - lo
+            return 0
+
+        # Descend to the split node, cascading both y-positions.  The
+        # comparisons treat points as distinct composite keys
+        # (x, y, index): with duplicates of split_x possibly in both
+        # subtrees, "entirely left" needs strict x2 < split_x while
+        # "entirely right" needs strict x1 > split_x.
+        while node.left is not None:
+            if x2 < node.split_x:
+                plo = int(node.bridge_left[plo])
+                phi = int(node.bridge_left[phi])
+                node = node.left
+            elif x1 > node.split_x:
+                plo = int(node.bridge_right[plo])
+                phi = int(node.bridge_right[phi])
+                node = node.right
+            else:
+                break
+        if node.left is None:
+            return leaf_hit(node, plo, phi)
+
+        split, slo, shi = node, plo, phi
+        # Left boundary walk: everything here has x <= split.split_x < x2,
+        # so only the lower bound x1 matters.
+        v = split.left
+        vlo = int(split.bridge_left[slo])
+        vhi = int(split.bridge_left[shi])
+        while v.left is not None:
+            if x1 <= v.split_x:
+                rlo = int(v.bridge_right[vlo])
+                rhi = int(v.bridge_right[vhi])
+                if rlo < rhi:
+                    total += rhi - rlo
+                    if not count_only:
+                        out.append(v.right.idx[rlo:rhi])
+                vlo = int(v.bridge_left[vlo])
+                vhi = int(v.bridge_left[vhi])
+                v = v.left
+            else:
+                vlo = int(v.bridge_right[vlo])
+                vhi = int(v.bridge_right[vhi])
+                v = v.right
+        total += leaf_hit(v, vlo, vhi)
+
+        # Right boundary walk: everything here has x >= split.split_x
+        # >= x1, so only the upper bound x2 matters.  The weak
+        # comparison keeps duplicates of split_x on the reported side.
+        v = split.right
+        vlo = int(split.bridge_right[slo])
+        vhi = int(split.bridge_right[shi])
+        while v.left is not None:
+            if x2 >= v.split_x:
+                llo = int(v.bridge_left[vlo])
+                lhi = int(v.bridge_left[vhi])
+                if llo < lhi:
+                    total += lhi - llo
+                    if not count_only:
+                        out.append(v.left.idx[llo:lhi])
+                vlo = int(v.bridge_right[vlo])
+                vhi = int(v.bridge_right[vhi])
+                v = v.right
+            else:
+                vlo = int(v.bridge_left[vlo])
+                vhi = int(v.bridge_left[vhi])
+                v = v.left
+        total += leaf_hit(v, vlo, vhi)
+        return total
+
+    def report_box(self, xmin: float, ymin: float, xmax: float,
+                   ymax: float) -> np.ndarray:
+        chunks: List[np.ndarray] = []
+        self._collect(xmin, ymin, xmax, ymax, chunks, count_only=False)
+        if not chunks:
+            return np.zeros(0, dtype=np.int64)
+        out = np.concatenate(chunks)
+        out.sort()
+        return out
+
+    def count_box(self, xmin: float, ymin: float, xmax: float,
+                  ymax: float) -> int:
+        return self._collect(xmin, ymin, xmax, ymax, [], count_only=True)
+
+    # ------------------------------------------------------------------
+    # Triangle queries: bbox report + exact filter
+    # ------------------------------------------------------------------
+    def report_triangle(self, a: Point, b: Point, c: Point) -> np.ndarray:
+        from ..geometry.primitives import EPSILON
+        xs = (a[0], b[0], c[0])
+        ys = (a[1], b[1], c[1])
+        # Inflate by the predicate tolerance so boundary points the
+        # exact test accepts are not pruned by the bbox filter.
+        candidates = self.report_box(min(xs) - EPSILON, min(ys) - EPSILON,
+                                     max(xs) + EPSILON, max(ys) + EPSILON)
+        if len(candidates) == 0:
+            return candidates
+        mask = points_in_triangle(self.points[candidates], a, b, c)
+        return candidates[mask]

@@ -1,0 +1,96 @@
+"""Terminal reporting: aligned tables and ASCII charts.
+
+The paper's figures are line/scatter plots; this module regenerates
+them as text so the experiment harnesses stay dependency-free.  Used by
+:mod:`repro.experiments` and the ``repro experiment`` CLI subcommand.
+"""
+
+from __future__ import annotations
+
+from typing import List, Sequence, Tuple, Union
+
+Number = Union[int, float]
+
+
+def format_table(headers: Sequence[str],
+                 rows: Sequence[Sequence[object]],
+                 precision: int = 2) -> str:
+    """Render an aligned text table.
+
+    Floats are fixed to ``precision`` decimals; column widths adapt to
+    the longest cell.  Returns the table as one string (no trailing
+    newline).
+    """
+    def render(cell: object) -> str:
+        if isinstance(cell, float):
+            return f"{cell:.{precision}f}"
+        return str(cell)
+
+    rendered = [[render(cell) for cell in row] for row in rows]
+    widths = [len(h) for h in headers]
+    for row in rendered:
+        if len(row) != len(headers):
+            raise ValueError("row width does not match headers")
+        for index, cell in enumerate(row):
+            widths[index] = max(widths[index], len(cell))
+    lines = ["  ".join(h.rjust(w) for h, w in zip(headers, widths)),
+             "  ".join("-" * w for w in widths)]
+    for row in rendered:
+        lines.append("  ".join(c.rjust(w) for c, w in zip(row, widths)))
+    return "\n".join(lines)
+
+
+def ascii_chart(series: Sequence[Tuple[str, Sequence[Tuple[Number, Number]]]],
+                width: int = 60, height: int = 16,
+                x_label: str = "", y_label: str = "") -> str:
+    """Plot one or more (x, y) series as an ASCII scatter chart.
+
+    ``series`` is a list of ``(name, points)`` pairs; each series gets
+    its own marker character.  Axes are linear, auto-scaled to the data.
+    """
+    markers = "*o+x#@%&"
+    all_points = [p for _, pts in series for p in pts]
+    if not all_points:
+        return "(no data)"
+    xs = [p[0] for p in all_points]
+    ys = [p[1] for p in all_points]
+    xmin, xmax = min(xs), max(xs)
+    ymin, ymax = min(ys), max(ys)
+    xspan = (xmax - xmin) or 1.0
+    yspan = (ymax - ymin) or 1.0
+    grid = [[" "] * width for _ in range(height)]
+    for index, (_, points) in enumerate(series):
+        marker = markers[index % len(markers)]
+        for x, y in points:
+            col = int(round((x - xmin) / xspan * (width - 1)))
+            row = height - 1 - int(round((y - ymin) / yspan * (height - 1)))
+            grid[row][col] = marker
+    lines: List[str] = []
+    top_label = f"{ymax:.3g}".rjust(10)
+    bottom_label = f"{ymin:.3g}".rjust(10)
+    for row_index, row in enumerate(grid):
+        prefix = top_label if row_index == 0 else \
+            bottom_label if row_index == height - 1 else " " * 10
+        lines.append(f"{prefix} |{''.join(row)}")
+    lines.append(" " * 10 + "+" + "-" * width)
+    lines.append(" " * 11 + f"{xmin:.3g}".ljust(width - 8) + f"{xmax:.3g}")
+    if x_label or y_label:
+        lines.append(" " * 11 + f"x: {x_label}   y: {y_label}".strip())
+    legend = "   ".join(f"{markers[i % len(markers)]} {name}"
+                        for i, (name, _) in enumerate(series))
+    lines.append(" " * 11 + legend)
+    return "\n".join(lines)
+
+
+def ascii_bars(items: Sequence[Tuple[str, Number]], width: int = 50,
+               unit: str = "") -> str:
+    """Horizontal bar chart for categorical comparisons."""
+    if not items:
+        return "(no data)"
+    peak = max(value for _, value in items) or 1.0
+    name_width = max(len(name) for name, _ in items)
+    lines = []
+    for name, value in items:
+        bar = "#" * max(1, int(round(value / peak * width)))
+        lines.append(f"{name.rjust(name_width)}  {bar} {value:.4g}{unit}")
+    return "\n".join(lines)

@@ -1,0 +1,25 @@
+"""External storage substrate (paper Section 4): simulated block device,
+LRU buffer pool, ~200-byte shape records, layout policies and the
+externally-stored shape base.
+"""
+
+from .buffer import BufferPool, BufferStats
+from .disk import DEFAULT_BLOCK_SIZE, BlockDevice, IOStats
+from .layout import (LAYOUTS, compute_signatures, local_optimization,
+                     make_layout, rehash_cost_localopt, rehash_cost_sorted,
+                     sort_by_mean_curve, sort_by_median_curve,
+                     sort_lexicographic)
+from .persist import load_base, save_base
+from .serialization import (RECORD_HEADER_SIZE, ShapeRecord, decode_record,
+                            encode_entry, record_size)
+from .shapestore import ExternalShapeStore, StoreStats
+
+__all__ = [
+    "BlockDevice", "BufferPool", "BufferStats", "DEFAULT_BLOCK_SIZE",
+    "ExternalShapeStore", "IOStats", "LAYOUTS", "RECORD_HEADER_SIZE",
+    "ShapeRecord", "StoreStats", "compute_signatures", "decode_record",
+    "encode_entry", "load_base", "local_optimization", "make_layout",
+    "record_size", "save_base",
+    "rehash_cost_localopt", "rehash_cost_sorted", "sort_by_mean_curve",
+    "sort_by_median_curve", "sort_lexicographic",
+]

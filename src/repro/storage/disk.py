@@ -1,0 +1,99 @@
+"""Simulated block device (paper Section 4).
+
+The paper's storage experiments report *counts of I/O operations*
+against 1-Kbyte disk blocks; this module provides exactly that
+instrument: a block-addressed byte store with read/write counters.
+Wall-clock is irrelevant — the device is in memory — but every
+``read_block``/``write_block`` is tallied, and the buffer pool in
+:mod:`.buffer` sits on top to model the paper's "internal memory
+buffer" of 1..100 blocks.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import List
+
+#: The paper's block size (Section 4.1: "1Kbyte disk block").
+DEFAULT_BLOCK_SIZE = 1024
+
+
+@dataclass
+class IOStats:
+    """Cumulative device-level I/O counters."""
+
+    reads: int = 0
+    writes: int = 0
+
+    @property
+    def total(self) -> int:
+        return self.reads + self.writes
+
+    def snapshot(self) -> "IOStats":
+        return IOStats(self.reads, self.writes)
+
+    def delta(self, earlier: "IOStats") -> "IOStats":
+        """I/O performed since ``earlier`` (an earlier snapshot)."""
+        return IOStats(self.reads - earlier.reads,
+                       self.writes - earlier.writes)
+
+
+class BlockDevice:
+    """A fixed-block-size byte store with I/O accounting."""
+
+    def __init__(self, block_size: int = DEFAULT_BLOCK_SIZE):
+        if block_size < 64:
+            raise ValueError("block size must be at least 64 bytes")
+        self.block_size = int(block_size)
+        self._blocks: List[bytes] = []
+        self.stats = IOStats()
+
+    @property
+    def num_blocks(self) -> int:
+        return len(self._blocks)
+
+    @property
+    def size_bytes(self) -> int:
+        return self.num_blocks * self.block_size
+
+    def allocate(self, payload: bytes = b"") -> int:
+        """Append a new block initialized with ``payload``; returns its id.
+
+        Allocation writes are *not* counted as query I/O — the paper's
+        numbers are per-query reads against an already-built base; use
+        :attr:`stats` snapshots around the region of interest instead of
+        assuming zero.
+        """
+        if len(payload) > self.block_size:
+            raise ValueError(f"payload of {len(payload)} bytes exceeds the "
+                             f"{self.block_size}-byte block size")
+        self._blocks.append(bytes(payload).ljust(self.block_size, b"\0"))
+        return len(self._blocks) - 1
+
+    def read_block(self, block_id: int) -> bytes:
+        """Read one block (counted)."""
+        self._check(block_id)
+        self.stats.reads += 1
+        return self._blocks[block_id]
+
+    def write_block(self, block_id: int, payload: bytes) -> None:
+        """Overwrite one block (counted)."""
+        self._check(block_id)
+        if len(payload) > self.block_size:
+            raise ValueError(f"payload of {len(payload)} bytes exceeds the "
+                             f"{self.block_size}-byte block size")
+        self.stats.writes += 1
+        self._blocks[block_id] = bytes(payload).ljust(self.block_size, b"\0")
+
+    def _check(self, block_id: int) -> None:
+        if not 0 <= block_id < len(self._blocks):
+            raise IndexError(f"block {block_id} out of range "
+                             f"(device has {len(self._blocks)} blocks)")
+
+    def reset_stats(self) -> None:
+        self.stats = IOStats()
+
+    def __repr__(self) -> str:
+        return (f"BlockDevice(blocks={self.num_blocks}, "
+                f"block_size={self.block_size}, reads={self.stats.reads}, "
+                f"writes={self.stats.writes})")

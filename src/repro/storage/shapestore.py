@@ -1,0 +1,194 @@
+"""The externally-stored shape base (paper Section 4).
+
+``ExternalShapeStore`` serializes every entry of a :class:`ShapeBase`
+into 1-KB blocks following a layout policy, and serves reads through an
+LRU buffer pool.  The storage experiments run a similarity query, take
+the matcher's candidate-evaluation trace, replay it against stores built
+with the different layouts, and compare device read counts — the exact
+methodology behind Figures 7 and 8.
+"""
+
+from __future__ import annotations
+
+from dataclasses import dataclass
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+from ..core.shapebase import ShapeBase
+from ..hashing.characteristic import Quadruple
+from ..hashing.curves import HashCurveFamily
+from .buffer import BufferPool
+from .disk import DEFAULT_BLOCK_SIZE, BlockDevice
+from .layout import compute_signatures, make_layout
+from .serialization import ShapeRecord, decode_record, encode_entry
+
+
+@dataclass
+class StoreStats:
+    """Build-time facts about one store."""
+
+    num_entries: int
+    num_blocks: int
+    bytes_used: int
+    layout: str
+
+    @property
+    def entries_per_block(self) -> float:
+        if self.num_blocks == 0:
+            return 0.0
+        return self.num_entries / self.num_blocks
+
+
+class ExternalShapeStore:
+    """Block-packed, buffered view of a shape base.
+
+    Parameters
+    ----------
+    base:
+        The in-memory shape base to externalize.
+    layout:
+        Layout policy name (see :mod:`repro.storage.layout`).
+    buffer_blocks:
+        LRU buffer capacity in blocks (the paper's experiments use
+        1..100).
+    family / signatures:
+        The hash-curve family (and optionally precomputed signatures)
+        driving the sort-based layouts; sharing signatures across
+        stores built from the same base avoids recomputation.
+    """
+
+    def __init__(self, base: ShapeBase, layout: str = "mean",
+                 buffer_blocks: int = 100,
+                 block_size: int = DEFAULT_BLOCK_SIZE,
+                 family: Optional[HashCurveFamily] = None,
+                 signatures: Optional[Sequence[Quadruple]] = None,
+                 **layout_kwargs):
+        self.base = base
+        self.layout_name = layout
+        self.device = BlockDevice(block_size)
+        self.buffer = BufferPool(self.device, buffer_blocks)
+        if signatures is None:
+            family = family or HashCurveFamily(50)
+            signatures = compute_signatures(base, family)
+        self.signatures = list(signatures)
+        self.order = make_layout(layout, base, self.signatures,
+                                 **layout_kwargs)
+        self._directory: Dict[int, Tuple[int, int]] = {}
+        self._pack()
+
+    # ------------------------------------------------------------------
+    def _pack(self) -> None:
+        """Serialize entries in layout order, packing blocks greedily."""
+        bytes_used = 0
+        current = bytearray()
+        current_slots: List[int] = []
+
+        def flush() -> None:
+            nonlocal current, current_slots
+            if not current_slots:
+                return
+            block_id = self.device.allocate(bytes(current))
+            for slot, entry_id in enumerate(current_slots):
+                self._directory[entry_id] = (block_id, slot)
+            current = bytearray()
+            current_slots = []
+
+        for entry_id in self.order:
+            blob = encode_entry(self.base.entry(entry_id))
+            if len(blob) > self.device.block_size:
+                raise ValueError(
+                    f"entry {entry_id} ({len(blob)} bytes) does not fit a "
+                    f"{self.device.block_size}-byte block")
+            if len(current) + len(blob) > self.device.block_size:
+                flush()
+            current.extend(blob)
+            current_slots.append(entry_id)
+            bytes_used += len(blob)
+        flush()
+        self._bytes_used = bytes_used
+
+    # ------------------------------------------------------------------
+    def block_of(self, entry_id: int) -> int:
+        """Block id holding an entry (directory lookup, no I/O)."""
+        return self._directory[entry_id][0]
+
+    def read_entry(self, entry_id: int) -> ShapeRecord:
+        """Read one entry through the buffer pool."""
+        block_id, slot = self._directory[entry_id]
+        payload = self.buffer.read_block(block_id)
+        offset = 0
+        record = None
+        for _ in range(slot + 1):
+            record, offset = decode_record(payload, offset)
+        assert record is not None and record.entry_id == entry_id
+        return record
+
+    def read_block_records(self, block_id: int) -> List[ShapeRecord]:
+        """All records of one block (sequential scan helper)."""
+        payload = self.buffer.read_block(block_id)
+        records: List[ShapeRecord] = []
+        offset = 0
+        while True:
+            try:
+                record, offset = decode_record(payload, offset)
+            except ValueError:
+                break
+            if record.shape.num_vertices == 0:
+                break
+            records.append(record)
+            if offset >= len(payload):
+                break
+        return records
+
+    # ------------------------------------------------------------------
+    def replay_trace(self, entry_ids: Iterable[int],
+                     reset_buffer: bool = False) -> int:
+        """Read the given entries in order; return device reads incurred.
+
+        This is the experiment primitive: the matcher's candidate trace
+        goes in, the number of I/O operations comes out.  With
+        ``reset_buffer`` the pool starts cold (per-query accounting in
+        Figure 7 keeps the buffer warm across a query's accesses but
+        cold across queries).
+        """
+        if reset_buffer:
+            self.buffer.clear()
+        before = self.device.stats.reads
+        for entry_id in entry_ids:
+            self.read_entry(entry_id)
+        return self.device.stats.reads - before
+
+    def rehash(self, layout: str, **layout_kwargs) -> "IOStats":
+        """Re-layout the store in place; returns the I/O it cost.
+
+        Models the paper's rehashing discussion (Sections 4.1-4.2):
+        every existing block is read once, the new order is computed,
+        and every new block is written once.  The store's device,
+        buffer and directory are replaced; the buffer starts cold.
+        """
+        from .disk import IOStats
+        old_blocks = self.device.num_blocks
+        # Read every block through the device (counted), as an external
+        # rehash would.
+        for block_id in range(old_blocks):
+            self.device.read_block(block_id)
+        self.layout_name = layout
+        self.order = make_layout(layout, self.base, self.signatures,
+                                 **layout_kwargs)
+        buffer_capacity = self.buffer.capacity
+        self.device = BlockDevice(self.device.block_size)
+        self.buffer = BufferPool(self.device, buffer_capacity)
+        self._directory = {}
+        self._pack()
+        return IOStats(reads=old_blocks, writes=self.device.num_blocks)
+
+    def stats(self) -> StoreStats:
+        return StoreStats(num_entries=len(self._directory),
+                          num_blocks=self.device.num_blocks,
+                          bytes_used=self._bytes_used,
+                          layout=self.layout_name)
+
+    def __repr__(self) -> str:
+        s = self.stats()
+        return (f"ExternalShapeStore(layout={s.layout!r}, "
+                f"entries={s.num_entries}, blocks={s.num_blocks}, "
+                f"buffer={self.buffer.capacity})")

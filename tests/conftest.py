@@ -1,0 +1,69 @@
+"""Shared fixtures: deterministic RNGs, shape factories, populated bases."""
+
+import numpy as np
+import pytest
+
+from repro import Shape, ShapeBase
+from repro.imaging.synthesis import generate_workload
+
+
+@pytest.fixture
+def rng():
+    """Fresh deterministic generator per test."""
+    return np.random.default_rng(12345)
+
+
+def star_shaped_polygon(rng, num_vertices=12, radius_low=0.5,
+                        radius_high=1.5):
+    """Random simple polygon: sorted angles + random radii (star-shaped)."""
+    angles = np.sort(rng.uniform(0.0, 2.0 * np.pi, num_vertices))
+    # Avoid duplicate angles which can create coincident vertices.
+    angles = angles + np.linspace(0.0, 1e-6, num_vertices)
+    radii = rng.uniform(radius_low, radius_high, num_vertices)
+    points = np.column_stack([radii * np.cos(angles),
+                              radii * np.sin(angles)])
+    return Shape(points, closed=True)
+
+
+@pytest.fixture
+def shape_factory(rng):
+    """Callable producing random simple polygons."""
+    def factory(num_vertices=12):
+        return star_shaped_polygon(rng, num_vertices)
+    return factory
+
+
+@pytest.fixture
+def square():
+    return Shape.rectangle(0.0, 0.0, 1.0, 1.0)
+
+
+@pytest.fixture
+def triangle():
+    return Shape([(0.0, 0.0), (4.0, 0.0), (2.0, 3.0)])
+
+
+@pytest.fixture
+def open_polyline():
+    return Shape([(0.0, 0.0), (1.0, 0.5), (2.0, 0.0), (3.0, 1.0)],
+                 closed=False)
+
+
+@pytest.fixture
+def small_base(rng):
+    """A ShapeBase with 30 random shapes across 10 images."""
+    base = ShapeBase(alpha=0.05)
+    shapes = []
+    for i in range(30):
+        shape = star_shaped_polygon(rng, int(rng.integers(8, 16)))
+        shapes.append(shape)
+        base.add_shape(shape, image_id=i % 10)
+    base.source_shapes = shapes        # test-only convenience attribute
+    return base
+
+
+@pytest.fixture
+def tiny_workload(rng):
+    """A small synthetic workload (12 images)."""
+    return generate_workload(12, rng, shapes_per_image=3.0, noise=0.008,
+                             num_prototypes=6)

@@ -1,0 +1,109 @@
+"""Unit tests for the query algebra and DNF rewriting."""
+
+import pytest
+
+from repro import Shape
+from repro.query.algebra import (ComplementNode, IntersectionNode, Literal,
+                                 Similar, Topological, UnionNode, contain,
+                                 disjoint, overlap, to_dnf)
+
+
+@pytest.fixture
+def shapes():
+    return [Shape.rectangle(0, 0, 1, 1),
+            Shape([(0, 0), (2, 0), (1, 2)]),
+            Shape.regular_polygon(5)]
+
+
+class TestNodes:
+    def test_operator_sugar(self, shapes):
+        a, b = Similar(shapes[0]), Similar(shapes[1])
+        assert isinstance(a | b, UnionNode)
+        assert isinstance(a & b, IntersectionNode)
+        assert isinstance(~a, ComplementNode)
+
+    def test_topological_constructors(self, shapes):
+        assert contain(shapes[0], shapes[1]).relation == "contain"
+        assert overlap(shapes[0], shapes[1]).relation == "overlap"
+        assert disjoint(shapes[0], shapes[1]).relation == "disjoint"
+
+    def test_topological_theta(self, shapes):
+        node = contain(shapes[0], shapes[1], theta=0.5)
+        assert node.theta == 0.5
+        node = contain(shapes[0], shapes[1])
+        assert node.theta == "any"
+
+    def test_invalid_relation(self, shapes):
+        with pytest.raises(ValueError):
+            Topological("touches", shapes[0], shapes[1])
+
+    def test_literal_requires_operator(self, shapes):
+        with pytest.raises(TypeError):
+            Literal(Similar(shapes[0]) & Similar(shapes[1]), False)
+
+    def test_repr_smoke(self, shapes):
+        node = (Similar(shapes[0]) | ~Similar(shapes[1])) & \
+            contain(shapes[0], shapes[2])
+        assert "similar" in repr(node)
+        assert "contain" in repr(node)
+
+
+class TestDNF:
+    def test_single_operator(self, shapes):
+        terms = to_dnf(Similar(shapes[0]))
+        assert len(terms) == 1
+        assert len(terms[0]) == 1
+        assert not terms[0][0].negated
+
+    def test_union_splits_terms(self, shapes):
+        terms = to_dnf(Similar(shapes[0]) | Similar(shapes[1]))
+        assert len(terms) == 2
+
+    def test_intersection_single_term(self, shapes):
+        terms = to_dnf(Similar(shapes[0]) & Similar(shapes[1]))
+        assert len(terms) == 1
+        assert len(terms[0]) == 2
+
+    def test_complement_pushed_to_leaf(self, shapes):
+        terms = to_dnf(~Similar(shapes[0]))
+        assert terms[0][0].negated
+
+    def test_double_complement_cancels(self, shapes):
+        terms = to_dnf(~~Similar(shapes[0]))
+        assert not terms[0][0].negated
+
+    def test_de_morgan_union(self, shapes):
+        # ~(A | B) = ~A & ~B: one term, two negated literals
+        terms = to_dnf(~(Similar(shapes[0]) | Similar(shapes[1])))
+        assert len(terms) == 1
+        assert all(lit.negated for lit in terms[0])
+        assert len(terms[0]) == 2
+
+    def test_de_morgan_intersection(self, shapes):
+        # ~(A & B) = ~A | ~B: two terms of one negated literal
+        terms = to_dnf(~(Similar(shapes[0]) & Similar(shapes[1])))
+        assert len(terms) == 2
+        assert all(len(t) == 1 and t[0].negated for t in terms)
+
+    def test_distribution(self, shapes):
+        # (A | B) & C -> (A & C) | (B & C)
+        a, b, c = (Similar(s) for s in shapes)
+        terms = to_dnf((a | b) & c)
+        assert len(terms) == 2
+        assert all(len(t) == 2 for t in terms)
+
+    def test_nested_example_from_paper(self, shapes):
+        """similar(Q1) & COMPLEMENT(overlap(Q2, Q3, any))"""
+        node = Similar(shapes[0]) & ~overlap(shapes[1], shapes[2])
+        terms = to_dnf(node)
+        assert len(terms) == 1
+        literals = terms[0]
+        assert len(literals) == 2
+        kinds = {(type(lit.operator).__name__, lit.negated)
+                 for lit in literals}
+        assert ("Similar", False) in kinds
+        assert ("Topological", True) in kinds
+
+    def test_unknown_node_type(self):
+        with pytest.raises(TypeError):
+            to_dnf(object())

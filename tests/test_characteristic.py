@@ -1,0 +1,108 @@
+"""Unit tests for characteristic quadruples and their sort keys."""
+
+import numpy as np
+import pytest
+
+from repro import Shape
+from repro.geometry.transform import normalize_about_diameter
+from repro.hashing.characteristic import (EMPTY_QUARTER,
+                                          characteristic_quadruple,
+                                          quadruple_distance,
+                                          quadruple_mean_curve,
+                                          quadruple_median_curve)
+from repro.hashing.curves import HashCurveFamily
+from tests.conftest import star_shaped_polygon
+
+
+@pytest.fixture(scope="module")
+def family():
+    return HashCurveFamily(50)
+
+
+class TestQuadruple:
+    def test_values_in_range(self, family, rng):
+        for _ in range(10):
+            shape = star_shaped_polygon(rng, 12)
+            normalized = normalize_about_diameter(shape).shape
+            quad = characteristic_quadruple(normalized, family)
+            assert len(quad) == 4
+            for c in quad:
+                assert c == EMPTY_QUARTER or 1 <= c <= family.k
+
+    def test_exhaustive_agrees(self, family, rng):
+        for _ in range(5):
+            shape = star_shaped_polygon(rng, 10)
+            normalized = normalize_about_diameter(shape).shape
+            fast = characteristic_quadruple(normalized, family)
+            exact = characteristic_quadruple(normalized, family,
+                                             exhaustive=True)
+            for quarter, (a, b) in enumerate(zip(fast, exact), start=1):
+                if a == b:
+                    continue
+                # Ties: both must achieve the same average distance.
+                from repro.geometry.lune import clamp_to_lune, quarters_of
+                pts = clamp_to_lune(normalized.vertices)
+                subset = pts[quarters_of(pts) == quarter]
+                assert family.average_distance(subset, quarter, a) == \
+                    pytest.approx(
+                        family.average_distance(subset, quarter, b),
+                        abs=1e-9)
+
+    def test_similar_shapes_close_signatures(self, family, rng):
+        """A noisy query's signature is close to *one of* the stored
+        copies' signatures.
+
+        Noise can flip which vertex pair is the diameter (or its
+        orientation), completely changing the single-normalization
+        signature — that is exactly why Section 2.4 stores every
+        alpha-diameter in both orders.  The hash lookup therefore only
+        needs the query signature to be near the signature of some
+        stored copy.
+        """
+        from repro.geometry.transform import normalized_copies
+        shape = star_shaped_polygon(rng, 14)
+        noisy = Shape(shape.vertices +
+                      rng.normal(0, 0.004, shape.vertices.shape))
+        noisy_normalized = normalize_about_diameter(noisy).shape
+        query_signature = characteristic_quadruple(noisy_normalized, family)
+        stored = [characteristic_quadruple(copy.shape, family)
+                  for copy in normalized_copies(shape, alpha=0.1)]
+        best = min(quadruple_distance(query_signature, s) for s in stored)
+        assert best <= 3.0
+
+    def test_empty_quarter_sentinel(self, family):
+        # All vertices in the upper half -> quarters 3, 4 empty.
+        shape = Shape([(0.0, 0.0), (1.0, 0.0), (0.5, 0.6)])
+        quad = characteristic_quadruple(shape, family)
+        assert quad[2] == EMPTY_QUARTER or quad[3] == EMPTY_QUARTER
+
+
+class TestSortKeys:
+    def test_mean_curve(self):
+        assert quadruple_mean_curve((10, 20, 30, 40)) == 25
+        assert quadruple_mean_curve((10, EMPTY_QUARTER, 30, EMPTY_QUARTER)) \
+            == 20
+
+    def test_mean_all_empty(self):
+        assert quadruple_mean_curve(
+            (EMPTY_QUARTER,) * 4) == EMPTY_QUARTER
+
+    def test_median_curve_picks_closest_to_mean(self):
+        # sorted = (1, 10, 12, 40): medians 10, 12; mean 15.75 -> 12 wins
+        assert quadruple_median_curve((40, 1, 12, 10)) == 12
+
+    def test_median_with_empties(self):
+        assert quadruple_median_curve((5, EMPTY_QUARTER,
+                                       EMPTY_QUARTER, EMPTY_QUARTER)) == 5
+        assert quadruple_median_curve((5, 9, EMPTY_QUARTER,
+                                       EMPTY_QUARTER)) == 5
+
+    def test_quadruple_distance(self):
+        assert quadruple_distance((1, 2, 3, 4), (1, 2, 3, 4)) == 0.0
+        assert quadruple_distance((1, 2, 3, 4), (2, 3, 4, 5)) == 1.0
+        assert quadruple_distance((1, EMPTY_QUARTER, 3, 4),
+                                  (2, 7, 3, 4)) == pytest.approx(1 / 3)
+
+    def test_quadruple_distance_no_overlap(self):
+        assert quadruple_distance((EMPTY_QUARTER,) * 4,
+                                  (1, 2, 3, 4)) == float("inf")

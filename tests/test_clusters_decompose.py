@@ -1,0 +1,106 @@
+"""Unit tests for polyline clustering and decomposition."""
+
+import numpy as np
+import pytest
+
+from repro import Shape
+from repro.imaging.clusters import UnionFind, cluster_shapes, detect_clusters
+from repro.imaging.decompose import decompose_all, decompose_polyline
+
+
+class TestUnionFind:
+    def test_singletons(self):
+        uf = UnionFind(3)
+        assert len(uf.groups()) == 3
+
+    def test_union(self):
+        uf = UnionFind(4)
+        assert uf.union(0, 1)
+        assert uf.union(2, 3)
+        assert not uf.union(1, 0)      # already joined
+        groups = uf.groups()
+        assert len(groups) == 2
+
+    def test_transitive(self):
+        uf = UnionFind(5)
+        uf.union(0, 1)
+        uf.union(1, 2)
+        assert uf.find(0) == uf.find(2)
+
+
+class TestDetectClusters:
+    def test_shared_vertex_joins(self):
+        a = Shape([(0, 0), (1, 0)], closed=False)
+        b = Shape([(1, 0), (2, 1)], closed=False)
+        c = Shape([(9, 9), (10, 10)], closed=False)
+        clusters = detect_clusters([a, b, c], snap=0.01)
+        assert clusters == [[0, 1], [2]]
+
+    def test_snap_radius_merges_near_junctions(self):
+        a = Shape([(0, 0), (1, 0)], closed=False)
+        b = Shape([(1.05, 0.0), (2, 1)], closed=False)  # 0.05 gap
+        fine = detect_clusters([a, b], snap=0.01)
+        coarse = detect_clusters([a, b], snap=0.5)
+        assert len(fine) == 2
+        assert len(coarse) == 1
+
+    def test_chain_of_three(self):
+        a = Shape([(0, 0), (1, 0)], closed=False)
+        b = Shape([(1, 0), (2, 0)], closed=False)
+        c = Shape([(2, 0), (3, 0)], closed=False)
+        assert detect_clusters([a, b, c], snap=0.01) == [[0, 1, 2]]
+
+    def test_cluster_shapes_returns_shapes(self):
+        a = Shape([(0, 0), (1, 0)], closed=False)
+        b = Shape([(5, 5), (6, 6)], closed=False)
+        groups = cluster_shapes([a, b], snap=0.01)
+        assert groups == [[a], [b]]
+
+    def test_snap_validation(self):
+        with pytest.raises(ValueError):
+            detect_clusters([], snap=0.0)
+
+    def test_empty_input(self):
+        assert detect_clusters([], snap=1.0) == []
+
+
+class TestDecompose:
+    def test_simple_shape_passthrough(self, square):
+        assert decompose_polyline(square) == [square]
+
+    def test_bowtie_two_triangles(self):
+        bowtie = Shape([(0, 0), (2, 2), (2, 0), (0, 2)], closed=True)
+        parts = decompose_polyline(bowtie)
+        assert len(parts) == 2
+        assert all(p.closed for p in parts)
+        assert all(p.is_simple() for p in parts)
+        # Each lobe is a triangle with base 2 and height 1: area 1.0.
+        total_area = sum(p.area for p in parts)
+        assert total_area == pytest.approx(2.0, abs=1e-6)
+
+    def test_self_crossing_open_polyline(self):
+        zigzag = Shape([(0, 0), (4, 0), (1, 2), (1, -2)], closed=False)
+        parts = decompose_polyline(zigzag)
+        assert len(parts) >= 2
+        assert all(p.is_simple() for p in parts)
+
+    def test_parts_preserve_geometry(self):
+        """Union of decomposed edge lengths ~ original perimeter."""
+        bowtie = Shape([(0, 0), (2, 2), (2, 0), (0, 2)], closed=True)
+        parts = decompose_polyline(bowtie)
+        total = sum(p.perimeter for p in parts)
+        assert total == pytest.approx(bowtie.perimeter, rel=1e-6)
+
+    def test_decompose_all_mixed(self, square):
+        bowtie = Shape([(0, 0), (2, 2), (2, 0), (0, 2)], closed=True)
+        out = decompose_all([square, bowtie])
+        assert square in out
+        assert len(out) == 3
+
+    def test_figure_eight_polyline(self):
+        """An open polyline crossing itself once decomposes cleanly."""
+        path = Shape([(0, 0), (2, 2), (0, 2), (2, 0)], closed=False)
+        parts = decompose_polyline(path)
+        assert all(p.is_simple() for p in parts)
+        total = sum(p.perimeter for p in parts)
+        assert total == pytest.approx(path.perimeter, rel=1e-6)

@@ -1,0 +1,123 @@
+"""Unit tests for convex hull, diameter and alpha-diameters."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.diameter import (alpha_diameters, convex_hull, diameter,
+                                     diameter_bruteforce,
+                                     diameter_rotating_calipers)
+
+coordinate = st.floats(-50.0, 50.0, allow_nan=False, allow_infinity=False)
+point_list = st.lists(st.tuples(coordinate, coordinate), min_size=2,
+                      max_size=40)
+
+
+class TestConvexHull:
+    def test_square_with_interior_point(self):
+        points = np.array([(0, 0), (4, 0), (4, 4), (0, 4), (2, 2)])
+        hull = convex_hull(points)
+        assert sorted(hull) == [0, 1, 2, 3]
+
+    def test_collinear_points(self):
+        points = np.array([(0.0, 0.0), (1.0, 1.0), (2.0, 2.0)])
+        hull = convex_hull(points)
+        assert len(hull) == 2
+        assert {0, 2} == set(hull)
+
+    def test_hull_is_ccw(self, rng):
+        points = rng.uniform(-1, 1, (30, 2))
+        hull = convex_hull(points)
+        hull_pts = points[hull]
+        area = 0.0
+        for i in range(len(hull_pts)):
+            a = hull_pts[i]
+            b = hull_pts[(i + 1) % len(hull_pts)]
+            area += a[0] * b[1] - b[0] * a[1]
+        assert area > 0
+
+    def test_two_points(self):
+        assert convex_hull(np.array([(0.0, 0.0), (1.0, 1.0)])) == [0, 1]
+
+
+class TestDiameter:
+    def test_square_diagonal(self):
+        points = np.array([(0, 0), (1, 0), (1, 1), (0, 1)])
+        (i, j), length = diameter(points)
+        assert length == pytest.approx(math.sqrt(2))
+        assert {i, j} in ({0, 2}, {1, 3})
+
+    def test_methods_agree_small(self, rng):
+        for _ in range(20):
+            points = rng.uniform(-5, 5, (int(rng.integers(3, 25)), 2))
+            _, brute = diameter_bruteforce(points)
+            _, calipers = diameter_rotating_calipers(points)
+            assert brute == pytest.approx(calipers)
+
+    def test_methods_agree_large(self, rng):
+        points = rng.uniform(-5, 5, (300, 2))
+        _, brute = diameter_bruteforce(points)
+        _, calipers = diameter_rotating_calipers(points)
+        assert brute == pytest.approx(calipers)
+
+    def test_ordered_pair(self, rng):
+        points = rng.uniform(-1, 1, (10, 2))
+        (i, j), _ = diameter(points)
+        assert i < j
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            diameter_bruteforce(np.array([(0.0, 0.0)]))
+
+    def test_unknown_method(self):
+        with pytest.raises(ValueError):
+            diameter(np.zeros((3, 2)), method="nope")
+
+    @given(point_list)
+    @settings(max_examples=80)
+    def test_calipers_equals_bruteforce(self, points):
+        pts = np.array(points)
+        _, brute = diameter_bruteforce(pts)
+        _, calipers = diameter_rotating_calipers(pts)
+        assert calipers == pytest.approx(brute, abs=1e-9)
+
+
+class TestAlphaDiameters:
+    def test_zero_alpha_gives_diameter_only(self):
+        points = np.array([(0, 0), (10, 0), (5, 1)])
+        pairs, diam = alpha_diameters(points, 0.0)
+        assert diam == pytest.approx(10.0)
+        assert pairs == [(0, 1)]
+
+    def test_larger_alpha_adds_pairs(self):
+        points = np.array([(0, 0), (10, 0), (0, 9.5), (3, 3)])
+        pairs_strict, _ = alpha_diameters(points, 0.0)
+        pairs_loose, _ = alpha_diameters(points, 0.3)
+        assert set(pairs_strict) <= set(pairs_loose)
+        assert len(pairs_loose) > len(pairs_strict)
+
+    def test_alpha_bounds(self):
+        points = np.zeros((3, 2))
+        points[1] = (1, 0)
+        points[2] = (0, 1)
+        with pytest.raises(ValueError):
+            alpha_diameters(points, 1.0)
+        with pytest.raises(ValueError):
+            alpha_diameters(points, -0.1)
+
+    def test_all_pairs_meet_threshold(self, rng):
+        points = rng.uniform(-2, 2, (15, 2))
+        alpha = 0.25
+        pairs, diam = alpha_diameters(points, alpha)
+        for i, j in pairs:
+            dist = float(np.hypot(*(points[j] - points[i])))
+            assert dist >= (1 - alpha) * diam - 1e-9
+
+    def test_includes_true_diameter(self, rng):
+        points = rng.uniform(-2, 2, (12, 2))
+        (i, j), _ = diameter(points)
+        pairs, _ = alpha_diameters(points, 0.2)
+        assert (i, j) in pairs

@@ -1,0 +1,61 @@
+"""Unit tests for the nonlinear elastic matching baseline."""
+
+import numpy as np
+import pytest
+
+from repro import Shape
+from repro.core.elastic import elastic_matching_distance
+
+
+class TestElasticMatching:
+    def test_identical_zero(self, square):
+        assert elastic_matching_distance(square, square) == \
+            pytest.approx(0.0)
+
+    def test_rotated_start_point_handled(self):
+        """'all' rotations make the measure start-point independent."""
+        a = Shape([(0, 0), (1, 0), (1, 1), (0, 1)])
+        rolled = Shape(np.roll(a.vertices, 2, axis=0))
+        assert elastic_matching_distance(a, rolled, rotations="all") == \
+            pytest.approx(0.0)
+
+    def test_none_rotations_is_sensitive_to_start(self):
+        a = Shape([(0, 0), (1, 0), (1, 1), (0, 1)])
+        rolled = Shape(np.roll(a.vertices, 2, axis=0))
+        assert elastic_matching_distance(a, rolled, rotations="none") > 0.1
+
+    def test_symmetric_for_identical_sizes(self, shape_factory):
+        a, b = shape_factory(8), shape_factory(8)
+        ab = elastic_matching_distance(a, b)
+        ba = elastic_matching_distance(b, a)
+        # Not exactly symmetric (DP direction), but should be close.
+        assert ab == pytest.approx(ba, rel=0.35, abs=0.05)
+
+    def test_stretching_tolerates_vertex_count_mismatch(self):
+        square = Shape([(0, 0), (2, 0), (2, 2), (0, 2)])
+        dense = Shape([(0, 0), (1, 0), (2, 0), (2, 1), (2, 2),
+                       (1, 2), (0, 2), (0, 1)])
+        value = elastic_matching_distance(square, dense)
+        far = elastic_matching_distance(square, dense.translated(5, 5))
+        assert value < 0.7
+        assert value < far
+
+    def test_translation_increases_distance(self, square):
+        near = square.translated(0.1, 0.0)
+        far = square.translated(3.0, 0.0)
+        assert elastic_matching_distance(square, near) < \
+            elastic_matching_distance(square, far)
+
+    def test_open_polylines(self, open_polyline):
+        other = Shape(open_polyline.vertices + 0.05, closed=False)
+        value = elastic_matching_distance(open_polyline, other)
+        assert value == pytest.approx(np.hypot(0.05, 0.05), abs=1e-6)
+
+    def test_rejects_bad_rotations(self, square):
+        with pytest.raises(ValueError):
+            elastic_matching_distance(square, square, rotations="some")
+
+    def test_nonnegative(self, shape_factory):
+        for _ in range(5):
+            a, b = shape_factory(6), shape_factory(9)
+            assert elastic_matching_distance(a, b) >= 0.0

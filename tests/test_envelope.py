@@ -1,0 +1,124 @@
+"""Unit tests for epsilon-envelopes and their triangle covers."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Shape
+from repro.geometry.envelope import (EpsilonEnvelope, band_cover_triangles,
+                                     difference_mask)
+from repro.geometry.nearest import BoundaryDistance
+from repro.geometry.predicates import points_in_triangle
+
+
+class TestEpsilonEnvelope:
+    def test_zero_epsilon_is_boundary(self, square):
+        env = EpsilonEnvelope(square, 0.0)
+        assert env.contains_point((0.5, 0.0))
+        assert not env.contains_point((0.5, 0.5))
+
+    def test_contains_band_points(self, square):
+        env = EpsilonEnvelope(square, 0.2)
+        assert env.contains_point((0.5, -0.1))      # outside, within band
+        assert env.contains_point((0.1, 0.1))       # inside, near corner
+        assert not env.contains_point((0.5, 0.5))   # deep interior
+        assert not env.contains_point((2.0, 2.0))   # far outside
+
+    def test_rejects_negative_epsilon(self, square):
+        with pytest.raises(ValueError):
+            EpsilonEnvelope(square, -0.1)
+
+    def test_contains_vectorized(self, square, rng):
+        env = EpsilonEnvelope(square, 0.15)
+        points = rng.uniform(-1, 2, (100, 2))
+        mask = env.contains(points)
+        for p, inside in zip(points, mask):
+            assert inside == env.contains_point(p)
+
+    def test_empty_points(self, square):
+        assert EpsilonEnvelope(square, 0.1).contains(
+            np.zeros((0, 2))).shape == (0,)
+
+    def test_area_estimate(self, square):
+        env = EpsilonEnvelope(square, 0.1)
+        assert env.area_estimate() == pytest.approx(2 * 0.1 * 4.0)
+
+    @given(st.floats(0.01, 0.5), st.floats(0.01, 0.5))
+    @settings(max_examples=30)
+    def test_monotone_in_epsilon(self, e1, e2):
+        square = Shape.rectangle(0, 0, 1, 1)
+        lo, hi = min(e1, e2), max(e1, e2)
+        rng = np.random.default_rng(0)
+        points = rng.uniform(-1, 2, (50, 2))
+        inner = EpsilonEnvelope(square, lo).contains(points)
+        outer = EpsilonEnvelope(square, hi).contains(points)
+        assert (outer | ~inner).all()      # inner implies outer
+
+
+class TestBandCover:
+    def test_cover_contains_band(self, shape_factory, rng):
+        """Every point in the band lies in at least one cover triangle."""
+        shape = shape_factory(10)
+        eps_in, eps_out = 0.05, 0.15
+        triangles = band_cover_triangles(shape, eps_in, eps_out)
+        engine = BoundaryDistance(shape)
+        points = rng.uniform(-2, 2, (400, 2))
+        distances = engine.distances(points)
+        in_band = (distances >= eps_in) & (distances <= eps_out)
+        for point, banded in zip(points, in_band):
+            if not banded:
+                continue
+            covered = any(
+                points_in_triangle(point.reshape(1, 2), t[0], t[1], t[2])[0]
+                for t in triangles)
+            assert covered, f"band point {point} missed by the cover"
+
+    def test_triangle_count_linear_in_edges(self, square):
+        triangles = band_cover_triangles(square, 0.0, 0.1, cap_sectors=8)
+        assert len(triangles) == 4 * square.num_edges + 8 * square.num_vertices
+
+    def test_zero_outer_returns_nothing(self, square):
+        assert band_cover_triangles(square, 0.0, 0.0) == []
+
+    def test_rejects_inverted_band(self, square):
+        with pytest.raises(ValueError):
+            band_cover_triangles(square, 0.2, 0.1)
+
+    def test_open_polyline_cover(self, open_polyline, rng):
+        triangles = band_cover_triangles(open_polyline, 0.0, 0.1)
+        engine = BoundaryDistance(open_polyline)
+        points = rng.uniform(-0.5, 3.5, (200, 2))
+        distances = engine.distances(points)
+        for point, dist in zip(points, distances):
+            if dist <= 0.1:
+                assert any(points_in_triangle(point.reshape(1, 2),
+                                              t[0], t[1], t[2])[0]
+                           for t in triangles)
+
+
+class TestDifferenceMask:
+    def test_band_semantics(self, square, rng):
+        points = rng.uniform(-1, 2, (200, 2))
+        mask = difference_mask(square, 0.05, 0.2, points)
+        distances = BoundaryDistance(square).distances(points)
+        # Compare away from the exact thresholds.
+        for dist, inside in zip(distances, mask):
+            if abs(dist - 0.05) < 1e-6 or abs(dist - 0.2) < 1e-6:
+                continue
+            assert inside == (0.05 < dist <= 0.2)
+
+    def test_rejects_inverted(self, square):
+        with pytest.raises(ValueError):
+            difference_mask(square, 0.3, 0.1, np.zeros((1, 2)))
+
+    def test_empty_input(self, square):
+        assert difference_mask(square, 0.0, 0.1,
+                               np.zeros((0, 2))).shape == (0,)
+
+    def test_disjoint_bands_partition(self, square, rng):
+        """Consecutive difference masks never overlap."""
+        points = rng.uniform(-1, 2, (300, 2))
+        m1 = difference_mask(square, 0.0, 0.1, points)
+        m2 = difference_mask(square, 0.1, 0.25, points)
+        assert not (m1 & m2).any()

@@ -1,0 +1,92 @@
+"""Unit tests for epsilon scheduling."""
+
+import math
+
+import pytest
+
+from repro import Shape
+from repro.core.epsilon import (EpsilonSchedule, expected_band_count,
+                                initial_epsilon, schedule_for,
+                                termination_epsilon)
+from repro.geometry.lune import LUNE_AREA
+
+
+class TestEpsilonSchedule:
+    def test_widths_geometric(self):
+        schedule = EpsilonSchedule(initial=0.01, growth=2.0, maximum=0.1)
+        widths = list(schedule.widths())
+        assert widths[0] == pytest.approx(0.01)
+        assert widths[1] == pytest.approx(0.02)
+        assert widths[-1] == pytest.approx(0.1)
+
+    def test_last_width_is_maximum(self):
+        schedule = EpsilonSchedule(initial=0.03, growth=3.0, maximum=0.1)
+        widths = list(schedule.widths())
+        assert widths[-1] == pytest.approx(0.1)
+        assert all(w <= 0.1 + 1e-12 for w in widths)
+
+    def test_initial_above_maximum_clamped(self):
+        schedule = EpsilonSchedule(initial=5.0, growth=2.0, maximum=0.1)
+        widths = list(schedule.widths())
+        assert widths == [pytest.approx(0.1)]
+
+    def test_validation(self):
+        with pytest.raises(ValueError):
+            EpsilonSchedule(initial=0.0, growth=2.0, maximum=1.0)
+        with pytest.raises(ValueError):
+            EpsilonSchedule(initial=0.1, growth=1.0, maximum=1.0)
+        with pytest.raises(ValueError):
+            EpsilonSchedule(initial=0.1, growth=2.0, maximum=0.0)
+
+
+class TestFormulas:
+    def test_expected_band_count_linear_in_eps(self):
+        one = expected_band_count(1000, 4.0, 0.01)
+        two = expected_band_count(1000, 4.0, 0.02)
+        assert two == pytest.approx(2 * one)
+
+    def test_initial_epsilon_inverts_band_count(self):
+        eps = initial_epsilon(1000, 4.0, target_count=20.0)
+        assert expected_band_count(1000, 4.0, eps) == pytest.approx(20.0)
+
+    def test_initial_epsilon_validation(self):
+        with pytest.raises(ValueError):
+            initial_epsilon(0, 4.0, 10)
+        with pytest.raises(ValueError):
+            initial_epsilon(100, 0.0, 10)
+
+    def test_termination_matches_paper_formula(self):
+        p, n, perimeter = 50, 1000, 4.0
+        expected = LUNE_AREA / (2 * p * perimeter) * math.log(n) ** 3
+        assert termination_epsilon(p, n, perimeter) == \
+            pytest.approx(expected)
+
+    def test_termination_shrinks_with_more_shapes(self):
+        few = termination_epsilon(10, 1000, 4.0)
+        many = termination_epsilon(1000, 1000, 4.0)
+        assert many < few
+
+    def test_termination_slack(self):
+        base = termination_epsilon(10, 1000, 4.0)
+        assert termination_epsilon(10, 1000, 4.0, slack=2.0) == \
+            pytest.approx(2 * base)
+
+    def test_termination_validation(self):
+        with pytest.raises(ValueError):
+            termination_epsilon(0, 10, 1.0)
+
+
+class TestScheduleFor:
+    def test_builds_valid_schedule(self, square):
+        schedule = schedule_for(square, num_shapes=100,
+                                total_vertices=2000, average_vertices=20)
+        widths = list(schedule.widths())
+        assert widths
+        assert widths[-1] == pytest.approx(schedule.maximum)
+
+    def test_initial_never_exceeds_maximum(self, square):
+        # Tiny base: the heuristic initial width would exceed the
+        # termination threshold and must be clamped.
+        schedule = schedule_for(square, num_shapes=10000,
+                                total_vertices=100, average_vertices=10)
+        assert schedule.initial <= schedule.maximum

@@ -1,0 +1,52 @@
+"""Small-scale smoke tests for every experiment harness.
+
+The benchmark suite runs these at full scale; here each harness runs at
+toy scale so the default test suite covers the code paths quickly.
+"""
+
+import pytest
+
+from repro.experiments import (buffer_sweep, localopt_comparison,
+                               noise_tolerance)
+from repro.experiments.storage import _shared_setup
+
+
+class TestStorageExperimentsSmoke:
+    def test_buffer_sweep_small(self):
+        result = buffer_sweep(num_images=8, num_queries=2, seed=3,
+                              buffers=(1, 4, 16))
+        assert len(result.rows) == 3
+        # Monotone non-increasing per method.
+        for _, points in result.series:
+            values = [v for _, v in sorted(points)]
+            assert values[-1] <= values[0] + 1e-9
+
+    def test_localopt_small(self):
+        result = localopt_comparison(num_images=8, num_queries=2, seed=3,
+                                     ks=(1, 2))
+        assert {row[0] for row in result.rows} == \
+            {"mean", "lexicographic", "median", "localopt"}
+        assert "improvement" in result.metrics
+
+    def test_setup_memoized(self):
+        first = _shared_setup(8, 2, 3, (1, 2, 3, 5, 7, 10))
+        second = _shared_setup(8, 2, 3, (1, 2, 3, 5, 7, 10))
+        assert first is second
+
+
+class TestNoiseSmoke:
+    def test_noise_tolerance_small(self):
+        result = noise_tolerance(noise_levels=(0.0, 0.02),
+                                 queries_per_level=3, seed=5)
+        assert len(result.rows) == 2
+        for row in result.rows:
+            for accuracy in row[1:]:
+                assert 0.0 <= accuracy <= 1.0
+        assert "ours_mean" in result.metrics
+
+    def test_render_includes_series(self):
+        result = noise_tolerance(noise_levels=(0.0, 0.02),
+                                 queries_per_level=2, seed=5)
+        text = result.render()
+        assert "ours" in text
+        assert "note:" in text

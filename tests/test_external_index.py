@@ -1,0 +1,126 @@
+"""Tests for the external-memory spatial index."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import GeometricSimilarityMatcher, ShapeBase
+from repro.rangesearch import (BruteForceIndex, ExternalSpatialIndex,
+                               make_index)
+from tests.conftest import star_shaped_polygon
+
+coordinate = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+
+
+@pytest.fixture
+def cloud(rng):
+    return rng.uniform(-5, 5, (800, 2))
+
+
+class TestCorrectness:
+    def test_triangle_matches_oracle(self, cloud, rng):
+        index = ExternalSpatialIndex(cloud, buffer_blocks=4)
+        oracle = BruteForceIndex(cloud)
+        for _ in range(15):
+            tri = rng.uniform(-6, 6, (3, 2))
+            assert np.array_equal(index.report_triangle(*tri),
+                                  oracle.report_triangle(*tri))
+
+    def test_box_matches_oracle(self, cloud, rng):
+        index = ExternalSpatialIndex(cloud, buffer_blocks=4)
+        oracle = BruteForceIndex(cloud)
+        for _ in range(15):
+            x1, x2 = np.sort(rng.uniform(-6, 6, 2))
+            y1, y2 = np.sort(rng.uniform(-6, 6, 2))
+            assert np.array_equal(index.report_box(x1, y1, x2, y2),
+                                  oracle.report_box(x1, y1, x2, y2))
+
+    @given(st.lists(st.tuples(coordinate, coordinate), min_size=1,
+                    max_size=80),
+           st.tuples(coordinate, coordinate), st.tuples(coordinate,
+                                                        coordinate),
+           st.tuples(coordinate, coordinate))
+    @settings(max_examples=40, deadline=None)
+    def test_triangle_property(self, points, a, b, c):
+        pts = np.array(points)
+        expected = BruteForceIndex(pts).report_triangle(a, b, c)
+        actual = ExternalSpatialIndex(pts,
+                                      buffer_blocks=2).report_triangle(a, b, c)
+        assert np.array_equal(actual, expected)
+
+    def test_empty_point_set(self):
+        index = ExternalSpatialIndex(np.zeros((0, 2)))
+        assert len(index.report_triangle((0, 0), (1, 0), (0, 1))) == 0
+        assert len(index.report_box(0, 0, 1, 1)) == 0
+
+    def test_factory(self, cloud):
+        index = make_index(cloud, "external")
+        assert isinstance(index, ExternalSpatialIndex)
+
+    def test_block_size_validation(self, cloud):
+        with pytest.raises(ValueError):
+            ExternalSpatialIndex(cloud, block_size=64)
+
+
+class TestIOBehaviour:
+    def test_small_query_few_reads(self, cloud):
+        index = ExternalSpatialIndex(cloud, buffer_blocks=2)
+        index.reset_io()
+        index.report_box(-0.1, -0.1, 0.1, 0.1)
+        assert 0 < index.io_reads() <= 8
+
+    def test_full_scan_reads_all_blocks(self, cloud):
+        index = ExternalSpatialIndex(cloud, buffer_blocks=2)
+        index.reset_io()
+        index.report_box(-100, -100, 100, 100)
+        assert index.io_reads() == index.device.num_blocks
+
+    def test_buffer_absorbs_repeats(self, cloud):
+        index = ExternalSpatialIndex(cloud, buffer_blocks=64)
+        index.reset_io()
+        index.report_box(-0.5, -0.5, 0.5, 0.5)
+        first = index.io_reads()
+        index.report_box(-0.5, -0.5, 0.5, 0.5)
+        assert index.io_reads() == first       # all hits the second time
+
+    def test_reset_io(self, cloud):
+        index = ExternalSpatialIndex(cloud, buffer_blocks=2)
+        index.report_box(-1, -1, 1, 1)
+        index.reset_io()
+        assert index.io_reads() == 0
+
+    def test_io_sublinear_for_point_queries(self, rng):
+        """Selective queries touch O(depth + output) blocks, far fewer
+        than the whole structure."""
+        points = rng.uniform(0, 100, (5000, 2))
+        index = ExternalSpatialIndex(points, buffer_blocks=2)
+        index.reset_io()
+        index.report_box(50, 50, 51, 51)
+        assert index.io_reads() < index.device.num_blocks / 4
+
+
+class TestMatcherIntegration:
+    def test_matcher_runs_on_external_backend(self, rng):
+        base = ShapeBase(alpha=0.05, backend="external")
+        shapes = []
+        for i in range(12):
+            shape = star_shaped_polygon(rng, 10)
+            shapes.append(shape)
+            base.add_shape(shape, image_id=i)
+        matcher = GeometricSimilarityMatcher(base)
+        matches, _ = matcher.query(shapes[4].rotated(0.5), k=1)
+        assert matches[0].shape_id == 4
+
+    def test_external_matches_kdtree_results(self, rng):
+        shapes = [star_shaped_polygon(rng, 10) for _ in range(10)]
+        results = {}
+        for backend in ("kdtree", "external"):
+            base = ShapeBase(alpha=0.05, backend=backend)
+            for i, shape in enumerate(shapes):
+                base.add_shape(shape, image_id=i)
+            matcher = GeometricSimilarityMatcher(base)
+            matches, _ = matcher.query(shapes[3].rotated(1.0), k=3)
+            results[backend] = [(m.shape_id, round(m.distance, 9))
+                                for m in matches]
+        assert results["kdtree"] == results["external"]

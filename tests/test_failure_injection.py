@@ -1,0 +1,122 @@
+"""Failure-injection tests: corrupted blocks, hostile inputs, edge
+conditions the production paths must survive or reject loudly."""
+
+import struct
+
+import numpy as np
+import pytest
+
+from repro import GeometricSimilarityMatcher, Shape, ShapeBase
+from repro.hashing import HashCurveFamily
+from repro.storage import (ExternalShapeStore, compute_signatures,
+                           decode_record)
+from repro.storage.disk import BlockDevice
+from tests.conftest import star_shaped_polygon
+
+
+class TestCorruptedStorage:
+    @pytest.fixture
+    def store(self, rng):
+        base = ShapeBase(alpha=0.05)
+        for i in range(8):
+            base.add_shape(star_shaped_polygon(rng, 10), image_id=i)
+        signatures = compute_signatures(base, HashCurveFamily(20))
+        return ExternalShapeStore(base, layout="mean",
+                                  signatures=signatures)
+
+    def test_zeroed_block_raises_on_decode(self, store):
+        block_id = store.block_of(0)
+        store.device.write_block(block_id, b"\0" * 64)
+        store.buffer.clear()
+        with pytest.raises(ValueError):
+            store.read_entry(0)
+
+    def test_truncated_vertex_count_detected(self, store):
+        """A record claiming more vertices than the block holds must
+        fail decoding, not return garbage."""
+        block_id = store.block_of(0)
+        payload = bytearray(store.device.read_block(block_id))
+        # Vertex count lives at offset 33 (<IIiHH4fB then H).
+        struct.pack_into("<H", payload, 33, 60000)
+        store.device.write_block(block_id, bytes(payload))
+        store.buffer.clear()
+        with pytest.raises(ValueError, match="truncated"):
+            store.read_entry(self_first_entry(store, block_id))
+
+    def test_stale_buffer_serves_old_data(self, store):
+        """The pool intentionally does not snoop device writes — a
+        cached frame keeps serving until evicted or cleared."""
+        block_id = store.block_of(0)
+        record_before = store.read_entry(0)       # warms the buffer
+        store.device.write_block(block_id, b"\0" * 64)
+        record_again = store.read_entry(0)        # served from cache
+        assert record_again.shape_id == record_before.shape_id
+
+
+def self_first_entry(store, block_id):
+    """Entry id stored first in a given block."""
+    for entry_id, (bid, slot) in store._directory.items():
+        if bid == block_id and slot == 0:
+            return entry_id
+    raise AssertionError("block has no first entry")
+
+
+class TestHostileShapes:
+    def test_duplicate_vertices_rejected_or_survive(self):
+        """Shapes with coincident consecutive vertices must not crash
+        normalization (zero-length alpha-diameters are impossible:
+        pairs at the diameter scale are far apart by definition)."""
+        shape = Shape([(0, 0), (0, 0), (2, 0), (2, 2)], closed=False)
+        base = ShapeBase(alpha=0.1)
+        base.add_shape(shape, image_id=0)
+        assert base.num_entries > 0
+
+    def test_collinear_polygon(self):
+        collinear = Shape([(0, 0), (1, 0), (2, 0), (2, 1)], closed=True)
+        base = ShapeBase()
+        base.add_shape(collinear, image_id=0)
+        matcher = GeometricSimilarityMatcher(base)
+        matches, _ = matcher.query(collinear.rotated(0.3), k=1)
+        assert matches[0].distance == pytest.approx(0.0, abs=1e-9)
+
+    def test_needle_shape(self):
+        """Extreme aspect ratio: all vertices hug the x-axis after
+        normalization; everything must stay finite."""
+        needle = Shape([(0, 0), (100, 0), (100, 0.01), (0, 0.01)])
+        base = ShapeBase(alpha=0.1)
+        base.add_shape(needle, image_id=0)
+        matcher = GeometricSimilarityMatcher(base)
+        matches, stats = matcher.query(needle.scaled(0.37), k=1)
+        assert matches[0].distance < 1e-6
+        assert np.isfinite(stats.epsilons).all()
+
+    def test_tiny_triangle(self):
+        tiny = Shape([(0, 0), (1e-5, 0), (0, 1e-5)])
+        base = ShapeBase()
+        base.add_shape(tiny, image_id=0)
+        matcher = GeometricSimilarityMatcher(base)
+        matches, _ = matcher.query(tiny.scaled(1e6), k=1)
+        assert matches[0].distance < 1e-6
+
+    def test_huge_coordinates(self):
+        big = Shape([(1e8, 1e8), (1e8 + 4e5, 1e8),
+                     (1e8 + 2e5, 1e8 + 3e5)])
+        base = ShapeBase()
+        base.add_shape(big, image_id=0)
+        matcher = GeometricSimilarityMatcher(base)
+        matches, _ = matcher.query(big, k=1)
+        assert matches[0].distance < 1e-4
+
+
+class TestDeviceEdgeCases:
+    def test_unwritten_region_zero_filled(self):
+        device = BlockDevice()
+        block = device.allocate(b"abc")
+        data = device.read_block(block)
+        assert data[3:] == b"\0" * (len(data) - 3)
+
+    def test_decode_from_zero_block_fails(self):
+        device = BlockDevice()
+        block = device.allocate()
+        with pytest.raises(ValueError):
+            decode_record(device.read_block(block))

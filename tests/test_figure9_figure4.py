@@ -1,0 +1,93 @@
+"""Tests reproducing the paper's Figure 9 (V_S worked example) and
+Figure 4 (hash-curve arcs)."""
+
+import math
+
+import numpy as np
+import pytest
+
+from repro import Shape
+from repro.geometry.lune import in_lune
+from repro.hashing.curves import HashCurveFamily
+from repro.query import vertex_significance
+
+
+class TestFigure9:
+    """The paper's worked V_S example: a right angle flanked by edges of
+    length sqrt(10)/5 contributes 1/2 + sqrt(10)/10, etc."""
+
+    def test_right_angle_contribution(self):
+        """A vertex with angle pi/2 and adjacent edges sqrt(10)/5 (on a
+        diameter-normalized shape) contributes 1/2 + sqrt(10)/10."""
+        edge = math.sqrt(10) / 5
+        # Build an L-corner with exactly those local measurements and a
+        # diameter of 1: vertices placed so normalization is identity.
+        shape = Shape([(0.0, 0.0), (edge, 0.0), (edge, edge), (0.0, edge)])
+        terms = vertex_significance(shape, normalize=False)
+        expected = 0.5 + math.sqrt(10) / 10
+        assert terms[0] == pytest.approx(expected)
+        assert np.allclose(terms, expected)   # square: all corners equal
+
+    def test_obtuse_angle_contribution(self):
+        """Angle 3pi/4 gives angle term 3/4 (paper's V1, V3)."""
+        # 135-degree corner with unit edges.
+        p_prev = (math.cos(3 * math.pi / 4), math.sin(3 * math.pi / 4))
+        shape = Shape([p_prev, (0.0, 0.0), (1.0, 0.0)], closed=False)
+        terms = vertex_significance(shape, normalize=False)
+        # middle vertex: angle term (pi - 3pi/4)(3pi/4) 4/pi^2 = 3/4,
+        # edge term (1 + 1)/2 = 1 -> contribution 1/2 (3/4 + 1) = 7/8.
+        assert terms[1] == pytest.approx(0.5 * (0.75 + 1.0))
+
+    def test_unit_contribution_attained(self):
+        """The maximum 1 is attained at a right angle with
+        diameter-length edges (the paper's normalization statement)."""
+        shape = Shape([(0.0, 1.0), (0.0, 0.0), (1.0, 0.0)], closed=False)
+        terms = vertex_significance(shape, normalize=False)
+        assert terms[1] == pytest.approx(1.0)
+
+    def test_degenerate_vertices_near_zero(self):
+        """Collinear (angle pi) midpoints add only their edge terms
+        (Figure 9: Q and Q' have almost equal V_S)."""
+        coarse = Shape([(0, 0), (1, 0), (1, 1), (0, 1)])
+        dense = Shape([(0, 0), (0.5, 0), (1, 0), (1, 0.5), (1, 1),
+                       (0.5, 1), (0, 1), (0, 0.5)])
+        coarse_terms = vertex_significance(coarse)
+        dense_terms = vertex_significance(dense)
+        # The inserted vertices' contributions are dominated by the
+        # original corners'.
+        assert sorted(dense_terms)[:4] < sorted(coarse_terms)
+
+
+class TestFigure4Arcs:
+    @pytest.fixture(scope="class")
+    def family(self):
+        return HashCurveFamily(50)
+
+    def test_arcs_inside_lune(self, family):
+        for quarter in (1, 2, 3, 4):
+            for index in (1, 10, 25, 50):
+                arc = family.arc_polyline(quarter, index)
+                if len(arc):
+                    assert in_lune(arc, tolerance=1e-6).all()
+
+    def test_arcs_on_unit_circle(self, family):
+        arc = family.arc_polyline(1, 25)
+        cx, cy = family.center(1, 25)
+        radii = np.hypot(arc[:, 0] - cx, arc[:, 1] - cy)
+        assert np.allclose(radii, 1.0)
+
+    def test_arc_count_figure4(self, family):
+        """k=50 curves per quarter, as in Figure 4 (right)."""
+        non_empty = sum(
+            1 for index in range(1, 51)
+            if len(family.arc_polyline(1, index)) > 0)
+        assert non_empty >= 45
+
+    def test_samples_validation(self, family):
+        with pytest.raises(ValueError):
+            family.arc_polyline(1, 1, samples=1)
+
+    def test_quarter_one_arcs_in_upper_left(self, family):
+        """q1 arcs concentrate in the upper-left quarter region."""
+        arc = family.arc_polyline(1, 10)
+        assert (arc[:, 1] >= -1e-9).mean() > 0.8

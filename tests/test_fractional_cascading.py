@@ -1,0 +1,67 @@
+"""Unit and property tests for the fractional-cascading catalog chain."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.rangesearch import FractionalCascade
+
+value = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+catalog = st.lists(value, min_size=0, max_size=40).map(sorted)
+
+
+class TestConstruction:
+    def test_rejects_unsorted(self):
+        with pytest.raises(ValueError, match="sorted"):
+            FractionalCascade([[3.0, 1.0, 2.0]])
+
+    def test_rejects_2d(self):
+        with pytest.raises(ValueError):
+            FractionalCascade([np.zeros((2, 2))])
+
+    def test_empty_chain(self):
+        assert FractionalCascade([]).query(1.0) == []
+
+    def test_empty_catalogs_allowed(self):
+        fc = FractionalCascade([[], [1.0, 2.0], []])
+        assert fc.query(1.5) == [0, 1, 0]
+
+
+class TestQueries:
+    def test_simple_chain(self):
+        fc = FractionalCascade([[1, 3, 5], [2, 4], [0, 10]])
+        assert fc.query(3) == [1, 1, 1]
+        assert fc.query(0) == [0, 0, 0]
+        assert fc.query(100) == [3, 2, 2]
+
+    def test_exact_hits_left_semantics(self):
+        fc = FractionalCascade([[1.0, 2.0, 2.0, 3.0]])
+        # side="left": first index whose element >= x
+        assert fc.query(2.0) == [1]
+
+    def test_matches_reference(self, rng):
+        catalogs = [np.sort(rng.uniform(-10, 10,
+                                        int(rng.integers(0, 50))))
+                    for _ in range(12)]
+        fc = FractionalCascade(catalogs)
+        for x in rng.uniform(-12, 12, 100):
+            assert fc.query(float(x)) == fc.query_bruteforce(float(x))
+
+    def test_long_chain(self, rng):
+        catalogs = [np.sort(rng.uniform(0, 1, 30)) for _ in range(40)]
+        fc = FractionalCascade(catalogs)
+        for x in (0.0, 0.25, 0.5, 0.999, 2.0, -1.0):
+            assert fc.query(x) == fc.query_bruteforce(x)
+
+    @given(st.lists(catalog, min_size=1, max_size=8), value)
+    @settings(max_examples=100, deadline=None)
+    def test_property_matches_searchsorted(self, catalogs, x):
+        fc = FractionalCascade(catalogs)
+        expected = [int(np.searchsorted(np.asarray(c), x, side="left"))
+                    for c in catalogs]
+        assert fc.query(x) == expected
+
+    def test_duplicates_across_catalogs(self):
+        fc = FractionalCascade([[5.0, 5.0], [5.0], [4.0, 5.0, 6.0]])
+        assert fc.query(5.0) == [0, 0, 1]

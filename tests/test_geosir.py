@@ -1,0 +1,179 @@
+"""End-to-end tests for the GeoSIR prototype facade."""
+
+import numpy as np
+import pytest
+
+from repro import Shape
+from repro.geosir import GeoSIR
+from repro.imaging import generate_workload, make_query_set, rasterize_shapes
+from repro.query import Similar
+
+
+@pytest.fixture(scope="module")
+def system():
+    rng = np.random.default_rng(31337)
+    workload = generate_workload(20, rng, shapes_per_image=3.0,
+                                 noise=0.008, num_prototypes=8)
+    geosir = GeoSIR(alpha=0.05)
+    for image in workload.images:
+        geosir.add_image(shapes=image.shapes, image_id=image.image_id)
+    return geosir, workload, rng
+
+
+class TestIngestion:
+    def test_requires_input(self):
+        with pytest.raises(ValueError):
+            GeoSIR().add_image()
+
+    def test_vector_ingestion(self, system):
+        geosir, workload, _ = system
+        stats = geosir.statistics()
+        assert stats["images"] == 20
+        assert stats["shapes"] == workload.num_shapes
+        assert stats["entries"] > stats["shapes"]
+
+    def test_raster_ingestion(self, system):
+        geosir, workload, _ = system
+        raster = rasterize_shapes(workload.images[0].shapes, 120, 120)
+        image_id = geosir.add_image(raster=raster)
+        assert geosir.base.shapes_of_image(image_id)
+
+    def test_self_intersecting_input_decomposed(self):
+        geosir = GeoSIR()
+        bowtie = Shape([(0, 0), (2, 2), (2, 0), (0, 2)], closed=True)
+        image_id = geosir.add_image(shapes=[bowtie])
+        stored = geosir.base.shapes_of_image(image_id)
+        assert len(stored) == 2
+        for shape_id in stored:
+            assert geosir.base.shapes[shape_id].is_simple()
+
+    def test_image_ids_monotone(self):
+        geosir = GeoSIR()
+        first = geosir.add_image(shapes=[Shape.rectangle(0, 0, 1, 1)])
+        second = geosir.add_image(shapes=[Shape.rectangle(0, 0, 2, 1)])
+        assert second == first + 1
+
+
+class TestRetrieval:
+    def test_envelope_path(self, system):
+        geosir, workload, rng = system
+        queries = make_query_set(workload, 6, np.random.default_rng(5),
+                                 noise=0.008)
+        correct = 0
+        for query, label in queries:
+            result = geosir.retrieve(query, k=1)
+            assert result.best is not None
+            image = workload.images[result.best.image_id]
+            position = geosir.base.shapes_of_image(
+                result.best.image_id).index(result.best.shape_id)
+            if position < len(image.labels) and \
+                    image.labels[position] == label:
+                correct += 1
+        assert correct >= 5        # >= 83% top-1 accuracy
+
+    def test_hashing_fallback_on_alien_query(self, system):
+        geosir, _, _ = system
+        alien = Shape([(0, 0), (50, 0), (50, 1), (0, 1)])
+        result = geosir.retrieve(alien, k=2)
+        # Nothing close exists: either hashing produced approximations
+        # or the envelope path returned far matches.
+        if result.method == "hashing":
+            assert all(m.approximate for m in result.matches)
+        else:
+            assert not result.matches or \
+                result.matches[0].distance > geosir.match_threshold
+
+    def test_retrieve_similar_threshold(self, system):
+        geosir, workload, _ = system
+        query = workload.images[0].shapes[0]
+        matches = geosir.retrieve_similar(query, threshold=0.02)
+        assert matches
+        assert all(m.distance <= 0.02 + 1e-9 for m in matches)
+
+
+class TestQueryInterface:
+    def test_algebra_query(self, system):
+        geosir, workload, _ = system
+        prototype = workload.prototypes[0]
+        images = geosir.query(Similar(prototype))
+        expected = geosir.engine.similar(prototype)
+        assert images == expected
+
+    def test_sketch_query_single_shape(self, system):
+        geosir, workload, _ = system
+        node = geosir.sketch_query([workload.prototypes[1]])
+        assert isinstance(node, Similar)
+
+    def test_sketch_query_with_containment(self, system):
+        geosir, _, _ = system
+        outer = Shape.rectangle(0, 0, 10, 10)
+        inner = Shape.rectangle(4, 4, 6, 6)
+        node = geosir.sketch_query([outer, inner])
+        text = repr(node)
+        assert "contain" in text
+
+    def test_sketch_query_disjoint_adds_no_relation(self, system):
+        geosir, _, _ = system
+        a = Shape.rectangle(0, 0, 1, 1)
+        b = Shape.rectangle(10, 10, 11, 11)
+        node = geosir.sketch_query([a, b])
+        assert "contain" not in repr(node)
+        assert "overlap" not in repr(node)
+
+    def test_sketch_query_empty_rejected(self, system):
+        geosir, _, _ = system
+        with pytest.raises(ValueError):
+            geosir.sketch_query([])
+
+    def test_sketch_query_executes(self, system):
+        geosir, workload, _ = system
+        node = geosir.sketch_query([workload.prototypes[2]])
+        result = geosir.query(node)
+        assert isinstance(result, set)
+
+
+class TestStatistics:
+    def test_statistics_keys(self, system):
+        geosir, _, _ = system
+        stats = geosir.statistics()
+        for key in ("images", "shapes", "entries", "vertices",
+                    "copies_per_shape", "alpha", "beta"):
+            assert key in stats
+
+    def test_copies_per_shape_at_least_two(self, system):
+        geosir, _, _ = system
+        assert geosir.statistics()["copies_per_shape"] >= 2.0
+
+
+class TestRemoveImage:
+    def test_remove_image(self, rng):
+        from tests.conftest import star_shaped_polygon
+        geosir = GeoSIR(alpha=0.05)
+        a = star_shaped_polygon(rng, 10)
+        b = star_shaped_polygon(rng, 12)
+        geosir.add_image(shapes=[a], image_id=0)
+        geosir.add_image(shapes=[b], image_id=1)
+        removed = geosir.remove_image(0)
+        assert removed == 1
+        assert geosir.statistics()["images"] == 1
+        result = geosir.retrieve(a, k=1)
+        # The removed shape cannot be an exact match any more.
+        assert result.best is None or result.best.image_id == 1
+
+    def test_remove_unknown_image(self):
+        geosir = GeoSIR()
+        geosir.add_image(shapes=[Shape.rectangle(0, 0, 1, 1)])
+        with pytest.raises(KeyError):
+            geosir.remove_image(99)
+
+    def test_queries_rebuilt_after_removal(self, rng):
+        from tests.conftest import star_shaped_polygon
+        geosir = GeoSIR(alpha=0.05)
+        shapes = [star_shaped_polygon(rng, 10) for _ in range(4)]
+        for i, s in enumerate(shapes):
+            geosir.add_image(shapes=[s], image_id=i)
+        _ = geosir.engine          # force build
+        geosir.remove_image(2)
+        matches = geosir.retrieve(shapes[3], k=1)
+        assert matches.best is not None
+        assert matches.best.image_id == 3

@@ -1,0 +1,187 @@
+"""Unit tests for the imaging substrate: rasters, contours, simplify."""
+
+import numpy as np
+import pytest
+
+from repro import Shape
+from repro.core.measures import average_distance
+from repro.imaging import (BinaryImage, douglas_peucker,
+                           extract_contour_shapes, label_components,
+                           rasterize_shapes, resample_polyline,
+                           trace_boundaries)
+from repro.imaging.synthesis import random_blob
+
+
+class TestBinaryImage:
+    def test_blank(self):
+        image = BinaryImage.blank(10, 20)
+        assert image.height == 10
+        assert image.width == 20
+        assert not image.pixels.any()
+
+    def test_blank_validation(self):
+        with pytest.raises(ValueError):
+            BinaryImage.blank(0, 5)
+
+    def test_requires_2d(self):
+        with pytest.raises(ValueError):
+            BinaryImage(np.zeros(5, dtype=bool))
+
+    def test_fill_polygon(self):
+        image = BinaryImage.blank(20, 20)
+        image.fill_polygon(Shape.rectangle(5, 5, 15, 15))
+        assert image.pixels[10, 10]
+        assert not image.pixels[2, 2]
+        assert image.pixels.sum() == pytest.approx(100, abs=25)
+
+    def test_fill_open_shape_rejected(self, open_polyline):
+        image = BinaryImage.blank(10, 10)
+        with pytest.raises(ValueError):
+            image.fill_polygon(open_polyline)
+
+    def test_fill_outside_canvas_clipped(self):
+        image = BinaryImage.blank(10, 10)
+        image.fill_polygon(Shape.rectangle(-5, -5, 5, 5))
+        assert image.pixels[0, 0]
+        assert image.pixels.sum() <= 36
+
+    def test_draw_polyline(self):
+        image = BinaryImage.blank(20, 20)
+        image.draw_polyline(Shape([(2, 10), (18, 10)], closed=False),
+                            thickness=1.0)
+        assert image.pixels[9:11, 5].any()
+        assert not image.pixels[15, 5]
+
+    def test_add_noise(self, rng):
+        image = BinaryImage.blank(50, 50)
+        image.add_noise(0.1, rng)
+        flipped = image.pixels.sum()
+        assert 100 < flipped < 400      # ~250 expected
+
+    def test_noise_validation(self, rng):
+        image = BinaryImage.blank(5, 5)
+        with pytest.raises(ValueError):
+            image.add_noise(1.5, rng)
+
+    def test_equality(self):
+        a = BinaryImage.blank(5, 5)
+        b = BinaryImage.blank(5, 5)
+        assert a == b
+        b.pixels[0, 0] = True
+        assert a != b
+
+
+class TestComponents:
+    def test_two_components(self):
+        image = BinaryImage.blank(20, 20)
+        image.fill_polygon(Shape.rectangle(1, 1, 5, 5))
+        image.fill_polygon(Shape.rectangle(10, 10, 15, 15))
+        _, count = label_components(image)
+        assert count == 2
+
+    def test_connectivity_modes(self):
+        image = BinaryImage.blank(4, 4)
+        image.pixels[0, 0] = True
+        image.pixels[1, 1] = True       # diagonal touch
+        _, four = label_components(image, connectivity=1)
+        _, eight = label_components(image, connectivity=2)
+        assert four == 2
+        assert eight == 1
+
+    def test_connectivity_validation(self):
+        with pytest.raises(ValueError):
+            label_components(BinaryImage.blank(4, 4), connectivity=3)
+
+
+class TestTracing:
+    def test_rectangle_boundary(self):
+        image = BinaryImage.blank(30, 30)
+        image.fill_polygon(Shape.rectangle(5, 5, 20, 20))
+        boundaries = trace_boundaries(image)
+        assert len(boundaries) == 1
+        contour = boundaries[0]
+        # Boundary points hug the rectangle within a pixel.
+        assert contour[:, 0].min() == pytest.approx(5.5, abs=1.0)
+        assert contour[:, 0].max() == pytest.approx(19.5, abs=1.0)
+
+    def test_min_pixels_filters_specks(self):
+        image = BinaryImage.blank(20, 20)
+        image.pixels[3, 3] = True       # single-pixel speck
+        image.fill_polygon(Shape.rectangle(8, 8, 16, 16))
+        boundaries = trace_boundaries(image, min_pixels=8)
+        assert len(boundaries) == 1
+
+    def test_extraction_roundtrip_accuracy(self, rng):
+        """rasterize -> extract recovers the shape within ~1 pixel."""
+        blob = random_blob(rng, 16).scaled(25).translated(50, 50)
+        image = rasterize_shapes([blob], 100, 100)
+        extracted = extract_contour_shapes(image, tolerance=1.0)
+        assert len(extracted) == 1
+        assert average_distance(extracted[0], blob) < 2.0
+
+    def test_multiple_objects_extracted(self, rng):
+        shapes = [random_blob(rng, 12).scaled(10).translated(20, 20),
+                  random_blob(rng, 12).scaled(10).translated(70, 70)]
+        image = rasterize_shapes(shapes, 100, 100)
+        extracted = extract_contour_shapes(image)
+        assert len(extracted) == 2
+
+
+class TestDouglasPeucker:
+    def test_collinear_collapse(self):
+        points = np.array([(0.0, 0.0), (1.0, 0.0), (2.0, 0.0), (3.0, 0.0)])
+        out = douglas_peucker(points, 0.01)
+        assert len(out) == 2
+
+    def test_keeps_corner(self):
+        points = np.array([(0.0, 0.0), (1.0, 0.0), (2.0, 0.0),
+                           (2.0, 1.0), (2.0, 2.0)])
+        out = douglas_peucker(points, 0.01)
+        assert len(out) == 3
+        assert (out == np.array([2.0, 0.0])).all(axis=1).any()
+
+    def test_tolerance_bound_respected(self, rng):
+        points = np.cumsum(rng.normal(0, 0.3, (60, 2)), axis=0)
+        tolerance = 0.5
+        out = douglas_peucker(points, tolerance)
+        from repro.geometry.primitives import points_segments_distance
+        starts, ends = out[:-1], out[1:]
+        deviations = points_segments_distance(points, starts, ends)
+        assert deviations.max() <= tolerance + 1e-9
+
+    def test_closed_ring(self):
+        circle = Shape.regular_polygon(64).vertices
+        out = douglas_peucker(circle, 0.02, closed=True)
+        assert 8 <= len(out) < 64
+
+    def test_negative_tolerance(self):
+        with pytest.raises(ValueError):
+            douglas_peucker(np.zeros((3, 2)), -1.0)
+
+    def test_two_points_identity(self):
+        points = np.array([(0.0, 0.0), (5.0, 5.0)])
+        assert np.array_equal(douglas_peucker(points, 1.0), points)
+
+
+class TestResample:
+    def test_count_scales_with_spacing(self):
+        line = np.array([(0.0, 0.0), (10.0, 0.0)])
+        dense = resample_polyline(line, 0.5)
+        sparse = resample_polyline(line, 2.0)
+        assert len(dense) > len(sparse)
+
+    def test_points_on_original(self):
+        line = np.array([(0.0, 0.0), (10.0, 0.0)])
+        out = resample_polyline(line, 1.0)
+        assert np.allclose(out[:, 1], 0.0)
+        assert out[0] == pytest.approx((0, 0))
+        assert out[-1] == pytest.approx((10, 0))
+
+    def test_closed_resampling(self):
+        square = Shape.rectangle(0, 0, 4, 4).vertices
+        out = resample_polyline(square, 1.0, closed=True)
+        assert len(out) == pytest.approx(16, abs=2)
+
+    def test_spacing_validation(self):
+        with pytest.raises(ValueError):
+            resample_polyline(np.zeros((2, 2)), 0.0)

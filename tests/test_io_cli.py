@@ -1,0 +1,127 @@
+"""Tests for JSON shape I/O and the command-line interface."""
+
+import json
+
+import numpy as np
+import pytest
+
+from repro import Shape
+from repro.cli import main
+from repro.geometry.io import (load_images, load_shapes, save_images,
+                               save_shapes, shape_from_dict, shape_to_dict)
+from tests.conftest import star_shaped_polygon
+
+
+class TestShapeJson:
+    def test_dict_roundtrip(self, triangle):
+        rebuilt = shape_from_dict(shape_to_dict(triangle))
+        assert rebuilt == triangle
+
+    def test_open_polyline_roundtrip(self, open_polyline):
+        rebuilt = shape_from_dict(shape_to_dict(open_polyline))
+        assert rebuilt == open_polyline
+        assert not rebuilt.closed
+
+    def test_missing_vertices_rejected(self):
+        with pytest.raises(ValueError):
+            shape_from_dict({"closed": True})
+
+    def test_file_roundtrip(self, rng, tmp_path):
+        shapes = [star_shaped_polygon(rng, 8) for _ in range(5)]
+        path = tmp_path / "shapes.json"
+        save_shapes(shapes, path)
+        loaded = load_shapes(path)
+        assert loaded == shapes
+
+    def test_images_roundtrip(self, rng, tmp_path):
+        images = [(0, [star_shaped_polygon(rng, 8)]),
+                  (3, [star_shaped_polygon(rng, 9),
+                       star_shaped_polygon(rng, 10)])]
+        path = tmp_path / "images.json"
+        save_images(images, path)
+        loaded = load_images(path)
+        assert [i for i, _ in loaded] == [0, 3]
+        assert loaded[1][1] == images[1][1]
+
+    def test_flat_file_as_single_image(self, rng, tmp_path):
+        shapes = [star_shaped_polygon(rng, 8)]
+        path = tmp_path / "flat.json"
+        save_shapes(shapes, path)
+        loaded = load_images(path)
+        assert len(loaded) == 1
+        assert loaded[0][0] is None
+
+    def test_bad_file_rejected(self, tmp_path):
+        path = tmp_path / "bad.json"
+        path.write_text(json.dumps({"nope": []}))
+        with pytest.raises(ValueError):
+            load_shapes(path)
+        with pytest.raises(ValueError):
+            load_images(path)
+
+
+class TestCli:
+    @pytest.fixture
+    def built_base(self, rng, tmp_path):
+        shapes = [star_shaped_polygon(rng, 10) for _ in range(6)]
+        images_path = tmp_path / "images.json"
+        save_images([(i, [s]) for i, s in enumerate(shapes)], images_path)
+        base_path = tmp_path / "base.gsir"
+        code = main(["build", "--images", str(images_path),
+                     "--out", str(base_path), "--alpha", "0.05"])
+        assert code == 0
+        return base_path, shapes, tmp_path
+
+    def test_build_and_stats(self, built_base, capsys):
+        base_path, shapes, _ = built_base
+        assert main(["stats", "--base", str(base_path)]) == 0
+        output = capsys.readouterr().out
+        assert "shapes:           6" in output
+        assert "alpha:            0.05" in output
+
+    def test_query_k_best(self, built_base, capsys):
+        base_path, shapes, tmp_path = built_base
+        sketch_path = tmp_path / "sketch.json"
+        save_shapes([shapes[2].rotated(0.7).scaled(2.0)], sketch_path)
+        code = main(["query", "--base", str(base_path),
+                     "--sketch", str(sketch_path), "-k", "2"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "#1: shape 2" in output
+
+    def test_query_threshold(self, built_base, capsys):
+        base_path, shapes, tmp_path = built_base
+        sketch_path = tmp_path / "sketch.json"
+        save_shapes([shapes[0]], sketch_path)
+        code = main(["query", "--base", str(base_path),
+                     "--sketch", str(sketch_path),
+                     "--threshold", "0.001"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "shape 0" in output
+
+    def test_query_empty_base(self, tmp_path, capsys, rng):
+        from repro import ShapeBase
+        from repro.storage import save_base
+        base_path = tmp_path / "empty.gsir"
+        save_base(ShapeBase(), base_path)
+        sketch_path = tmp_path / "sketch.json"
+        save_shapes([star_shaped_polygon(rng, 8)], sketch_path)
+        code = main(["query", "--base", str(base_path),
+                     "--sketch", str(sketch_path)])
+        assert code == 1
+
+    def test_demo_runs(self, capsys):
+        assert main(["demo", "--images", "6", "--seed", "1"]) == 0
+        output = capsys.readouterr().out
+        assert "demo base" in output
+        assert "query (prototype" in output
+
+    def test_multi_shape_sketch_warns(self, built_base, capsys, rng):
+        base_path, shapes, tmp_path = built_base
+        sketch_path = tmp_path / "multi.json"
+        save_shapes([shapes[1], shapes[2]], sketch_path)
+        code = main(["query", "--base", str(base_path),
+                     "--sketch", str(sketch_path)])
+        assert code == 0
+        assert "warning" in capsys.readouterr().err

@@ -1,0 +1,170 @@
+"""Unit tests for storage layout policies and the external shape store."""
+
+import numpy as np
+import pytest
+
+from repro import GeometricSimilarityMatcher, Shape, ShapeBase
+from repro.hashing import HashCurveFamily
+from repro.storage import (ExternalShapeStore, compute_signatures,
+                           make_layout, rehash_cost_localopt,
+                           rehash_cost_sorted)
+from tests.conftest import star_shaped_polygon
+
+
+@pytest.fixture(scope="module")
+def loaded():
+    rng = np.random.default_rng(77)
+    base = ShapeBase(alpha=0.05)
+    shapes = []
+    for i in range(40):
+        shape = star_shaped_polygon(rng, int(rng.integers(10, 20)))
+        shapes.append(shape)
+        base.add_shape(shape, image_id=i // 4)
+    family = HashCurveFamily(50)
+    signatures = compute_signatures(base, family)
+    return base, shapes, signatures
+
+
+ALL_LAYOUTS = ["mean", "lexicographic", "median", "localopt"]
+
+
+class TestLayoutPolicies:
+    @pytest.mark.parametrize("name", ALL_LAYOUTS)
+    def test_is_permutation(self, loaded, name):
+        base, _, signatures = loaded
+        order = make_layout(name, base, signatures)
+        assert sorted(order) == list(range(base.num_entries))
+
+    def test_unknown_layout(self, loaded):
+        base, _, signatures = loaded
+        with pytest.raises(ValueError, match="unknown layout"):
+            make_layout("zorder", base, signatures)
+
+    def test_mean_sort_monotone(self, loaded):
+        from repro.hashing.characteristic import quadruple_mean_curve
+        base, _, signatures = loaded
+        order = make_layout("mean", base, signatures)
+        keys = [quadruple_mean_curve(signatures[e]) for e in order]
+        assert keys == sorted(keys)
+
+    def test_lexicographic_sorted(self, loaded):
+        base, _, signatures = loaded
+        order = make_layout("lexicographic", base, signatures)
+        quads = [signatures[e] for e in order]
+        assert quads == sorted(quads)
+
+    def test_localopt_keeps_similar_shapes_close(self, loaded):
+        """Copies of the same shape should mostly land near each other."""
+        base, _, signatures = loaded
+        order = make_layout("localopt", base, signatures)
+        position = {entry: pos for pos, entry in enumerate(order)}
+        spans = []
+        for shape_id in base.shape_ids():
+            entry_ids = base.entries_of_shape(shape_id)
+            positions = sorted(position[e] for e in entry_ids)
+            spans.append(positions[-1] - positions[0])
+        rng = np.random.default_rng(0)
+        random_spans = []
+        random_order = rng.permutation(base.num_entries)
+        random_position = {int(e): p for p, e in enumerate(random_order)}
+        for shape_id in base.shape_ids():
+            entry_ids = base.entries_of_shape(shape_id)
+            positions = sorted(random_position[e] for e in entry_ids)
+            random_spans.append(positions[-1] - positions[0])
+        assert np.mean(spans) < np.mean(random_spans)
+
+    def test_empty_base(self):
+        base = ShapeBase()
+        assert make_layout("localopt", base, []) == []
+
+    def test_rehash_costs_ordered(self):
+        for n in (10, 100, 1000):
+            assert rehash_cost_sorted(n) < rehash_cost_localopt(n)
+        assert rehash_cost_sorted(0) == 0.0
+        assert rehash_cost_localopt(0) == 0.0
+
+
+class TestExternalShapeStore:
+    @pytest.mark.parametrize("layout", ALL_LAYOUTS)
+    def test_roundtrip_all_entries(self, loaded, layout):
+        base, _, signatures = loaded
+        store = ExternalShapeStore(base, layout=layout,
+                                   signatures=signatures)
+        for entry_id in range(0, base.num_entries, 7):
+            record = store.read_entry(entry_id)
+            entry = base.entry(entry_id)
+            assert record.entry_id == entry_id
+            assert record.shape_id == entry.shape_id
+            assert np.allclose(record.shape.vertices,
+                               entry.shape.vertices, atol=1e-5)
+
+    def test_packing_density(self, loaded):
+        """~5 records per 1-KB block, per the paper's arithmetic."""
+        base, _, signatures = loaded
+        store = ExternalShapeStore(base, layout="mean",
+                                   signatures=signatures)
+        stats = store.stats()
+        assert 3.0 <= stats.entries_per_block <= 7.0
+
+    def test_replay_trace_counts_ios(self, loaded):
+        base, _, signatures = loaded
+        store = ExternalShapeStore(base, layout="mean", buffer_blocks=10,
+                                   signatures=signatures)
+        trace = list(range(0, base.num_entries, 3))
+        ios = store.replay_trace(trace, reset_buffer=True)
+        assert 0 < ios <= len(trace)
+
+    def test_buffer_reduces_ios(self, loaded):
+        base, _, signatures = loaded
+        trace = list(range(30)) * 3
+        small = ExternalShapeStore(base, layout="mean", buffer_blocks=1,
+                                   signatures=signatures)
+        big = ExternalShapeStore(base, layout="mean", buffer_blocks=100,
+                                 signatures=signatures)
+        ios_small = small.replay_trace(trace, reset_buffer=True)
+        ios_big = big.replay_trace(trace, reset_buffer=True)
+        assert ios_big <= ios_small
+
+    def test_sequential_layout_trace_is_cheap(self, loaded):
+        """Reading entries in layout order costs ~num_blocks reads."""
+        base, _, signatures = loaded
+        store = ExternalShapeStore(base, layout="lexicographic",
+                                   buffer_blocks=2, signatures=signatures)
+        ios = store.replay_trace(store.order, reset_buffer=True)
+        assert ios == store.stats().num_blocks
+
+    def test_block_of(self, loaded):
+        base, _, signatures = loaded
+        store = ExternalShapeStore(base, layout="mean",
+                                   signatures=signatures)
+        for entry_id in range(0, base.num_entries, 11):
+            assert 0 <= store.block_of(entry_id) < store.stats().num_blocks
+
+    def test_read_block_records(self, loaded):
+        base, _, signatures = loaded
+        store = ExternalShapeStore(base, layout="mean",
+                                   signatures=signatures)
+        records = store.read_block_records(0)
+        assert records
+        assert all(store.block_of(r.entry_id) == 0 for r in records)
+
+    def test_matcher_trace_locality(self, loaded):
+        """The localopt layout beats a random layout on a real query
+        trace (the Section 4.2 claim, qualitatively)."""
+        base, shapes, signatures = loaded
+        matcher = GeometricSimilarityMatcher(base)
+        trace = []
+        matcher.query(shapes[5].rotated(0.2), k=1,
+                      on_candidate=lambda e: trace.append(e.entry_id))
+        assert trace
+
+        localopt = ExternalShapeStore(base, layout="localopt",
+                                      buffer_blocks=4,
+                                      signatures=signatures)
+        ios_localopt = localopt.replay_trace(trace, reset_buffer=True)
+        lex = ExternalShapeStore(base, layout="lexicographic",
+                                 buffer_blocks=4, signatures=signatures)
+        ios_lex = lex.replay_trace(trace, reset_buffer=True)
+        # At this tiny scale we only claim localopt is competitive; the
+        # 30%-better claim is checked at benchmark scale.
+        assert ios_localopt <= ios_lex * 1.5

@@ -1,0 +1,110 @@
+"""Unit tests for the lune geometry."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.lune import (BOTTOM_CORNER, LUNE_AREA, TOP_CORNER,
+                                 clamp_to_lune, in_lune, quarter_of,
+                                 quarters_of, sample_lune)
+
+
+class TestLuneMembership:
+    def test_centers_are_boundary_points(self):
+        assert in_lune(np.array([[0.0, 0.0], [1.0, 0.0]])).all()
+
+    def test_corners(self):
+        assert in_lune(np.array([TOP_CORNER, BOTTOM_CORNER])).all()
+
+    def test_midpoint(self):
+        assert in_lune(np.array([[0.5, 0.0]])).all()
+
+    def test_outside(self):
+        outside = np.array([[2.0, 0.0], [-0.5, 0.0], [0.5, 1.0]])
+        assert not in_lune(outside).any()
+
+    def test_area_value(self):
+        assert LUNE_AREA == pytest.approx(2 * math.pi / 3 - math.sqrt(3) / 2)
+
+    def test_area_monte_carlo(self, rng):
+        points = np.column_stack([rng.uniform(-0.2, 1.2, 50000),
+                                  rng.uniform(-1.0, 1.0, 50000)])
+        fraction = in_lune(points).mean()
+        estimate = fraction * 1.4 * 2.0
+        assert estimate == pytest.approx(LUNE_AREA, rel=0.05)
+
+
+class TestQuarters:
+    def test_four_quarters(self):
+        assert quarter_of(0.2, 0.3) == 1
+        assert quarter_of(0.8, 0.3) == 2
+        assert quarter_of(0.2, -0.3) == 3
+        assert quarter_of(0.8, -0.3) == 4
+
+    def test_boundary_goes_low(self):
+        assert quarter_of(0.5, 0.0) == 1
+
+    def test_vectorized_matches_scalar(self, rng):
+        points = sample_lune(200, rng)
+        vector = quarters_of(points)
+        for p, q in zip(points, vector):
+            assert q == quarter_of(p[0], p[1])
+
+
+class TestClamp:
+    def test_inside_unchanged(self, rng):
+        points = sample_lune(100, rng)
+        assert np.allclose(clamp_to_lune(points), points)
+
+    def test_outside_lands_on_boundary(self):
+        outside = np.array([[3.0, 0.0], [0.5, 2.0], [-1.0, -1.0],
+                            [0.5, -2.0], [1.5, 1.5]])
+        clamped = clamp_to_lune(outside)
+        assert in_lune(clamped, tolerance=1e-6).all()
+        d_left = np.hypot(clamped[:, 0], clamped[:, 1])
+        d_right = np.hypot(clamped[:, 0] - 1.0, clamped[:, 1])
+        # On the boundary: at least one of the two distances is ~1.
+        on_boundary = (np.abs(d_left - 1.0) < 1e-6) | \
+                      (np.abs(d_right - 1.0) < 1e-6)
+        # Corner projections land on the corners instead.
+        at_corner = np.minimum(
+            np.hypot(clamped[:, 0] - TOP_CORNER[0],
+                     clamped[:, 1] - TOP_CORNER[1]),
+            np.hypot(clamped[:, 0] - BOTTOM_CORNER[0],
+                     clamped[:, 1] - BOTTOM_CORNER[1])) < 1e-6
+        assert (on_boundary | at_corner).all()
+
+    def test_clamp_is_nearest_among_arcs(self):
+        point = np.array([[0.5, 1.5]])
+        clamped = clamp_to_lune(point)[0]
+        assert clamped == pytest.approx(TOP_CORNER, abs=1e-6)
+
+    @given(st.floats(-3, 3), st.floats(-3, 3))
+    @settings(max_examples=60)
+    def test_clamp_idempotent(self, x, y):
+        once = clamp_to_lune(np.array([[x, y]]))
+        twice = clamp_to_lune(once)
+        assert np.allclose(once, twice, atol=1e-9)
+
+
+class TestSampling:
+    def test_all_inside(self, rng):
+        assert in_lune(sample_lune(500, rng)).all()
+
+    def test_count(self, rng):
+        assert sample_lune(137, rng).shape == (137, 2)
+
+    def test_zero(self, rng):
+        assert sample_lune(0, rng).shape == (0, 2)
+
+    def test_negative_rejected(self, rng):
+        with pytest.raises(ValueError):
+            sample_lune(-1, rng)
+
+    def test_roughly_uniform_quarters(self, rng):
+        points = sample_lune(4000, rng)
+        counts = np.bincount(quarters_of(points), minlength=5)[1:]
+        assert counts.min() > 0.18 * len(points)

@@ -1,0 +1,158 @@
+"""Unit tests for the similarity measures (Hausdorff family and h_avg)."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Shape
+from repro.core.measures import (average_distance,
+                                 continuous_average_distance,
+                                 directed_average_distance,
+                                 directed_hausdorff, directed_kth_hausdorff,
+                                 hausdorff, kth_hausdorff, similarity_score)
+from repro.geometry.nearest import BoundaryDistance
+
+
+class TestHausdorff:
+    def test_identical_shapes_zero(self, square):
+        assert hausdorff(square, square) == pytest.approx(0.0)
+
+    def test_directed_known_value(self):
+        a = Shape([(0, 0), (1, 0), (1, 1), (0, 1)])
+        b = a.translated(0.0, 2.0)
+        # b spans y in [2, 3]; a's farthest vertices (y = 0) are 2 away.
+        assert directed_hausdorff(a, b) == pytest.approx(2.0)
+
+    def test_asymmetry(self):
+        small = Shape.rectangle(0, 0, 1, 1)
+        big = Shape.rectangle(0, 0, 10, 10)
+        assert directed_hausdorff(small, big) != \
+            pytest.approx(directed_hausdorff(big, small))
+
+    def test_symmetric_is_max(self, square, triangle):
+        assert hausdorff(square, triangle) == pytest.approx(
+            max(directed_hausdorff(square, triangle),
+                directed_hausdorff(triangle, square)))
+
+    def test_engine_reuse(self, square, triangle):
+        engine = BoundaryDistance(triangle)
+        assert directed_hausdorff(square, triangle, engine=engine) == \
+            pytest.approx(directed_hausdorff(square, triangle))
+
+    def test_engine_shape_mismatch(self, square, triangle):
+        engine = BoundaryDistance(square)
+        with pytest.raises(ValueError):
+            directed_hausdorff(square, triangle, engine=engine)
+
+
+class TestKthHausdorff:
+    def test_k1_equals_directed(self, square, triangle):
+        assert directed_kth_hausdorff(square, triangle, k=1) == \
+            pytest.approx(directed_hausdorff(square, triangle))
+
+    def test_default_is_median(self, square, triangle):
+        default = directed_kth_hausdorff(square, triangle)
+        explicit = directed_kth_hausdorff(square, triangle,
+                                          k=square.num_vertices // 2)
+        assert default == pytest.approx(explicit)
+
+    def test_monotone_in_k(self, shape_factory):
+        a, b = shape_factory(10), shape_factory(10)
+        values = [directed_kth_hausdorff(a, b, k) for k in range(1, 11)]
+        assert all(x >= y - 1e-12 for x, y in zip(values, values[1:]))
+
+    def test_k_out_of_range(self, square, triangle):
+        with pytest.raises(ValueError):
+            directed_kth_hausdorff(square, triangle, k=0)
+        with pytest.raises(ValueError):
+            directed_kth_hausdorff(square, triangle, k=99)
+
+    def test_symmetric(self, square, triangle):
+        assert kth_hausdorff(square, triangle) >= 0
+
+
+class TestOutlierDomination:
+    """Figure 1: an outlier vertex dominates Hausdorff but not h_avg."""
+
+    def make_shapes(self):
+        base = [(0.0, 0.0), (4.0, 0.0), (4.0, 2.0), (0.0, 2.0)]
+        query = Shape(base)
+        close_with_spike = Shape(base[:3] + [(2.0, 3.5)] + base[3:])
+        uniformly_off = Shape([(x + 0.8, y + 0.8) for x, y in base])
+        return query, close_with_spike, uniformly_off
+
+    def test_hausdorff_prefers_uniform_offset(self):
+        q, spike, offset = self.make_shapes()
+        assert hausdorff(q, offset) < hausdorff(q, spike)
+
+    def test_average_prefers_spike(self):
+        """h_avg tolerates one spike better than a global offset."""
+        q, spike, offset = self.make_shapes()
+        assert average_distance(q, spike) < average_distance(q, offset)
+
+
+class TestAverageDistance:
+    def test_identical_zero(self, square):
+        assert directed_average_distance(square, square) == \
+            pytest.approx(0.0)
+        assert continuous_average_distance(square, square) == \
+            pytest.approx(0.0, abs=1e-9)
+
+    def test_translation_offset(self, square):
+        moved = square.translated(0, 3)
+        assert directed_average_distance(square, moved) == pytest.approx(2.5)
+
+    def test_average_below_hausdorff(self, shape_factory):
+        a, b = shape_factory(12), shape_factory(12)
+        assert directed_average_distance(a, b) <= \
+            directed_hausdorff(a, b) + 1e-12
+
+    def test_continuous_converges(self, square, triangle):
+        coarse = continuous_average_distance(square, triangle,
+                                             samples_per_edge=2)
+        fine = continuous_average_distance(square, triangle,
+                                           samples_per_edge=64)
+        finer = continuous_average_distance(square, triangle,
+                                            samples_per_edge=128)
+        assert abs(fine - finer) < abs(coarse - finer) + 1e-12
+        assert abs(fine - finer) < 1e-3
+
+    def test_symmetric_variant(self, square, triangle):
+        value = average_distance(square, triangle)
+        assert value == pytest.approx(max(
+            continuous_average_distance(square, triangle),
+            continuous_average_distance(triangle, square)))
+
+    def test_discrete_variant(self, square, triangle):
+        value = average_distance(square, triangle, continuous=False)
+        assert value == pytest.approx(max(
+            directed_average_distance(square, triangle),
+            directed_average_distance(triangle, square)))
+
+    @given(st.floats(-5, 5), st.floats(-5, 5))
+    @settings(max_examples=40)
+    def test_nonnegative(self, dx, dy):
+        a = Shape.rectangle(0, 0, 2, 1)
+        b = a.translated(dx, dy)
+        assert directed_average_distance(a, b) >= 0.0
+
+    def test_noise_robustness_vs_hausdorff(self, rng):
+        """Small vertex noise moves h_avg much less than Hausdorff when a
+        single vertex is an outlier."""
+        base = Shape.regular_polygon(16)
+        vertices = base.vertices.copy()
+        vertices[3] = vertices[3] * 3.0          # one big outlier
+        noisy = Shape(vertices)
+        h = directed_hausdorff(noisy, base)
+        avg = directed_average_distance(noisy, base)
+        assert avg < h / 3.0
+
+
+class TestSimilarityScore:
+    def test_identical_is_one(self, square):
+        assert similarity_score(square, square) == pytest.approx(1.0)
+
+    def test_in_unit_interval(self, square, triangle):
+        score = similarity_score(square, triangle)
+        assert 0.0 < score < 1.0

@@ -1,0 +1,127 @@
+"""Coverage for remaining public surfaces and parameter variants."""
+
+import numpy as np
+import pytest
+
+from repro import GeometricSimilarityMatcher, Shape, ShapeBase
+from repro.geometry.envelope import EpsilonEnvelope
+from repro.hashing import HashCurveFamily
+from repro.storage import compute_signatures
+from repro.storage.layout import local_optimization
+from tests.conftest import star_shaped_polygon
+
+
+class TestEnvelopeCoverMethod:
+    def test_cover_triangles_contains_envelope(self, square, rng):
+        envelope = EpsilonEnvelope(square, 0.15)
+        triangles = envelope.cover_triangles()
+        from repro.geometry.predicates import points_in_triangle
+        points = rng.uniform(-0.5, 1.5, (200, 2))
+        inside = envelope.contains(points)
+        for point, in_envelope in zip(points, inside):
+            if not in_envelope:
+                continue
+            assert any(points_in_triangle(point.reshape(1, 2),
+                                          t[0], t[1], t[2])[0]
+                       for t in triangles)
+
+    def test_cap_sectors_affects_count(self, square):
+        coarse = EpsilonEnvelope(square, 0.1).cover_triangles(cap_sectors=4)
+        fine = EpsilonEnvelope(square, 0.1).cover_triangles(cap_sectors=16)
+        assert len(fine) > len(coarse)
+
+
+class TestLocalOptParameters:
+    @pytest.fixture
+    def setup(self, rng):
+        base = ShapeBase(alpha=0.05)
+        for i in range(15):
+            base.add_shape(star_shaped_polygon(rng, 10), image_id=i)
+        signatures = compute_signatures(base, HashCurveFamily(20))
+        return base, signatures
+
+    def test_per_block_parameter(self, setup):
+        base, signatures = setup
+        for per_block in (2, 5, 10):
+            order = local_optimization(base, signatures,
+                                       per_block=per_block)
+            assert sorted(order) == list(range(base.num_entries))
+
+    def test_full_window_exact_greedy(self, setup):
+        base, signatures = setup
+        order = local_optimization(base, signatures,
+                                   window=base.num_entries + 10)
+        assert sorted(order) == list(range(base.num_entries))
+
+    def test_history_blocks_parameter(self, setup):
+        base, signatures = setup
+        order = local_optimization(base, signatures, history_blocks=1)
+        assert sorted(order) == list(range(base.num_entries))
+
+
+class TestGeoSIRMixedIngestion:
+    def test_shapes_and_raster_together(self, rng):
+        from repro.geosir import GeoSIR
+        from repro.imaging import rasterize_shapes
+        vector = star_shaped_polygon(rng, 10).scaled(15).translated(40, 40)
+        other = star_shaped_polygon(rng, 12).scaled(15).translated(40, 40)
+        raster = rasterize_shapes([other], 90, 90)
+        system = GeoSIR(alpha=0.05)
+        image_id = system.add_image(shapes=[vector], raster=raster)
+        stored = system.base.shapes_of_image(image_id)
+        assert len(stored) >= 2       # the vector shape + extracted one
+
+    def test_empty_raster_with_no_shapes_rejected(self):
+        from repro.geosir import GeoSIR
+        from repro.imaging import BinaryImage
+        with pytest.raises(ValueError, match="no shapes"):
+            GeoSIR().add_image(raster=BinaryImage.blank(30, 30))
+
+
+class TestMatcherMeasureVariants:
+    @pytest.fixture
+    def base(self, rng):
+        base = ShapeBase(alpha=0.05)
+        base.shapes_list = []
+        for i in range(10):
+            shape = star_shaped_polygon(rng, 10)
+            base.shapes_list.append(shape)
+            base.add_shape(shape, image_id=i)
+        return base
+
+    def test_symmetric_upper_bounds_discrete(self, base):
+        """The symmetric value is >= the discrete directed value for
+        the same entry (the soundness invariant)."""
+        query = base.shapes_list[2].rotated(0.5)
+        discrete = GeometricSimilarityMatcher(base, measure="discrete")
+        symmetric = GeometricSimilarityMatcher(base, measure="symmetric")
+        d, _ = discrete.query_threshold(query, 0.1)
+        s, _ = symmetric.query_threshold(query, 0.1)
+        d_values = {m.shape_id: m.distance for m in d}
+        for match in s:
+            if match.shape_id in d_values:
+                assert match.distance >= \
+                    d_values[match.shape_id] - 1e-9
+
+    def test_symmetric_threshold_subset_of_discrete(self, base):
+        """symmetric <= t implies discrete <= t, so the symmetric
+        result set is a subset of the discrete one."""
+        query = base.shapes_list[4]
+        discrete = GeometricSimilarityMatcher(base, measure="discrete")
+        symmetric = GeometricSimilarityMatcher(base, measure="symmetric")
+        d, _ = discrete.query_threshold(query, 0.06)
+        s, _ = symmetric.query_threshold(query, 0.06)
+        assert {m.shape_id for m in s} <= {m.shape_id for m in d}
+
+
+class TestShapeBaseIndexedVertices:
+    def test_indexed_excludes_anchors(self, small_base):
+        for entry in list(small_base)[:10]:
+            full = small_base.entry_vertices(entry.entry_id)
+            indexed = small_base.entry_indexed_vertices(entry.entry_id)
+            assert len(indexed) == len(full) - 2
+            # Neither anchor appears among the indexed vertices.
+            for anchor in ((0.0, 0.0), (1.0, 0.0)):
+                distances = np.hypot(indexed[:, 0] - anchor[0],
+                                     indexed[:, 1] - anchor[1])
+                assert (distances > 1e-12).all()

@@ -1,0 +1,76 @@
+"""Unit tests for the boundary-distance engines."""
+
+import numpy as np
+import pytest
+
+from repro import Shape
+from repro.geometry.nearest import BoundaryDistance, GridBoundaryDistance
+from repro.geometry.primitives import point_segment_distance
+
+
+class TestBoundaryDistance:
+    def test_square_distances(self, square):
+        engine = BoundaryDistance(square)
+        assert engine.distance((0.5, 0.5)) == pytest.approx(0.5)
+        assert engine.distance((0.5, -1.0)) == pytest.approx(1.0)
+        assert engine.distance((0.0, 0.0)) == pytest.approx(0.0)
+        assert engine.distance((2.0, 2.0)) == pytest.approx(np.sqrt(2))
+
+    def test_open_polyline(self, open_polyline):
+        engine = BoundaryDistance(open_polyline)
+        # Distance past the free end is to the endpoint, not the line.
+        assert engine.distance((4.0, 1.0)) == pytest.approx(1.0)
+
+    def test_batch_matches_scalar(self, shape_factory, rng):
+        shape = shape_factory(9)
+        engine = BoundaryDistance(shape)
+        points = rng.uniform(-2, 2, (60, 2))
+        batch = engine.distances(points)
+        for p, value in zip(points, batch):
+            assert value == pytest.approx(engine.distance(p))
+
+    def test_matches_bruteforce(self, shape_factory, rng):
+        shape = shape_factory(7)
+        engine = BoundaryDistance(shape)
+        starts, ends = shape.edges()
+        points = rng.uniform(-2, 2, (40, 2))
+        for p in points:
+            expected = min(point_segment_distance(p, a, b)
+                           for a, b in zip(starts, ends))
+            assert engine.distance(p) == pytest.approx(expected)
+
+
+class TestGridBoundaryDistance:
+    def test_agrees_with_exact_engine(self, shape_factory, rng):
+        shape = shape_factory(11)
+        exact = BoundaryDistance(shape)
+        grid = GridBoundaryDistance(shape, reach=0.5)
+        points = rng.uniform(-2, 2, (120, 2))
+        expected = exact.distances(points)
+        actual = grid.distances(points)
+        assert np.allclose(actual, expected, atol=1e-9)
+
+    def test_within_mask(self, square, rng):
+        grid = GridBoundaryDistance(square, reach=0.3)
+        exact = BoundaryDistance(square)
+        points = rng.uniform(-1, 2, (150, 2))
+        mask = grid.within(points, 0.25)
+        distances = exact.distances(points)
+        for dist, inside in zip(distances, mask):
+            if abs(dist - 0.25) > 1e-9:
+                assert inside == (dist <= 0.25)
+
+    def test_within_rejects_radius_beyond_reach(self, square):
+        grid = GridBoundaryDistance(square, reach=0.1)
+        with pytest.raises(ValueError):
+            grid.within(np.zeros((1, 2)), 0.5)
+
+    def test_rejects_nonpositive_reach(self, square):
+        with pytest.raises(ValueError):
+            GridBoundaryDistance(square, reach=0.0)
+
+    def test_far_point_falls_back(self, square):
+        grid = GridBoundaryDistance(square, reach=0.1)
+        exact = BoundaryDistance(square)
+        assert grid.distance((50.0, 50.0)) == \
+            pytest.approx(exact.distance((50.0, 50.0)))

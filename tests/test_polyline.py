@@ -1,0 +1,159 @@
+"""Unit tests for the Shape class."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro import Shape
+
+
+class TestConstruction:
+    def test_closed_polygon(self, square):
+        assert square.closed
+        assert square.num_vertices == 4
+        assert square.num_edges == 4
+
+    def test_open_polyline(self, open_polyline):
+        assert not open_polyline.closed
+        assert open_polyline.num_edges == open_polyline.num_vertices - 1
+
+    def test_rejects_single_point(self):
+        with pytest.raises(ValueError):
+            Shape([(0, 0)])
+
+    def test_rejects_closed_with_two_vertices(self):
+        with pytest.raises(ValueError):
+            Shape([(0, 0), (1, 1)], closed=True)
+
+    def test_drops_duplicated_closing_vertex(self):
+        shape = Shape([(0, 0), (1, 0), (1, 1), (0, 0)], closed=True)
+        assert shape.num_vertices == 3
+
+    def test_vertices_read_only(self, square):
+        with pytest.raises(ValueError):
+            square.vertices[0, 0] = 99.0
+
+    def test_equality_and_hash(self, square):
+        other = Shape.rectangle(0, 0, 1, 1)
+        assert square == other
+        assert hash(square) == hash(other)
+        assert square != square.translated(1, 0)
+
+    def test_open_closed_unequal(self):
+        pts = [(0, 0), (1, 0), (1, 1)]
+        assert Shape(pts, closed=True) != Shape(pts, closed=False)
+
+
+class TestDerivedGeometry:
+    def test_perimeter_square(self, square):
+        assert square.perimeter == pytest.approx(4.0)
+
+    def test_perimeter_open(self, open_polyline):
+        expected = (math.hypot(1, 0.5) + math.hypot(1, 0.5)
+                    + math.hypot(1, 1))
+        assert open_polyline.perimeter == pytest.approx(expected)
+
+    def test_area_square(self, square):
+        assert square.area == pytest.approx(1.0)
+
+    def test_area_open_is_zero(self, open_polyline):
+        assert open_polyline.area == 0.0
+
+    def test_centroid(self, square):
+        assert square.centroid == pytest.approx((0.5, 0.5))
+
+    def test_bbox(self, triangle):
+        assert triangle.bbox() == pytest.approx((0, 0, 4, 3))
+
+    def test_edge_lengths(self, square):
+        assert np.allclose(square.edge_lengths(), 1.0)
+
+    def test_interior_angles_square(self, square):
+        assert np.allclose(square.interior_angles(), math.pi / 2)
+
+    def test_interior_angles_open_endpoints_zero(self, open_polyline):
+        angles = open_polyline.interior_angles()
+        assert angles[0] == 0.0
+        assert angles[-1] == 0.0
+        assert (angles[1:-1] > 0).all()
+
+    def test_is_simple(self, square):
+        assert square.is_simple()
+        bowtie = Shape([(0, 0), (2, 2), (2, 0), (0, 2)])
+        assert not bowtie.is_simple()
+
+
+class TestSampling:
+    def test_sample_spacing(self, square):
+        samples = square.sample_boundary(0.1)
+        assert len(samples) >= 40
+        from repro.geometry import BoundaryDistance
+        distances = BoundaryDistance(square).distances(samples)
+        assert distances.max() < 1e-9
+
+    def test_sample_rejects_bad_spacing(self, square):
+        with pytest.raises(ValueError):
+            square.sample_boundary(0.0)
+
+    def test_quadrature_weights_sum_to_perimeter(self, square):
+        _, weights = square.boundary_quadrature(8)
+        assert weights.sum() == pytest.approx(square.perimeter)
+
+    def test_quadrature_open_shape(self, open_polyline):
+        points, weights = open_polyline.boundary_quadrature(4)
+        assert weights.sum() == pytest.approx(open_polyline.perimeter)
+        assert len(points) == open_polyline.num_edges * 4
+
+    def test_quadrature_rejects_zero_samples(self, square):
+        with pytest.raises(ValueError):
+            square.boundary_quadrature(0)
+
+
+class TestTransformMethods:
+    def test_translate(self, square):
+        moved = square.translated(2, 3)
+        assert moved.centroid == pytest.approx((2.5, 3.5))
+
+    def test_scale(self, square):
+        assert square.scaled(3.0).area == pytest.approx(9.0)
+
+    def test_scale_rejects_nonpositive(self, square):
+        with pytest.raises(ValueError):
+            square.scaled(0.0)
+
+    def test_rotate_preserves_area_perimeter(self, triangle):
+        rotated = triangle.rotated(1.234)
+        assert rotated.area == pytest.approx(triangle.area)
+        assert rotated.perimeter == pytest.approx(triangle.perimeter)
+
+    def test_reversed(self, triangle):
+        rev = triangle.reversed()
+        assert np.allclose(rev.vertices, triangle.vertices[::-1])
+        assert rev.area == pytest.approx(triangle.area)
+
+    @given(st.floats(-6.0, 6.0), st.floats(0.1, 5.0),
+           st.floats(-10.0, 10.0), st.floats(-10.0, 10.0))
+    @settings(max_examples=50)
+    def test_similarity_invariants(self, angle, scale, dx, dy):
+        shape = Shape([(0, 0), (3, 0), (3, 2), (1, 3)])
+        moved = shape.rotated(angle).scaled(scale).translated(dx, dy)
+        assert moved.perimeter == pytest.approx(shape.perimeter * scale)
+        assert moved.area == pytest.approx(shape.area * scale * scale)
+
+
+class TestConstructors:
+    def test_regular_polygon(self):
+        hexagon = Shape.regular_polygon(6, radius=2.0)
+        assert hexagon.num_vertices == 6
+        assert np.allclose(np.hypot(*hexagon.vertices.T), 2.0)
+
+    def test_regular_polygon_rejects_two_sides(self):
+        with pytest.raises(ValueError):
+            Shape.regular_polygon(2)
+
+    def test_rectangle_rejects_degenerate(self):
+        with pytest.raises(ValueError):
+            Shape.rectangle(0, 0, 0, 1)

@@ -1,0 +1,184 @@
+"""Unit tests for repro.geometry.predicates."""
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.predicates import (box_inside_triangle, on_segment,
+                                       orientation, point_in_polygon,
+                                       point_in_triangle, points_in_polygon,
+                                       points_in_triangle, polygon_is_simple,
+                                       segment_intersection_point,
+                                       segments_intersect,
+                                       segments_properly_intersect,
+                                       triangle_intersects_box)
+
+coordinate = st.floats(-10.0, 10.0, allow_nan=False, allow_infinity=False)
+point = st.tuples(coordinate, coordinate)
+
+
+class TestOrientation:
+    def test_left(self):
+        assert orientation((0, 0), (1, 0), (0, 1)) == 1
+
+    def test_right(self):
+        assert orientation((0, 0), (0, 1), (1, 0)) == -1
+
+    def test_collinear(self):
+        assert orientation((0, 0), (1, 1), (3, 3)) == 0
+
+
+class TestSegmentsIntersect:
+    def test_crossing(self):
+        assert segments_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+
+    def test_touching_endpoint(self):
+        assert segments_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+    def test_collinear_overlapping(self):
+        assert segments_intersect((0, 0), (2, 0), (1, 0), (3, 0))
+
+    def test_collinear_disjoint(self):
+        assert not segments_intersect((0, 0), (1, 0), (2, 0), (3, 0))
+
+    def test_proper_requires_interior_crossing(self):
+        assert segments_properly_intersect((0, 0), (2, 2), (0, 2), (2, 0))
+        assert not segments_properly_intersect((0, 0), (1, 1), (1, 1), (2, 0))
+
+    def test_parallel_not_proper(self):
+        assert not segments_properly_intersect((0, 0), (1, 0), (0, 1), (1, 1))
+
+
+class TestIntersectionPoint:
+    def test_crossing_point(self):
+        point = segment_intersection_point((0, 0), (2, 2), (0, 2), (2, 0))
+        assert point == pytest.approx((1.0, 1.0))
+
+    def test_miss_returns_none(self):
+        assert segment_intersection_point((0, 0), (1, 1),
+                                          (5, 5), (6, 6)) is None
+
+    def test_parallel_returns_none(self):
+        assert segment_intersection_point((0, 0), (1, 0),
+                                          (0, 1), (1, 1)) is None
+
+    def test_touching_counts(self):
+        point = segment_intersection_point((0, 0), (1, 1), (1, 1), (2, 0))
+        assert point == pytest.approx((1.0, 1.0))
+
+
+class TestPointInTriangle:
+    TRI = ((0, 0), (4, 0), (0, 4))
+
+    def test_interior(self):
+        assert point_in_triangle((1, 1), *self.TRI)
+
+    def test_boundary(self):
+        assert point_in_triangle((2, 0), *self.TRI)
+
+    def test_vertex(self):
+        assert point_in_triangle((0, 0), *self.TRI)
+
+    def test_outside(self):
+        assert not point_in_triangle((3, 3), *self.TRI)
+
+    @given(st.lists(point, min_size=1, max_size=30))
+    @settings(max_examples=50)
+    def test_vectorized_matches_scalar(self, points):
+        mask = points_in_triangle(np.array(points), *self.TRI)
+        for p, inside in zip(points, mask):
+            assert inside == point_in_triangle(p, *self.TRI)
+
+
+class TestPointInPolygon:
+    CONCAVE = [(0, 0), (4, 0), (4, 4), (2, 2), (0, 4)]
+
+    def test_inside(self):
+        assert point_in_polygon((1, 1), self.CONCAVE)
+
+    def test_inside_notch_excluded(self):
+        assert not point_in_polygon((2, 3.5), self.CONCAVE)
+
+    def test_outside(self):
+        assert not point_in_polygon((10, 10), self.CONCAVE)
+
+    def test_boundary_counts_inside(self):
+        assert point_in_polygon((2, 0), self.CONCAVE)
+
+    def test_vectorized_agrees(self, rng):
+        points = rng.uniform(-1, 5, (200, 2))
+        mask = points_in_polygon(points, self.CONCAVE)
+        # Compare away from the boundary where the two implementations
+        # may treat ties differently.
+        for p, inside in zip(points, mask):
+            scalar = point_in_polygon(tuple(p), self.CONCAVE)
+            if inside != scalar:
+                from repro.geometry.primitives import points_segments_distance
+                v = np.array(self.CONCAVE)
+                d = points_segments_distance(p.reshape(1, 2), v,
+                                             np.roll(v, -1, axis=0))[0]
+                assert d < 1e-6
+
+
+class TestPolygonIsSimple:
+    def test_square_simple(self):
+        assert polygon_is_simple([(0, 0), (1, 0), (1, 1), (0, 1)])
+
+    def test_bowtie_not_simple(self):
+        assert not polygon_is_simple([(0, 0), (2, 2), (2, 0), (0, 2)])
+
+    def test_open_polyline_self_cross(self):
+        assert not polygon_is_simple([(0, 0), (2, 0), (1, 1), (1, -1)],
+                                     closed=False)
+
+    def test_open_polyline_simple(self):
+        assert polygon_is_simple([(0, 0), (1, 0), (2, 1)], closed=False)
+
+    def test_two_points(self):
+        assert polygon_is_simple([(0, 0), (1, 1)], closed=False)
+
+
+class TestTriangleBox:
+    TRI = ((0, 0), (4, 0), (0, 4))
+
+    def test_box_inside(self):
+        assert triangle_intersects_box(*self.TRI, 0.5, 0.5, 1.0, 1.0)
+        assert box_inside_triangle(*self.TRI, 0.5, 0.5, 1.0, 1.0)
+
+    def test_box_overlapping(self):
+        assert triangle_intersects_box(*self.TRI, 1, 1, 5, 5)
+        assert not box_inside_triangle(*self.TRI, 1, 1, 5, 5)
+
+    def test_box_outside(self):
+        assert not triangle_intersects_box(*self.TRI, 5, 5, 6, 6)
+
+    def test_box_outside_diagonal(self):
+        # bbox overlaps but separating axis along the hypotenuse splits.
+        assert not triangle_intersects_box(*self.TRI, 3.5, 3.5, 4.0, 4.0)
+
+    @given(st.tuples(point, point, point),
+           st.tuples(coordinate, coordinate, st.floats(0.01, 3),
+                     st.floats(0.01, 3)))
+    @settings(max_examples=100)
+    def test_consistency_with_sampling(self, tri, box):
+        from hypothesis import assume
+
+        from repro.geometry.primitives import cross
+        a, b, c = tri
+        # Degenerate triangles make the vectorized half-plane test
+        # vacuously true; the range-search path never produces them.
+        assume(abs(cross(a, b, c)) > 0.1)
+        x, y, w, h = box
+        xmin, ymin, xmax, ymax = x, y, x + w, y + h
+        intersects = triangle_intersects_box(a, b, c, xmin, ymin, xmax, ymax)
+        # Sample grid points of the box: any inside point forces True.
+        xs = np.linspace(xmin, xmax, 5)
+        ys = np.linspace(ymin, ymax, 5)
+        grid = np.array([(gx, gy) for gx in xs for gy in ys])
+        inside = points_in_triangle(grid, a, b, c)
+        if inside.any():
+            assert intersects

@@ -1,0 +1,170 @@
+"""Unit tests for repro.geometry.primitives."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import given, settings
+from hypothesis import strategies as st
+
+from repro.geometry.primitives import (as_points, bounding_box, cross,
+                                       distance, dot, interior_angle,
+                                       point_segment_distance,
+                                       points_segment_distance,
+                                       points_segments_distance,
+                                       polygon_signed_area, signed_angle,
+                                       squared_distance)
+
+finite = st.floats(-100.0, 100.0, allow_nan=False, allow_infinity=False)
+
+
+class TestAsPoints:
+    def test_list_of_tuples(self):
+        pts = as_points([(0, 0), (1, 2)])
+        assert pts.shape == (2, 2)
+        assert pts.dtype == np.float64
+
+    def test_single_pair(self):
+        assert as_points((3.0, 4.0)).shape == (1, 2)
+
+    def test_rejects_bad_shape(self):
+        with pytest.raises(ValueError):
+            as_points([(1, 2, 3)])
+
+    def test_passthrough_array(self):
+        a = np.zeros((4, 2))
+        assert as_points(a).shape == (4, 2)
+
+
+class TestDistances:
+    def test_distance(self):
+        assert distance((0, 0), (3, 4)) == pytest.approx(5.0)
+
+    def test_squared_distance(self):
+        assert squared_distance((1, 1), (4, 5)) == pytest.approx(25.0)
+
+    @given(finite, finite, finite, finite)
+    def test_symmetry(self, x1, y1, x2, y2):
+        assert distance((x1, y1), (x2, y2)) == \
+            pytest.approx(distance((x2, y2), (x1, y1)))
+
+
+class TestCrossDot:
+    def test_left_turn_positive(self):
+        assert cross((0, 0), (1, 0), (1, 1)) > 0
+
+    def test_right_turn_negative(self):
+        assert cross((0, 0), (1, 0), (1, -1)) < 0
+
+    def test_collinear_zero(self):
+        assert cross((0, 0), (1, 1), (2, 2)) == pytest.approx(0.0)
+
+    def test_dot_perpendicular(self):
+        assert dot((0, 0), (1, 0), (0, 1)) == pytest.approx(0.0)
+
+
+class TestAngles:
+    def test_right_angle(self):
+        assert interior_angle((1, 0), (0, 0), (0, 1)) == \
+            pytest.approx(math.pi / 2)
+
+    def test_straight_line(self):
+        assert interior_angle((-1, 0), (0, 0), (1, 0)) == \
+            pytest.approx(math.pi)
+
+    def test_degenerate_neighbour(self):
+        assert interior_angle((0, 0), (0, 0), (1, 1)) == 0.0
+
+    def test_signed_angle_quarter_turn(self):
+        assert signed_angle((1, 0), (0, 1)) == pytest.approx(math.pi / 2)
+
+    def test_signed_angle_negative(self):
+        assert signed_angle((0, 1), (1, 0)) == pytest.approx(-math.pi / 2)
+
+    def test_signed_angle_half_turn_is_positive_pi(self):
+        assert signed_angle((1, 0), (-1, 0)) == pytest.approx(math.pi)
+
+    @given(st.floats(0.01, 6.2), st.floats(0.01, 6.2))
+    def test_signed_angle_range(self, a, b):
+        u = (math.cos(a), math.sin(a))
+        v = (math.cos(b), math.sin(b))
+        angle = signed_angle(u, v)
+        assert -math.pi < angle <= math.pi
+
+
+class TestPointSegmentDistance:
+    def test_projection_inside(self):
+        assert point_segment_distance((1, 1), (0, 0), (2, 0)) == \
+            pytest.approx(1.0)
+
+    def test_clamped_to_endpoint(self):
+        assert point_segment_distance((-3, 4), (0, 0), (2, 0)) == \
+            pytest.approx(5.0)
+
+    def test_degenerate_segment(self):
+        assert point_segment_distance((3, 4), (0, 0), (0, 0)) == \
+            pytest.approx(5.0)
+
+    def test_vectorized_matches_scalar(self, rng):
+        points = rng.uniform(-5, 5, (50, 2))
+        a, b = (0.0, 0.0), (2.0, 1.0)
+        vectorized = points_segment_distance(points, a, b)
+        for point, value in zip(points, vectorized):
+            assert value == pytest.approx(
+                point_segment_distance(point, a, b))
+
+
+class TestPointsSegmentsDistance:
+    def test_min_over_segments(self, rng):
+        points = rng.uniform(-5, 5, (30, 2))
+        starts = np.array([[0.0, 0.0], [10.0, 10.0]])
+        ends = np.array([[1.0, 0.0], [11.0, 10.0]])
+        result = points_segments_distance(points, starts, ends)
+        for point, value in zip(points, result):
+            expected = min(point_segment_distance(point, s, e)
+                           for s, e in zip(starts, ends))
+            assert value == pytest.approx(expected)
+
+    def test_empty_points(self):
+        out = points_segments_distance(np.zeros((0, 2)),
+                                       np.array([[0.0, 0.0]]),
+                                       np.array([[1.0, 0.0]]))
+        assert out.shape == (0,)
+
+    def test_no_segments_raises(self):
+        with pytest.raises(ValueError):
+            points_segments_distance(np.zeros((1, 2)), np.zeros((0, 2)),
+                                     np.zeros((0, 2)))
+
+    def test_degenerate_segment_handled(self):
+        out = points_segments_distance(np.array([[3.0, 4.0]]),
+                                       np.array([[0.0, 0.0]]),
+                                       np.array([[0.0, 0.0]]))
+        assert out[0] == pytest.approx(5.0)
+
+
+class TestArea:
+    def test_ccw_square_positive(self):
+        square = [(0, 0), (1, 0), (1, 1), (0, 1)]
+        assert polygon_signed_area(square) == pytest.approx(1.0)
+
+    def test_cw_square_negative(self):
+        square = [(0, 0), (0, 1), (1, 1), (1, 0)]
+        assert polygon_signed_area(square) == pytest.approx(-1.0)
+
+    def test_triangle(self):
+        assert polygon_signed_area([(0, 0), (4, 0), (0, 3)]) == \
+            pytest.approx(6.0)
+
+
+class TestBoundingBox:
+    def test_simple(self):
+        assert bounding_box([(0, 1), (2, -1), (1, 5)]) == (0, -1, 2, 5)
+
+    @given(st.lists(st.tuples(finite, finite), min_size=1, max_size=20))
+    @settings(max_examples=50)
+    def test_contains_all_points(self, points):
+        xmin, ymin, xmax, ymax = bounding_box(points)
+        for x, y in points:
+            assert xmin <= x <= xmax
+            assert ymin <= y <= ymax

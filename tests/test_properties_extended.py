@@ -1,0 +1,141 @@
+"""Second wave of cross-module property tests (hypothesis)."""
+
+import math
+
+import numpy as np
+import pytest
+from hypothesis import assume, given, settings
+from hypothesis import strategies as st
+
+from repro import Shape
+from repro.geometry.envelope import band_cover_triangles
+from repro.geometry.nearest import BoundaryDistance
+from repro.geometry.predicates import points_in_triangle
+from repro.geometry.transform import normalize_about_diameter
+from repro.hashing.characteristic import (characteristic_quadruple,
+                                          quadruple_distance)
+from repro.hashing.curves import HashCurveFamily
+from repro.imaging.decompose import decompose_polyline
+
+
+def polygon_from_seed(seed: int, min_vertices=5, max_vertices=14) -> Shape:
+    rng = np.random.default_rng(seed)
+    count = int(rng.integers(min_vertices, max_vertices + 1))
+    angles = np.sort(rng.uniform(0, 2 * math.pi, count))
+    angles += np.linspace(0, 1e-4, count)
+    radii = rng.uniform(0.5, 1.5, count)
+    return Shape(np.column_stack([radii * np.cos(angles),
+                                  radii * np.sin(angles)]))
+
+
+polygon = st.integers(0, 100_000).map(polygon_from_seed)
+transform = st.tuples(st.floats(-3.0, 3.0), st.floats(0.2, 5.0),
+                      st.floats(-30.0, 30.0), st.floats(-30.0, 30.0))
+
+
+class TestEnvelopeCoverProperty:
+    @given(polygon, st.floats(0.01, 0.2), st.floats(0.0, 0.8))
+    @settings(max_examples=25, deadline=None)
+    def test_cover_contains_band(self, shape, width, inner_fraction):
+        """For any polygon and band, every band point is covered."""
+        eps_inner = width * inner_fraction
+        eps_outer = width
+        triangles = band_cover_triangles(shape, eps_inner, eps_outer)
+        rng = np.random.default_rng(0)
+        points = rng.uniform(-2.5, 2.5, (150, 2))
+        distances = BoundaryDistance(shape).distances(points)
+        in_band = (distances >= eps_inner + 1e-9) & \
+                  (distances <= eps_outer - 1e-9)
+        for point, banded in zip(points, in_band):
+            if not banded:
+                continue
+            assert any(points_in_triangle(point.reshape(1, 2),
+                                          t[0], t[1], t[2])[0]
+                       for t in triangles)
+
+
+class TestHashingInvariance:
+    FAMILY = HashCurveFamily(40)
+
+    @given(polygon, transform)
+    @settings(max_examples=25, deadline=None)
+    def test_signature_matches_some_stored_copy(self, shape, params):
+        """A transformed shape's signature is close to the signature of
+        *some* stored normalized copy of the original.
+
+        Exact single-normalization invariance does not hold: floating-
+        point ties can flip which vertex pair is selected as the
+        diameter, changing the normalized frame entirely — which is
+        precisely why Section 2.4 stores every alpha-diameter copy.
+        """
+        from repro.geometry.transform import normalized_copies
+        angle, scale, dx, dy = params
+        moved = shape.rotated(angle).scaled(scale).translated(dx, dy)
+        transformed = characteristic_quadruple(
+            normalize_about_diameter(moved).shape, self.FAMILY)
+        stored = [characteristic_quadruple(copy.shape, self.FAMILY)
+                  for copy in normalized_copies(shape, alpha=0.1)]
+
+        def close_components(a, b):
+            """Components within one curve of each other.
+
+            A vertex sitting exactly on a quarter split (y ~ 0 or
+            x ~ 0.5) can flip quarters under a 1-ulp perturbation and
+            drag one component several curves — another boundary effect
+            the paper's neighbour-radius lookup absorbs — so we require
+            agreement on at least 3 of the 4 quarters.
+            """
+            return sum(1 for x, y in zip(a, b)
+                       if (x == 0 and y == 0) or
+                       (x != 0 and y != 0 and abs(x - y) <= 1))
+
+        assert max(close_components(transformed, s) for s in stored) >= 3
+
+    @given(polygon)
+    @settings(max_examples=25, deadline=None)
+    def test_signature_components_in_range(self, shape):
+        quadruple = characteristic_quadruple(
+            normalize_about_diameter(shape).shape, self.FAMILY)
+        for component in quadruple:
+            assert 0 <= component <= self.FAMILY.k
+
+
+class TestDecomposeProperty:
+    @given(st.integers(0, 50_000))
+    @settings(max_examples=30, deadline=None)
+    def test_random_chain_decomposes_to_simple_pieces(self, seed):
+        """Any random open chain decomposes into simple pieces whose
+        total length matches the original."""
+        rng = np.random.default_rng(seed)
+        count = int(rng.integers(4, 9))
+        points = rng.uniform(-1, 1, (count, 2))
+        # Skip chains with (near-)duplicate consecutive points.
+        deltas = np.hypot(*np.diff(points, axis=0).T)
+        assume((deltas > 1e-3).all())
+        chain = Shape(points, closed=False)
+        pieces = decompose_polyline(chain)
+        assert pieces
+        for piece in pieces:
+            assert piece.is_simple()
+        total = sum(p.perimeter for p in pieces)
+        assert total == pytest.approx(chain.perimeter, rel=1e-4)
+
+
+class TestNormalizationDiameterProperty:
+    @given(polygon, transform)
+    @settings(max_examples=30, deadline=None)
+    def test_diameter_always_unit_after_normalization(self, shape, params):
+        from repro.geometry.diameter import diameter
+        angle, scale, dx, dy = params
+        moved = shape.rotated(angle).scaled(scale).translated(dx, dy)
+        normalized = normalize_about_diameter(moved).shape
+        _, diam = diameter(normalized.vertices)
+        assert diam == pytest.approx(1.0, abs=1e-9)
+
+    @given(polygon)
+    @settings(max_examples=30, deadline=None)
+    def test_significant_vertices_similarity_invariant(self, shape):
+        from repro.query.selectivity import significant_vertices
+        moved = shape.rotated(1.3).scaled(0.37).translated(5, -2)
+        assert significant_vertices(moved) == pytest.approx(
+            significant_vertices(shape), abs=1e-6)

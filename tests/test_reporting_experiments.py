@@ -1,0 +1,97 @@
+"""Tests for the reporting helpers and the experiment harnesses."""
+
+import pytest
+
+from repro.experiments import (EXPERIMENTS, criterion_example, io_methods,
+                               matching_scaling, selectivity_experiment)
+from repro.experiments.common import ExperimentResult
+from repro.reporting import ascii_bars, ascii_chart, format_table
+
+
+class TestFormatTable:
+    def test_alignment(self):
+        table = format_table(["name", "value"],
+                             [["alpha", 1.0], ["b", 22.5]])
+        lines = table.splitlines()
+        assert len(lines) == 4
+        assert len(set(len(line) for line in lines)) == 1
+
+    def test_float_precision(self):
+        table = format_table(["x"], [[1.23456]], precision=3)
+        assert "1.235" in table
+
+    def test_row_width_mismatch(self):
+        with pytest.raises(ValueError):
+            format_table(["a", "b"], [[1]])
+
+    def test_integers_unmolested(self):
+        assert "42" in format_table(["n"], [[42]])
+
+
+class TestAsciiChart:
+    def test_empty(self):
+        assert ascii_chart([]) == "(no data)"
+
+    def test_markers_present(self):
+        chart = ascii_chart([("up", [(0, 0), (1, 1)]),
+                             ("down", [(0, 1), (1, 0)])])
+        assert "*" in chart
+        assert "o" in chart
+        assert "up" in chart and "down" in chart
+
+    def test_constant_series(self):
+        chart = ascii_chart([("flat", [(0, 5), (1, 5), (2, 5)])])
+        assert "*" in chart
+
+    def test_bars(self):
+        bars = ascii_bars([("a", 10.0), ("b", 5.0)])
+        lines = bars.splitlines()
+        assert lines[0].count("#") > lines[1].count("#")
+
+    def test_bars_empty(self):
+        assert ascii_bars([]) == "(no data)"
+
+
+class TestExperimentResult:
+    def test_render_contains_table_and_notes(self):
+        result = ExperimentResult(
+            name="x", title="Title", headers=["a"], rows=[[1]],
+            notes=["hello"])
+        text = result.render()
+        assert "Title" in text
+        assert "note: hello" in text
+
+    def test_render_with_chart(self):
+        result = ExperimentResult(
+            name="x", title="T", headers=["a"], rows=[[1]],
+            series=[("s", [(0.0, 1.0), (1.0, 2.0)])])
+        assert "|" in result.render(chart=True)
+        assert "|" not in result.render(chart=False).replace("T", "")
+
+
+class TestExperimentRegistry:
+    def test_all_registered(self):
+        assert set(EXPERIMENTS) == {"fig01", "fig07", "fig08", "fig10",
+                                    "localopt", "scaling", "noise"}
+
+    def test_criterion_example(self):
+        result = criterion_example()
+        assert result.metrics["h_avg (ours) winner is B"] == 1.0
+        assert result.metrics["Hausdorff H winner is B"] == 0.0
+
+    def test_io_methods_small(self):
+        result = io_methods(num_images=8, num_queries=2, seed=3)
+        assert result.rows
+        assert "mean_mean" in result.metrics
+        assert result.render()          # renders without error
+
+    def test_scaling_small(self):
+        result = matching_scaling(sizes=(5, 10), queries_per_size=2,
+                                  seed=3)
+        assert result.metrics["n_ratio"] > 1.0
+        assert len(result.rows) == 2
+
+    def test_selectivity_small(self):
+        result = selectivity_experiment(num_shapes=30, num_queries=6)
+        assert result.metrics["c1"] > 0
+        assert len(result.rows) == 6

@@ -1,0 +1,128 @@
+"""Unit tests for the ShapeBase."""
+
+import numpy as np
+import pytest
+
+from repro import Shape, ShapeBase
+
+
+class TestPopulation:
+    def test_add_shape_returns_id(self, square):
+        base = ShapeBase()
+        assert base.add_shape(square) == 0
+        assert base.add_shape(square.translated(5, 5)) == 1
+
+    def test_explicit_ids(self, square):
+        base = ShapeBase()
+        assert base.add_shape(square, shape_id=10) == 10
+        assert base.add_shape(square.translated(1, 1)) == 11
+
+    def test_duplicate_id_rejected(self, square):
+        base = ShapeBase()
+        base.add_shape(square, shape_id=3)
+        with pytest.raises(ValueError):
+            base.add_shape(square, shape_id=3)
+
+    def test_alpha_bounds(self):
+        with pytest.raises(ValueError):
+            ShapeBase(alpha=1.0)
+        with pytest.raises(ValueError):
+            ShapeBase(alpha=-0.5)
+
+    def test_entries_doubled_per_pair(self, square):
+        base = ShapeBase(alpha=0.0)
+        base.add_shape(square)
+        # Square has two diameters (both diagonals), two orders each.
+        assert base.num_entries == 4
+
+    def test_alpha_multiplies_entries(self, shape_factory):
+        shape = shape_factory(14)
+        tight = ShapeBase(alpha=0.0)
+        tight.add_shape(shape)
+        loose = ShapeBase(alpha=0.3)
+        loose.add_shape(shape)
+        assert loose.num_entries >= tight.num_entries
+
+    def test_add_shapes_same_image(self, square, triangle):
+        base = ShapeBase()
+        ids = base.add_shapes([square, triangle], image_id=7)
+        assert base.shapes_of_image(7) == ids
+        assert base.num_images == 1
+
+
+class TestStatistics:
+    def test_counts(self, small_base):
+        assert small_base.num_shapes == 30
+        assert small_base.num_entries == len(small_base.entries)
+        assert small_base.num_images == 10
+
+    def test_total_vertices_matches_sum(self, small_base):
+        """Indexed count excludes the two anchors of every copy."""
+        expected = sum(e.shape.num_vertices - 2
+                       for e in small_base.entries)
+        assert small_base.total_vertices == expected
+
+    def test_average_vertices(self, small_base):
+        expected = small_base.total_vertices / small_base.num_entries
+        assert small_base.average_vertices_per_entry == \
+            pytest.approx(expected)
+
+    def test_empty_base(self):
+        base = ShapeBase()
+        assert base.num_shapes == 0
+        assert base.total_vertices == 0
+        assert base.average_vertices_per_entry == 0.0
+
+
+class TestLookup:
+    def test_entries_of_shape(self, small_base):
+        for shape_id in small_base.shape_ids():
+            entry_ids = small_base.entries_of_shape(shape_id)
+            assert entry_ids
+            for entry_id in entry_ids:
+                assert small_base.entry(entry_id).shape_id == shape_id
+
+    def test_image_of_shape(self, small_base):
+        for shape_id in small_base.shape_ids():
+            image = small_base.image_of_shape(shape_id)
+            assert shape_id in small_base.shapes_of_image(image)
+
+    def test_entry_vertices_match(self, small_base):
+        for entry in list(small_base)[:20]:
+            slice_vertices = small_base.entry_vertices(entry.entry_id)
+            assert np.allclose(slice_vertices, entry.shape.vertices)
+
+    def test_vertex_owner_consistency(self, small_base):
+        owner = small_base.vertex_owner
+        sizes = small_base.entry_sizes
+        counts = np.bincount(owner, minlength=small_base.num_entries)
+        assert np.array_equal(counts, sizes)
+
+
+class TestIndexLifecycle:
+    def test_index_rebuilt_after_add(self, square):
+        base = ShapeBase()
+        base.add_shape(square)
+        n1 = base.total_vertices
+        index1 = base.index
+        base.add_shape(square.translated(3, 3))
+        assert base.total_vertices > n1
+        assert base.index is not index1
+
+    def test_index_reports_entry_vertices(self, small_base):
+        index = small_base.index
+        big = ((-100.0, -100.0), (100.0, -100.0), (0.0, 200.0))
+        assert len(index.report_triangle(*big)) == small_base.total_vertices
+
+    def test_backend_selection(self, square):
+        base = ShapeBase(backend="rangetree")
+        base.add_shape(square)
+        from repro.rangesearch import LayeredRangeTreeIndex
+        assert isinstance(base.index, LayeredRangeTreeIndex)
+
+    def test_normalized_entries_have_unit_pairs(self, small_base):
+        for entry in list(small_base)[:10]:
+            i, j = entry.copy.pair
+            v = entry.shape.vertices
+            assert v[i] == pytest.approx((0, 0), abs=1e-9)
+            assert v[j] == pytest.approx((1, 0), abs=1e-9)

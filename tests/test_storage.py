@@ -1,0 +1,193 @@
+"""Unit tests for the storage substrate: device, buffer, serialization."""
+
+import numpy as np
+import pytest
+
+from repro import Shape, ShapeBase
+from repro.storage import (DEFAULT_BLOCK_SIZE, BlockDevice, BufferPool,
+                           decode_record, encode_entry, record_size)
+from repro.storage.serialization import RECORD_HEADER_SIZE
+
+
+class TestBlockDevice:
+    def test_allocate_and_read(self):
+        device = BlockDevice()
+        block = device.allocate(b"hello")
+        data = device.read_block(block)
+        assert data.startswith(b"hello")
+        assert len(data) == DEFAULT_BLOCK_SIZE
+
+    def test_io_counted(self):
+        device = BlockDevice()
+        block = device.allocate()
+        device.read_block(block)
+        device.read_block(block)
+        device.write_block(block, b"x")
+        assert device.stats.reads == 2
+        assert device.stats.writes == 1
+        assert device.stats.total == 3
+
+    def test_stats_snapshot_delta(self):
+        device = BlockDevice()
+        block = device.allocate()
+        device.read_block(block)
+        snap = device.stats.snapshot()
+        device.read_block(block)
+        assert device.stats.delta(snap).reads == 1
+
+    def test_out_of_range(self):
+        device = BlockDevice()
+        with pytest.raises(IndexError):
+            device.read_block(0)
+
+    def test_oversized_payload(self):
+        device = BlockDevice(block_size=64)
+        with pytest.raises(ValueError):
+            device.allocate(b"x" * 65)
+        block = device.allocate()
+        with pytest.raises(ValueError):
+            device.write_block(block, b"x" * 65)
+
+    def test_min_block_size(self):
+        with pytest.raises(ValueError):
+            BlockDevice(block_size=32)
+
+    def test_reset_stats(self):
+        device = BlockDevice()
+        block = device.allocate()
+        device.read_block(block)
+        device.reset_stats()
+        assert device.stats.total == 0
+
+
+class TestBufferPool:
+    def test_read_through_and_hit(self):
+        device = BlockDevice()
+        block = device.allocate(b"data")
+        pool = BufferPool(device, capacity=2)
+        pool.read_block(block)
+        pool.read_block(block)
+        assert device.stats.reads == 1
+        assert pool.stats.hits == 1
+        assert pool.stats.misses == 1
+        assert pool.stats.hit_ratio == pytest.approx(0.5)
+
+    def test_lru_eviction(self):
+        device = BlockDevice()
+        blocks = [device.allocate() for _ in range(3)]
+        pool = BufferPool(device, capacity=2)
+        pool.read_block(blocks[0])
+        pool.read_block(blocks[1])
+        pool.read_block(blocks[2])      # evicts 0
+        assert not pool.contains(blocks[0])
+        assert pool.contains(blocks[1])
+        assert pool.stats.evictions == 1
+        pool.read_block(blocks[0])      # miss again
+        assert device.stats.reads == 4
+
+    def test_lru_order_updated_on_hit(self):
+        device = BlockDevice()
+        blocks = [device.allocate() for _ in range(3)]
+        pool = BufferPool(device, capacity=2)
+        pool.read_block(blocks[0])
+        pool.read_block(blocks[1])
+        pool.read_block(blocks[0])      # touch 0 -> 1 becomes LRU
+        pool.read_block(blocks[2])      # evicts 1
+        assert pool.contains(blocks[0])
+        assert not pool.contains(blocks[1])
+
+    def test_resize_shrinks(self):
+        device = BlockDevice()
+        blocks = [device.allocate() for _ in range(4)]
+        pool = BufferPool(device, capacity=4)
+        for block in blocks:
+            pool.read_block(block)
+        pool.resize(2)
+        assert pool.resident == 2
+        assert pool.capacity == 2
+
+    def test_clear_and_reset(self):
+        device = BlockDevice()
+        block = device.allocate()
+        pool = BufferPool(device, capacity=2)
+        pool.read_block(block)
+        pool.clear()
+        assert pool.resident == 0
+        assert pool.stats.misses == 1
+        pool.reset()
+        assert pool.stats.misses == 0
+
+    def test_capacity_validation(self):
+        device = BlockDevice()
+        with pytest.raises(ValueError):
+            BufferPool(device, capacity=0)
+        pool = BufferPool(device, capacity=1)
+        with pytest.raises(ValueError):
+            pool.resize(0)
+
+
+class TestSerialization:
+    @pytest.fixture
+    def entry(self, small_base):
+        return small_base.entry(3)
+
+    def test_roundtrip(self, entry):
+        blob = encode_entry(entry)
+        record, end = decode_record(blob)
+        assert end == len(blob)
+        assert record.entry_id == entry.entry_id
+        assert record.shape_id == entry.shape_id
+        assert record.image_id == entry.image_id
+        assert record.pair == entry.copy.pair
+        assert record.shape.closed == entry.shape.closed
+        assert np.allclose(record.shape.vertices, entry.shape.vertices,
+                           atol=1e-5)
+
+    def test_transform_roundtrip(self, entry):
+        blob = encode_entry(entry)
+        record, _ = decode_record(blob)
+        for a, b in zip(record.transform.as_tuple(),
+                        entry.copy.transform.as_tuple()):
+            assert a == pytest.approx(b, abs=1e-5)
+
+    def test_record_size_formula(self, entry):
+        blob = encode_entry(entry)
+        assert len(blob) == record_size(entry.shape.num_vertices)
+        assert len(blob) == RECORD_HEADER_SIZE + 8 * entry.shape.num_vertices
+
+    def test_paper_size_budget(self):
+        """~200 bytes for a 20-vertex record (Section 4.1)."""
+        assert record_size(20) == pytest.approx(200, abs=10)
+
+    def test_none_image_id(self, square):
+        base = ShapeBase()
+        base.add_shape(square)          # no image id
+        blob = encode_entry(base.entry(0))
+        record, _ = decode_record(blob)
+        assert record.image_id is None
+
+    def test_truncated_header(self):
+        with pytest.raises(ValueError, match="truncated"):
+            decode_record(b"\0" * 4)
+
+    def test_truncated_body(self, entry):
+        blob = encode_entry(entry)
+        with pytest.raises(ValueError, match="truncated"):
+            decode_record(blob[:-4])
+
+    def test_multiple_records_sequential(self, small_base):
+        blob = encode_entry(small_base.entry(0)) + \
+            encode_entry(small_base.entry(1))
+        first, offset = decode_record(blob, 0)
+        second, end = decode_record(blob, offset)
+        assert first.entry_id == 0
+        assert second.entry_id == 1
+        assert end == len(blob)
+
+    def test_to_entry_rehydrates(self, entry):
+        record, _ = decode_record(encode_entry(entry))
+        rebuilt = record.to_entry()
+        assert rebuilt.entry_id == entry.entry_id
+        assert rebuilt.shape_id == entry.shape_id
+        assert np.allclose(rebuilt.shape.vertices, entry.shape.vertices,
+                           atol=1e-5)

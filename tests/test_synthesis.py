@@ -1,0 +1,125 @@
+"""Unit tests for the synthetic workload generator."""
+
+import numpy as np
+import pytest
+
+from repro import Shape
+from repro.imaging.synthesis import (distort, generate_workload,
+                                     make_query_set, notched_box,
+                                     place_randomly, prototype_pool,
+                                     random_blob, star_polygon,
+                                     zigzag_polyline)
+
+
+class TestPrototypes:
+    def test_random_blob_simple(self, rng):
+        for _ in range(10):
+            blob = random_blob(rng, 15)
+            assert blob.is_simple()
+            assert blob.closed
+
+    def test_blob_vertex_count(self, rng):
+        assert random_blob(rng, 23).num_vertices == 23
+
+    def test_blob_validation(self, rng):
+        with pytest.raises(ValueError):
+            random_blob(rng, 2)
+
+    def test_star(self):
+        star = star_polygon(points=5)
+        assert star.num_vertices == 10
+        assert star.is_simple()
+
+    def test_star_validation(self):
+        with pytest.raises(ValueError):
+            star_polygon(points=2)
+
+    def test_notched_box(self):
+        box = notched_box(0.4)
+        assert box.num_vertices == 6
+        assert box.is_simple()
+        assert box.area == pytest.approx(1.0 - 0.6 * 0.4, abs=1e-9)
+
+    def test_notched_box_validation(self):
+        with pytest.raises(ValueError):
+            notched_box(1.5)
+
+    def test_zigzag_open(self, rng):
+        line = zigzag_polyline(rng, 10)
+        assert not line.closed
+
+    def test_pool_mixture(self, rng):
+        pool = prototype_pool(rng, count=10)
+        assert len(pool) == 10
+        assert any(not s.closed for s in pool)      # has polylines
+        assert any(s.closed for s in pool)
+
+
+class TestDistortion:
+    def test_zero_noise_identity(self, square, rng):
+        assert np.allclose(distort(square, 0.0, rng).vertices,
+                           square.vertices)
+
+    def test_noise_scale_relative_to_diameter(self, rng):
+        small = Shape.rectangle(0, 0, 1, 1)
+        big = Shape.rectangle(0, 0, 100, 100)
+        d_small = np.abs(distort(small, 0.01, rng).vertices -
+                         small.vertices).mean()
+        d_big = np.abs(distort(big, 0.01, rng).vertices -
+                       big.vertices).mean()
+        assert d_big > 10 * d_small
+
+    def test_negative_noise_rejected(self, square, rng):
+        with pytest.raises(ValueError):
+            distort(square, -0.1, rng)
+
+    def test_place_randomly_in_canvas(self, square, rng):
+        for _ in range(10):
+            placed = place_randomly(square, rng, canvas=50.0,
+                                    scale_range=(1.0, 3.0))
+            xmin, ymin, xmax, ymax = placed.bbox()
+            assert xmin >= -1e-6 and ymin >= -1e-6
+            assert xmax <= 50 + 1e-6 and ymax <= 50 + 1e-6
+
+
+class TestWorkload:
+    def test_statistics_profile(self, rng):
+        workload = generate_workload(60, rng, shapes_per_image=5.5,
+                                     vertices_mean=20.0)
+        per_image = workload.num_shapes / 60
+        assert 4.0 <= per_image <= 7.0
+        counts = [s.num_vertices for s in workload.all_shapes()]
+        assert 8 <= np.mean(counts) <= 32
+
+    def test_labels_align(self, tiny_workload):
+        for image in tiny_workload.images:
+            assert len(image.shapes) == len(image.labels)
+            for label in image.labels:
+                assert 0 <= label < len(tiny_workload.prototypes)
+
+    def test_deterministic_given_seed(self):
+        a = generate_workload(5, np.random.default_rng(9))
+        b = generate_workload(5, np.random.default_rng(9))
+        for img_a, img_b in zip(a.images, b.images):
+            assert img_a.labels == img_b.labels
+            for s, t in zip(img_a.shapes, img_b.shapes):
+                assert np.allclose(s.vertices, t.vertices)
+
+    def test_validation(self, rng):
+        with pytest.raises(ValueError):
+            generate_workload(-1, rng)
+
+    def test_custom_prototypes(self, rng, square, triangle):
+        workload = generate_workload(5, rng, prototypes=[square, triangle])
+        assert workload.prototypes == [square, triangle]
+        assert all(0 <= lbl < 2 for img in workload.images
+                   for lbl in img.labels)
+
+
+class TestQuerySet:
+    def test_query_labels_valid(self, tiny_workload, rng):
+        queries = make_query_set(tiny_workload, 8, rng)
+        assert len(queries) == 8
+        for query, label in queries:
+            assert isinstance(query, Shape)
+            assert 0 <= label < len(tiny_workload.prototypes)

@@ -1,0 +1,137 @@
+"""Tests for the video retrieval extension."""
+
+import numpy as np
+import pytest
+
+from repro import Shape
+from repro.geosir import VideoIndex, synthesize_clip
+from repro.imaging.synthesis import random_blob, star_polygon
+
+
+@pytest.fixture(scope="module")
+def video_setup():
+    rng = np.random.default_rng(747)
+    star = star_polygon(points=6, inner=0.5)
+    blob = random_blob(rng, 14, irregularity=0.3)
+    index = VideoIndex(alpha=0.05)
+    # Clip 0: star present in frames 0-5, absent 6-9.
+    present0 = [True] * 6 + [False] * 4
+    index.add_clip(0, synthesize_clip(star, 10, rng, present=present0,
+                                      noise=0.006))
+    # Clip 1: blob throughout.
+    index.add_clip(1, synthesize_clip(blob, 8, rng, noise=0.006))
+    # Clip 2: star appears in two separated stints (0-2 and 7-9).
+    present2 = [True] * 3 + [False] * 4 + [True] * 3
+    index.add_clip(2, synthesize_clip(star, 10, rng, present=present2,
+                                      noise=0.006))
+    return index, star, blob, rng
+
+
+class TestIndexing:
+    def test_counts(self, video_setup):
+        index, _, _, _ = video_setup
+        assert index.num_clips == 3
+        assert index.num_frames == 28
+        assert index.base.num_shapes > 0
+
+    def test_duplicate_clip_rejected(self, video_setup):
+        index, star, _, rng = video_setup
+        with pytest.raises(ValueError):
+            index.add_clip(0, synthesize_clip(star, 2, rng))
+
+    def test_empty_clip_rejected(self):
+        with pytest.raises(ValueError):
+            VideoIndex().add_clip(9, [])
+
+
+class TestQuery:
+    def test_star_clips_ranked_first(self, video_setup):
+        index, star, _, _ = video_setup
+        results = index.query(star, k=3, threshold=0.05)
+        assert results
+        star_clips = {r.clip_id for r in results[:2]}
+        assert star_clips <= {0, 2}
+        assert results[0].best.distance < 0.05
+
+    def test_blob_clip_found(self, video_setup):
+        index, _, blob, _ = video_setup
+        results = index.query(blob, k=1, threshold=0.05)
+        assert results
+        assert results[0].clip_id == 1
+
+    def test_hits_sorted_by_frame(self, video_setup):
+        index, star, _, _ = video_setup
+        results = index.query(star, k=1, threshold=0.05)
+        frames = [h.frame_index for h in results[0].hits]
+        assert frames == sorted(frames)
+
+    def test_k_validation(self, video_setup):
+        index, star, _, _ = video_setup
+        with pytest.raises(ValueError):
+            index.query(star, k=0)
+
+    def test_alien_sketch_no_results(self, video_setup):
+        index, _, _, _ = video_setup
+        alien = Shape([(0, 0), (30, 0), (30, 1), (0, 1)])
+        assert index.query(alien, k=2, threshold=0.02) == []
+
+
+class TestTracking:
+    def test_single_interval_clip0(self, video_setup):
+        index, star, _, _ = video_setup
+        intervals = [iv for iv in index.track(star, threshold=0.02)
+                     if iv.clip_id == 0]
+        assert len(intervals) == 1
+        interval = intervals[0]
+        assert interval.start_frame == 0
+        assert interval.end_frame == 5
+        assert interval.length == 6
+        assert interval.mean_distance < 0.02
+
+    def test_two_intervals_clip2(self, video_setup):
+        index, star, _, _ = video_setup
+        intervals = [iv for iv in index.track(star, threshold=0.02,
+                                              max_gap=1)
+                     if iv.clip_id == 2]
+        assert len(intervals) == 2
+        assert intervals[0].start_frame == 0
+        assert intervals[0].end_frame == 2
+        assert intervals[1].start_frame == 7
+        assert intervals[1].end_frame == 9
+
+    def test_large_gap_merges(self, video_setup):
+        index, star, _, _ = video_setup
+        intervals = [iv for iv in index.track(star, threshold=0.02,
+                                              max_gap=5)
+                     if iv.clip_id == 2]
+        assert len(intervals) == 1
+        assert intervals[0].start_frame == 0
+        assert intervals[0].end_frame == 9
+
+    def test_max_gap_validation(self, video_setup):
+        index, star, _, _ = video_setup
+        with pytest.raises(ValueError):
+            index.track(star, max_gap=-1)
+
+
+class TestSynthesizeClip:
+    def test_present_mask_respected(self, rng):
+        star = star_polygon(points=5)
+        frames = synthesize_clip(star, 6, rng,
+                                 present=[True, False, True, False,
+                                          True, False],
+                                 distractors=0)
+        counts = [len(f) for f in frames]
+        assert counts == [1, 0, 1, 0, 1, 0]
+
+    def test_distractors_added(self, rng):
+        star = star_polygon(points=5)
+        frames = synthesize_clip(star, 3, rng, distractors=2)
+        assert all(len(f) == 3 for f in frames)
+
+    def test_validation(self, rng):
+        star = star_polygon(points=5)
+        with pytest.raises(ValueError):
+            synthesize_clip(star, 0, rng)
+        with pytest.raises(ValueError):
+            synthesize_clip(star, 3, rng, present=[True])
