@@ -1,0 +1,141 @@
+"""Service-tier throughput: workers x cache sweep over a synthetic base.
+
+Not a paper figure — the service layer (`repro.service`) is repo
+infrastructure — but it follows the same harness conventions: scaled
+synthetic workload from ``conftest``, a persisted table under
+``benchmarks/results/``, and one JSON row per configuration so runs
+can be diffed mechanically.
+
+A closed-loop generator (one client thread per worker, each issuing
+its next query only when the previous completes) sweeps worker counts
+1/2/4 with the query-result cache on and off.  A priming pass absorbs
+first-touch costs (numpy initialization, allocator warm-up) so the
+first configuration measured is not systematically the slowest.
+
+No hard timing assertions: on a single-core host (common in CI)
+multi-worker parity is the ceiling for CPU-bound queries; the cpu
+count is recorded in the output so readers can interpret the sweep.
+"""
+
+import json
+import os
+import threading
+import time
+
+import numpy as np
+
+from repro.imaging import make_query_set
+from repro.service import RetrievalService, ServiceConfig
+
+from .conftest import BENCH_QUERIES, write_table
+
+WORKER_SWEEP = (1, 2, 4)
+NUM_SHARDS = 4
+
+
+def _closed_loop(service, sketches, total_queries, workers):
+    """Drive ``total_queries`` through ``workers`` client threads."""
+    position = {"next": 0}
+    lock = threading.Lock()
+
+    def client():
+        while True:
+            with lock:
+                index = position["next"]
+                if index >= total_queries:
+                    return
+                position["next"] = index + 1
+            service.retrieve(sketches[index % len(sketches)], k=1)
+
+    start = time.perf_counter()
+    clients = [threading.Thread(target=client) for _ in range(workers)]
+    for thread in clients:
+        thread.start()
+    for thread in clients:
+        thread.join()
+    return time.perf_counter() - start
+
+
+def test_service_throughput_sweep(base, workload):
+    distinct = max(4, BENCH_QUERIES)
+    total_queries = distinct * 6
+    sketches = [query for query, _ in
+                make_query_set(workload, distinct,
+                               np.random.default_rng(41), noise=0.012)]
+
+    # Priming pass: pay one-time process costs outside every timed run.
+    with RetrievalService.from_base(base, ServiceConfig(
+            num_shards=NUM_SHARDS, workers=1, cache_capacity=0)) as primer:
+        for sketch in sketches:
+            primer.retrieve(sketch, k=1)
+
+    rows = []
+    for cache_on in (False, True):
+        for workers in WORKER_SWEEP:
+            config = ServiceConfig(
+                num_shards=NUM_SHARDS, workers=workers,
+                cache_capacity=256 if cache_on else 0)
+            with RetrievalService.from_base(base, config) as service:
+                wall = _closed_loop(service, sketches, total_queries,
+                                    workers)
+                snapshot = service.snapshot()
+            latency = snapshot["histograms"]["latency.total"]
+            served = snapshot["counters"].get("queries.served", 0)
+            assert served == total_queries      # nothing shed or lost
+            rows.append({
+                "workers": workers,
+                "shards": NUM_SHARDS,
+                "cache": cache_on,
+                "queries": total_queries,
+                "served": served,
+                "shed": snapshot["counters"].get("queries.shed", 0),
+                "wall_s": round(wall, 4),
+                "throughput_qps": round(served / wall, 2),
+                "latency_p50_ms": round(latency["p50"] * 1e3, 2),
+                "latency_p90_ms": round(latency["p90"] * 1e3, 2),
+                "latency_p99_ms": round(latency["p99"] * 1e3, 2),
+                "cache_hit_ratio": round(
+                    snapshot["rates"]["cache_hit_ratio"], 4),
+            })
+
+    lines = [
+        "Service throughput: closed-loop workers x cache sweep",
+        f"(cpus={os.cpu_count()}, shards={NUM_SHARDS}, "
+        f"base={base.num_shapes} shapes, {total_queries} queries, "
+        f"{distinct} distinct sketches)",
+        "",
+        f"{'cache':>6s} {'workers':>8s} {'qps':>9s} {'p50ms':>8s} "
+        f"{'p90ms':>8s} {'hit':>7s}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{'on' if row['cache'] else 'off':>6s} {row['workers']:>8d} "
+            f"{row['throughput_qps']:>9.2f} {row['latency_p50_ms']:>8.2f} "
+            f"{row['latency_p90_ms']:>8.2f} {row['cache_hit_ratio']:>7.4f}")
+    lines.append("")
+    lines.append("JSON rows:")
+    lines.extend(json.dumps(row) for row in rows)
+    write_table("service_throughput", lines)
+
+    # Structural expectations only (timing is host-dependent):
+    cached_rows = [row for row in rows if row["cache"]]
+    uncached_rows = [row for row in rows if not row["cache"]]
+    # Repeated sketches make the cache do real work...
+    assert all(row["cache_hit_ratio"] > 0.5 for row in cached_rows)
+    assert all(row["cache_hit_ratio"] == 0.0 for row in uncached_rows)
+    # ...which shows up as throughput: every cached config beats the
+    # fastest uncached one (cache hits skip the envelope search).
+    assert min(r["throughput_qps"] for r in cached_rows) > \
+        max(r["throughput_qps"] for r in uncached_rows)
+
+
+def test_service_single_query_latency(base, workload, benchmark):
+    """Micro-benchmark: one warm uncached retrieval through the service."""
+    [(sketch, _)] = make_query_set(workload, 1,
+                                   np.random.default_rng(43), noise=0.012)
+    with RetrievalService.from_base(base, ServiceConfig(
+            num_shards=NUM_SHARDS, workers=1, cache_capacity=0)) as service:
+        service.retrieve(sketch, k=1)           # warm
+        result = benchmark(service.retrieve, sketch, k=1)
+    assert result.ok
+    assert result.matches

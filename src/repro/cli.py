@@ -6,15 +6,20 @@ Usage (``python -m repro ...``)::
     repro build  --images imgs.json --out b.gsir [--alpha 0.1]
     repro stats  --base b.gsir
     repro query  --base b.gsir --sketch sk.json [-k 3] [--threshold T]
+                 [--json]
+    repro serve-bench [--workers 1,2,4] [--shards 4] [--no-cache]
 
 ``imgs.json`` / ``sk.json`` use the format of
 :mod:`repro.geometry.io`; a query sketch file should contain exactly
-one shape (extra shapes are ignored with a warning).
+one shape (extra shapes are ignored with a warning).  ``serve-bench``
+drives the :mod:`repro.service` tier with a closed-loop load generator
+and reports throughput, latency percentiles and the service metrics.
 """
 
 from __future__ import annotations
 
 import argparse
+import json
 import sys
 from typing import List, Optional
 
@@ -57,7 +62,7 @@ def _cmd_stats(args: argparse.Namespace) -> int:
 def _load_sketch(path: str):
     shapes = load_shapes(path)
     if not shapes:
-        raise SystemExit("sketch file contains no shapes")
+        raise ValueError("sketch file contains no shapes")
     if len(shapes) > 1:
         print(f"warning: sketch file has {len(shapes)} shapes; "
               f"using the first", file=sys.stderr)
@@ -65,16 +70,46 @@ def _load_sketch(path: str):
 
 
 def _cmd_query(args: argparse.Namespace) -> int:
-    base = load_base(args.base)
+    try:
+        base = load_base(args.base)
+    except (OSError, ValueError) as exc:
+        print(f"error: cannot load base {args.base!r}: {exc}",
+              file=sys.stderr)
+        return 2
     if base.num_shapes == 0:
         print("the base is empty", file=sys.stderr)
         return 1
-    sketch = _load_sketch(args.sketch)
+    try:
+        sketch = _load_sketch(args.sketch)
+    except (OSError, ValueError, KeyError) as exc:
+        print(f"error: cannot load sketch {args.sketch!r}: {exc}",
+              file=sys.stderr)
+        return 2
     matcher = GeometricSimilarityMatcher(base)
     if args.threshold is not None:
         matches, stats = matcher.query_threshold(sketch, args.threshold)
+        method = "envelope-threshold"
     else:
         matches, stats = matcher.query(sketch, k=args.k)
+        method = "envelope-topk"
+    if args.json:
+        print(json.dumps({
+            "method": method,
+            "matches": [{"rank": rank,
+                         "shape_id": match.shape_id,
+                         "image_id": match.image_id,
+                         "distance": match.distance,
+                         "approximate": match.approximate}
+                        for rank, match in enumerate(matches, start=1)],
+            "stats": {"iterations": stats.iterations,
+                      "triangles_queried": stats.triangles_queried,
+                      "vertices_reported": stats.vertices_reported,
+                      "vertices_processed": stats.vertices_processed,
+                      "candidates_evaluated": stats.candidates_evaluated,
+                      "guaranteed": stats.guaranteed,
+                      "exhausted": stats.exhausted},
+        }, indent=1))
+        return 0
     print(f"{len(matches)} match(es) "
           f"({stats.iterations} envelope iterations, "
           f"{stats.candidates_evaluated} candidates evaluated)")
@@ -107,6 +142,120 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _cmd_serve_bench(args: argparse.Namespace) -> int:
+    """Closed-loop load generation against the retrieval service."""
+    import threading
+    import time
+
+    import numpy as np
+
+    from .imaging.synthesis import generate_workload, make_query_set
+    from .service import RetrievalService, ServiceConfig
+
+    try:
+        worker_counts = [int(w) for w in str(args.workers).split(",")]
+    except ValueError:
+        print(f"error: --workers expects comma-separated integers, "
+              f"got {args.workers!r}", file=sys.stderr)
+        return 2
+    if any(workers < 1 for workers in worker_counts):
+        print("error: --workers values must be at least 1",
+              file=sys.stderr)
+        return 2
+
+    rng = np.random.default_rng(args.seed)
+    workload = generate_workload(args.images, rng, shapes_per_image=4.0,
+                                 noise=0.01)
+    base = ShapeBase(alpha=0.1)
+    for image in workload.images:
+        for shape in image.shapes:
+            base.add_shape(shape, image_id=image.image_id)
+    sketches = [query for query, _ in
+                make_query_set(workload, args.distinct,
+                               np.random.default_rng(args.seed + 1),
+                               noise=0.01)]
+    print(f"base: {base.num_shapes} shapes over {base.num_images} images; "
+          f"{args.queries} queries ({len(sketches)} distinct) per config")
+
+    # Priming pass: first-touch numpy/allocator costs land here instead
+    # of biasing whichever configuration happens to run first.
+    with RetrievalService.from_base(base, ServiceConfig(
+            num_shards=args.shards, workers=1, cache_capacity=0)) as primer:
+        for sketch in sketches:
+            primer.retrieve(sketch, k=args.k)
+
+    rows = []
+    for workers in worker_counts:
+        config = ServiceConfig(
+            num_shards=args.shards, workers=workers,
+            cache_capacity=0 if args.no_cache else args.cache_capacity,
+            max_pending=args.max_pending, deadline=args.deadline)
+        service = RetrievalService.from_base(base, config)
+
+        # Closed loop: one client per worker; each client issues its
+        # next query only after the previous one completed.
+        position = {"next": 0}
+        lock = threading.Lock()
+
+        def client() -> None:
+            while True:
+                with lock:
+                    index = position["next"]
+                    if index >= args.queries:
+                        return
+                    position["next"] = index + 1
+                service.retrieve(sketches[index % len(sketches)], k=args.k)
+
+        start = time.perf_counter()
+        clients = [threading.Thread(target=client, name=f"client-{i}")
+                   for i in range(workers)]
+        for thread in clients:
+            thread.start()
+        for thread in clients:
+            thread.join()
+        wall = time.perf_counter() - start
+
+        snapshot = service.snapshot()
+        latency = snapshot["histograms"]["latency.total"]
+        served = snapshot["counters"].get("queries.served", 0)
+        row = {
+            "workers": workers,
+            "shards": args.shards,
+            "cache": not args.no_cache,
+            "queries": args.queries,
+            "served": served,
+            "shed": snapshot["counters"].get("queries.shed", 0),
+            "wall_s": round(wall, 4),
+            "throughput_qps": round(served / wall, 2) if wall else 0.0,
+            "latency_p50_ms": round(latency["p50"] * 1e3, 2),
+            "latency_p90_ms": round(latency["p90"] * 1e3, 2),
+            "latency_p99_ms": round(latency["p99"] * 1e3, 2),
+            "cache_hit_ratio": round(snapshot["rates"]["cache_hit_ratio"],
+                                     4),
+            "fallback_ratio": round(snapshot["rates"]["fallback_ratio"], 4),
+        }
+        rows.append(row)
+        if args.metrics:
+            print(f"\n--- metrics (workers={workers}) ---")
+            print(json.dumps(snapshot, indent=1))
+        service.close()
+
+    header = ("workers  qps      p50ms    p90ms    p99ms    "
+              "cache    fallback shed")
+    print()
+    print(header)
+    for row in rows:
+        print(f"{row['workers']:<8d} {row['throughput_qps']:<8.2f} "
+              f"{row['latency_p50_ms']:<8.2f} {row['latency_p90_ms']:<8.2f} "
+              f"{row['latency_p99_ms']:<8.2f} {row['cache_hit_ratio']:<8.4f} "
+              f"{row['fallback_ratio']:<8.4f} {row['shed']}")
+    if args.json:
+        print()
+        for row in rows:
+            print(json.dumps(row))
+    return 0
+
+
 def build_parser() -> argparse.ArgumentParser:
     parser = argparse.ArgumentParser(
         prog="repro",
@@ -134,7 +283,45 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--threshold", type=float, default=None,
                        help="return all matches within this distance "
                             "instead of the k best")
+    query.add_argument("--json", action="store_true",
+                       help="machine-readable output (matches, distances, "
+                            "method, stats)")
     query.set_defaults(func=_cmd_query)
+
+    serve = commands.add_parser(
+        "serve-bench",
+        help="closed-loop load benchmark of the retrieval service")
+    serve.add_argument("--images", type=int, default=24,
+                       help="synthetic base size (default 24)")
+    serve.add_argument("--queries", type=int, default=60,
+                       help="total queries per configuration (default 60)")
+    serve.add_argument("--distinct", type=int, default=12,
+                       help="distinct sketches cycled through (default 12)")
+    serve.add_argument("--workers", default="1,2,4",
+                       help="comma-separated worker counts to sweep "
+                            "(default 1,2,4)")
+    serve.add_argument("--shards", type=int, default=4,
+                       help="number of shards (default 4)")
+    serve.add_argument("--cache-capacity", type=int, default=256,
+                       dest="cache_capacity",
+                       help="query-result cache entries (default 256)")
+    serve.add_argument("--no-cache", action="store_true",
+                       help="disable the query-result cache")
+    serve.add_argument("--max-pending", type=int, default=None,
+                       dest="max_pending",
+                       help="admission bound (default unbounded)")
+    serve.add_argument("--deadline", type=float, default=None,
+                       help="per-query deadline in seconds "
+                            "(default unlimited)")
+    serve.add_argument("-k", type=int, default=1,
+                       help="matches per query (default 1)")
+    serve.add_argument("--seed", type=int, default=0)
+    serve.add_argument("--json", action="store_true",
+                       help="also emit one JSON row per configuration")
+    serve.add_argument("--metrics", action="store_true",
+                       help="print the full metrics registry per "
+                            "configuration")
+    serve.set_defaults(func=_cmd_serve_bench)
 
     demo = commands.add_parser("demo", help="synthetic walkthrough")
     demo.add_argument("--images", type=int, default=15)
@@ -172,7 +359,16 @@ def _cmd_experiment(args: argparse.Namespace) -> int:
 def main(argv: Optional[List[str]] = None) -> int:
     parser = build_parser()
     args = parser.parse_args(argv)
-    return args.func(args)
+    try:
+        return args.func(args)
+    except BrokenPipeError:
+        # stdout consumer went away (e.g. `repro query --json | head`);
+        # exit quietly like other well-behaved CLI tools.
+        try:
+            sys.stdout.close()
+        except OSError:
+            pass
+        return 0
 
 
 if __name__ == "__main__":       # pragma: no cover

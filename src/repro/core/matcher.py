@@ -185,13 +185,19 @@ class GeometricSimilarityMatcher:
     def _drive(self, normalized_query: Shape, engine: BoundaryDistance,
                schedule: EpsilonSchedule, stats: MatchStats,
                on_candidate: Optional[Callable[[ShapeEntry], None]],
-               should_stop: Callable[[float, BestByShape], bool]
-               ) -> BestByShape:
+               should_stop: Callable[[float, BestByShape], bool],
+               abort: Optional[Callable[[], bool]] = None) -> BestByShape:
         """Grow envelopes until ``should_stop(eps, best)`` or exhaustion.
 
         Maintains the per-copy inside counters, promotes candidates and
         evaluates their exact measures; sets ``stats.guaranteed`` or
         ``stats.exhausted`` according to how the loop ended.
+
+        ``abort`` is a cooperative cancellation hook (e.g. a deadline):
+        it is polled once per envelope iteration, and a ``True`` return
+        ends the loop immediately *without* the termination guarantee —
+        ``stats.exhausted`` is set, exactly as if the epsilon budget had
+        run out, so callers fall back to geometric hashing.
         """
         points = self.base.vertex_points
         owner = self.base.vertex_owner
@@ -208,6 +214,9 @@ class GeometricSimilarityMatcher:
 
         eps_prev = 0.0
         for eps in schedule.widths():
+            if abort is not None and abort():
+                stats.exhausted = True
+                return best_by_shape
             stats.iterations += 1
             stats.epsilons.append(eps)
             triangles = band_cover_triangles(normalized_query, eps_prev,
@@ -257,13 +266,15 @@ class GeometricSimilarityMatcher:
 
     # ------------------------------------------------------------------
     def query(self, query: Shape, k: int = 1,
-              on_candidate: Optional[Callable[[ShapeEntry], None]] = None
+              on_candidate: Optional[Callable[[ShapeEntry], None]] = None,
+              abort: Optional[Callable[[], bool]] = None
               ) -> Tuple[List[Match], MatchStats]:
         """Return up to ``k`` best matches and the work statistics.
 
         ``on_candidate`` fires, in evaluation order, for every entry
         whose exact measure is computed — the access trace the external
-        storage experiments of Section 4 replay.
+        storage experiments of Section 4 replay.  ``abort`` (polled per
+        iteration) cancels the search cooperatively; see :meth:`_drive`.
         """
         if k < 1:
             raise ValueError("k must be >= 1")
@@ -283,13 +294,15 @@ class GeometricSimilarityMatcher:
 
         best_by_shape = self._drive(normalized_query, engine, schedule,
                                     stats, on_candidate,
-                                    kth_best_guaranteed)
+                                    kth_best_guaranteed, abort=abort)
         return self._rank(best_by_shape, k), stats
 
     # ------------------------------------------------------------------
     def query_threshold(self, query: Shape, distance_threshold: float,
                         on_candidate: Optional[Callable[[ShapeEntry], None]]
-                        = None) -> Tuple[List[Match], MatchStats]:
+                        = None,
+                        abort: Optional[Callable[[], bool]] = None
+                        ) -> Tuple[List[Match], MatchStats]:
         """All shapes whose measure is ``<= distance_threshold``.
 
         This is the ``shape_similar(Q)`` primitive of Section 5.2.
@@ -319,7 +332,7 @@ class GeometricSimilarityMatcher:
 
         best_by_shape = self._drive(normalized_query, engine, schedule,
                                     stats, on_candidate,
-                                    envelope_wide_enough)
+                                    envelope_wide_enough, abort=abort)
         qualifying = {sid: bv for sid, bv in best_by_shape.items()
                       if bv[0] <= distance_threshold + EPSILON}
         return self._rank(qualifying, len(qualifying) or 1), stats

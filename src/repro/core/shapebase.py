@@ -11,7 +11,8 @@ lists, per-image shape lists).
 
 from __future__ import annotations
 
-from typing import Dict, Iterator, List, Optional, Sequence
+from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
+                    Tuple)
 
 import numpy as np
 
@@ -68,6 +69,7 @@ class ShapeBase:
         self._entries_by_shape: Dict[int, List[int]] = {}
         self._shapes_by_image: Dict[int, List[int]] = {}
         self._next_shape_id = 0
+        self.version = 0
         self._index: Optional[TriangleRangeIndex] = None
         self._vertex_points: Optional[np.ndarray] = None
         self._vertex_owner: Optional[np.ndarray] = None
@@ -101,6 +103,8 @@ class ShapeBase:
         if image_id is not None:
             self._shapes_by_image.setdefault(image_id, []).append(shape_id)
         self._index = None
+        self._vertex_points = None
+        self.version += 1
         return shape_id
 
     def add_shapes(self, shapes: Sequence[Shape],
@@ -139,6 +143,7 @@ class ShapeBase:
             self._entries_by_shape[entry.shape_id].append(entry.entry_id)
         self._index = None
         self._vertex_points = None
+        self.version += 1
 
     # ------------------------------------------------------------------
     # Statistics (the paper's p, n, ...)
@@ -202,6 +207,55 @@ class ShapeBase:
 
     def __len__(self) -> int:
         return len(self.entries)
+
+    # ------------------------------------------------------------------
+    # Shard-friendly iteration and splitting (service layer)
+    # ------------------------------------------------------------------
+    def iter_shapes(self) -> Iterator[Tuple[int, Shape, Optional[int]]]:
+        """Yield ``(shape_id, original shape, image_id)`` triples.
+
+        Iterates the *originals* (not the normalized copies) in shape-id
+        order — the unit a partitioner distributes across shards.
+        """
+        for shape_id in sorted(self.shapes):
+            yield shape_id, self.shapes[shape_id], self.shape_image[shape_id]
+
+    def subset(self, shape_ids: Sequence[int]) -> "ShapeBase":
+        """A new base holding only ``shape_ids`` (ids preserved).
+
+        The shapes are re-normalized on insertion, so the subset is
+        structurally identical to a base built fresh from those
+        originals; entry ids are local to the subset.
+        """
+        out = ShapeBase(alpha=self.alpha, backend=self.backend)
+        for shape_id in shape_ids:
+            if shape_id not in self.shapes:
+                raise KeyError(f"shape id {shape_id} not in the base")
+            out.add_shape(self.shapes[shape_id],
+                          image_id=self.shape_image[shape_id],
+                          shape_id=shape_id)
+        return out
+
+    def split(self, num_parts: int,
+              partitioner: Optional[Callable[[int], int]] = None
+              ) -> List["ShapeBase"]:
+        """Partition the base into ``num_parts`` disjoint sub-bases.
+
+        ``partitioner`` maps a shape id to its part index (values are
+        taken modulo ``num_parts``); the default is the deterministic
+        multiplicative hash of :func:`repro.service.shards.shard_for`,
+        so a base split here agrees with the service layer's routing.
+        Every shape lands in exactly one part, ids preserved.
+        """
+        if num_parts < 1:
+            raise ValueError("num_parts must be at least 1")
+        if partitioner is None:
+            from ..service.shards import shard_for
+            partitioner = lambda sid: shard_for(sid, num_parts)
+        assignments: List[List[int]] = [[] for _ in range(num_parts)]
+        for shape_id in sorted(self.shapes):
+            assignments[partitioner(shape_id) % num_parts].append(shape_id)
+        return [self.subset(ids) for ids in assignments]
 
     # ------------------------------------------------------------------
     # Flattened vertex arrays and the range index

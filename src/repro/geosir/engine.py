@@ -19,7 +19,7 @@ One facade over the whole stack:
 from __future__ import annotations
 
 from dataclasses import dataclass
-from typing import List, Optional, Sequence, Set
+from typing import TYPE_CHECKING, List, Optional, Sequence, Set
 
 from ..core.matcher import GeometricSimilarityMatcher, Match, MatchStats
 from ..core.shapebase import ShapeBase
@@ -31,6 +31,9 @@ from ..imaging.raster import BinaryImage
 from ..query.algebra import QueryNode, Similar, Topological
 from ..query.executor import QueryEngine
 from ..query.graph import DISJOINT, diameter_angle, relation_between
+
+if TYPE_CHECKING:                  # pragma: no cover - import cycle guard
+    from ..service import RetrievalService
 
 
 @dataclass
@@ -74,6 +77,7 @@ class GeoSIR:
         self._matcher: Optional[GeometricSimilarityMatcher] = None
         self._retriever: Optional[ApproximateRetriever] = None
         self._engine: Optional[QueryEngine] = None
+        self._service: Optional["RetrievalService"] = None
         self._next_image_id = 0
 
     # ------------------------------------------------------------------
@@ -122,6 +126,8 @@ class GeoSIR:
         self._matcher = None
         self._retriever = None
         self._engine = None
+        if self._service is not None:
+            self._service.reload(self.base)
 
     # ------------------------------------------------------------------
     # Lazily-built stages
@@ -149,10 +155,60 @@ class GeoSIR:
         return self._engine
 
     # ------------------------------------------------------------------
+    # Service delegation (repro.service)
+    # ------------------------------------------------------------------
+    @property
+    def service(self) -> Optional["RetrievalService"]:
+        """The attached retrieval service, if one is enabled."""
+        return self._service
+
+    def enable_service(self, num_shards: int = 4, workers: int = 2,
+                       cache_capacity: int = 256,
+                       max_pending: Optional[int] = None,
+                       deadline: Optional[float] = None
+                       ) -> "RetrievalService":
+        """Serve retrievals through a sharded, cached, concurrent tier.
+
+        Builds a :class:`repro.service.RetrievalService` over the
+        current base (geometric knobs inherited from this facade) and
+        delegates :meth:`retrieve` to it from now on.  Ingest keeps
+        working through this facade; the service is re-sharded on every
+        mutation, exactly as the matcher and retriever are rebuilt.
+        """
+        from ..service import RetrievalService, ServiceConfig
+        config = ServiceConfig(
+            num_shards=num_shards, workers=workers,
+            cache_capacity=cache_capacity, max_pending=max_pending,
+            deadline=deadline, alpha=self.base.alpha, beta=self.beta,
+            backend=self.base.backend, hash_curves=self.hash_curves,
+            match_threshold=self.match_threshold)
+        self._service = RetrievalService.from_base(self.base, config)
+        return self._service
+
+    def disable_service(self) -> None:
+        """Back to direct (unsharded, single-threaded) retrieval."""
+        if self._service is not None:
+            self._service.close()
+            self._service = None
+
+    # ------------------------------------------------------------------
     # Retrieval
     # ------------------------------------------------------------------
     def retrieve(self, sketch: Shape, k: int = 1) -> RetrievalResult:
-        """Best-match retrieval with automatic hashing fallback."""
+        """Best-match retrieval with automatic hashing fallback.
+
+        With a service enabled (:meth:`enable_service`) the query goes
+        through the sharded concurrent tier — same answers (shard
+        merging is exact), plus caching and graceful degradation.
+        """
+        if self._service is not None:
+            result = self._service.retrieve(sketch, k=k)
+            if result.overloaded:
+                raise RuntimeError("retrieval service overloaded; "
+                                   "retry or raise max_pending")
+            return RetrievalResult(matches=result.matches,
+                                   stats=result.stats,
+                                   method=result.method)
         matches, stats = self.matcher.query(sketch, k=k)
         good = [m for m in matches if m.distance <= self.match_threshold]
         if good:

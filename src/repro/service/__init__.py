@@ -1,0 +1,32 @@
+"""repro.service — the concurrent, sharded retrieval service layer.
+
+Turns the single-threaded GeoSIR facade into an embeddable service:
+the corpus is partitioned into :class:`ShardSet` shards (each with its
+own matcher and hashing retriever), queries fan out across shards on a
+:class:`WorkerPool` and merge exactly, results are cached under
+similarity-invariant sketch signatures, per-query :class:`Deadline`
+budgets degrade gracefully to the hashing tier, and a bounded
+:class:`AdmissionQueue` sheds load explicitly instead of queueing
+without bound.  :class:`MetricsRegistry` instruments all of it.
+
+Entry points: :meth:`RetrievalService.from_base` over an existing
+:class:`~repro.core.ShapeBase`, or
+:meth:`repro.geosir.GeoSIR.enable_service` to put the service behind
+the familiar facade.  ``repro serve-bench`` exercises it from the CLI.
+"""
+
+from .cache import QueryResultCache, sketch_signature
+from .deadline import Deadline
+from .metrics import Counter, Histogram, MetricsRegistry
+from .pool import AdmissionQueue, WorkerPool
+from .service import (OK, OVERLOADED, RetrievalService, ServiceConfig,
+                      ServiceResult)
+from .shards import Shard, ShardSet, merge_topk, shard_for
+
+__all__ = [
+    "AdmissionQueue", "Counter", "Deadline", "Histogram",
+    "MetricsRegistry", "OK", "OVERLOADED", "QueryResultCache",
+    "RetrievalService", "ServiceConfig", "ServiceResult", "Shard",
+    "ShardSet", "WorkerPool", "merge_topk", "shard_for",
+    "sketch_signature",
+]

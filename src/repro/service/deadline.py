@@ -1,0 +1,58 @@
+"""Per-query deadlines and the service's degradation vocabulary.
+
+A :class:`Deadline` is a monotonic-clock budget handed to one query.
+The envelope matcher polls it between fattening iterations (the
+``abort`` hook of :meth:`GeometricSimilarityMatcher.query`); once it
+expires, the exact search is abandoned and the service answers from
+the geometric-hashing tier instead — the paper's own two-method
+combination, repurposed as graceful degradation: the fallback is
+approximate but its cost is (expected) constant, so a late query's
+residual budget is always enough for *an* answer.
+"""
+
+from __future__ import annotations
+
+import time
+from typing import Callable, Optional
+
+
+class Deadline:
+    """A point on the monotonic clock after which work must stop.
+
+    ``Deadline(None)`` never expires (the unlimited query).  The clock
+    is injectable so tests can drive expiry deterministically.
+    """
+
+    __slots__ = ("_expires_at", "_clock")
+
+    def __init__(self, seconds: Optional[float] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        if seconds is not None and seconds < 0:
+            raise ValueError("deadline must be non-negative")
+        self._clock = clock
+        self._expires_at = None if seconds is None \
+            else clock() + float(seconds)
+
+    @classmethod
+    def unlimited(cls) -> "Deadline":
+        return cls(None)
+
+    @property
+    def bounded(self) -> bool:
+        return self._expires_at is not None
+
+    def expired(self) -> bool:
+        if self._expires_at is None:
+            return False
+        return self._clock() >= self._expires_at
+
+    def remaining(self) -> float:
+        """Seconds left (``inf`` when unlimited, clamped at 0)."""
+        if self._expires_at is None:
+            return float("inf")
+        return max(0.0, self._expires_at - self._clock())
+
+    def __repr__(self) -> str:
+        if self._expires_at is None:
+            return "Deadline(unlimited)"
+        return f"Deadline(remaining={self.remaining():.4f}s)"

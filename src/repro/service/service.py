@@ -1,0 +1,366 @@
+"""The embeddable retrieval service: admission → cache → shards → merge.
+
+One query's path through :class:`RetrievalService`:
+
+1. **admission** — take an in-flight slot from the bounded
+   :class:`~repro.service.pool.AdmissionQueue`; saturation sheds the
+   query with an explicit ``overloaded`` result (never blocks);
+2. **cache** — probe the :class:`~repro.service.cache.QueryResultCache`
+   under the sketch's canonical (similarity-invariant) signature;
+3. **fan-out** — run the envelope matcher on every shard, in parallel
+   on the worker pool, each with the query's deadline as its
+   cooperative abort;
+4. **merge** — per-shard top-k lists merge into the global top-k
+   (exact, because shards are disjoint and measures base-independent);
+5. **degrade** — if the deadline expired mid-search, or no match beat
+   ``match_threshold``, answer from the geometric-hashing tier instead
+   (the paper's fallback, repurposed as graceful degradation).
+
+Every stage feeds the :class:`~repro.service.metrics.MetricsRegistry`;
+``snapshot()`` returns the whole picture as a plain dict.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from typing import Dict, List, Optional, Sequence, Tuple
+
+from ..core.matcher import Match, MatchStats
+from ..core.shapebase import ShapeBase
+from ..geometry.polyline import Shape
+from .cache import QueryResultCache, sketch_signature
+from .deadline import Deadline
+from .metrics import MetricsRegistry
+from .pool import AdmissionQueue, WorkerPool
+from .shards import ShardSet, merge_topk
+
+#: ``ServiceResult.status`` values.
+OK = "ok"
+OVERLOADED = "overloaded"
+
+
+@dataclass
+class ServiceConfig:
+    """Knobs of one :class:`RetrievalService`.
+
+    The geometric parameters (``alpha``, ``beta``, ``backend``,
+    ``hash_curves``, ``match_threshold``) mirror
+    :class:`~repro.geosir.GeoSIR`; the rest size the serving tier.
+    ``deadline`` is the default per-query budget in seconds (``None``
+    = unlimited); ``max_pending`` bounds admitted-but-unfinished
+    queries (``None`` = unbounded).
+    """
+
+    num_shards: int = 4
+    workers: int = 2
+    cache_capacity: int = 256
+    max_pending: Optional[int] = None
+    deadline: Optional[float] = None
+    alpha: float = 0.1
+    beta: float = 0.25
+    backend: str = "kdtree"
+    hash_curves: int = 50
+    neighbor_radius: int = 1
+    match_threshold: float = 0.05
+
+
+@dataclass
+class ServiceResult:
+    """Outcome of one service query.
+
+    ``status`` is ``"ok"`` or ``"overloaded"`` (shed at admission —
+    no retrieval was attempted).  ``method`` records which tier
+    answered: ``"envelope"`` (exact search), ``"hashing"`` (degraded /
+    fallback) or ``"none"`` (shed or empty corpus).
+    """
+
+    status: str
+    matches: List[Match] = field(default_factory=list)
+    method: str = "none"
+    stats: MatchStats = field(default_factory=MatchStats)
+    cached: bool = False
+    degraded: bool = False       # deadline forced the hashing tier
+    latency: float = 0.0         # seconds, as measured by the service
+
+    @property
+    def ok(self) -> bool:
+        return self.status == OK
+
+    @property
+    def overloaded(self) -> bool:
+        return self.status == OVERLOADED
+
+    @property
+    def best(self) -> Optional[Match]:
+        return self.matches[0] if self.matches else None
+
+
+def _merge_stats(per_shard: Sequence[MatchStats]) -> MatchStats:
+    """Aggregate work accounting across shards (sums and flags)."""
+    merged = MatchStats()
+    for stats in per_shard:
+        merged.iterations += stats.iterations
+        merged.triangles_queried += stats.triangles_queried
+        merged.vertices_reported += stats.vertices_reported
+        merged.vertices_processed += stats.vertices_processed
+        merged.candidates_evaluated += stats.candidates_evaluated
+        merged.epsilons.extend(stats.epsilons)
+    merged.guaranteed = bool(per_shard) and \
+        all(s.guaranteed for s in per_shard)
+    merged.exhausted = any(s.exhausted for s in per_shard)
+    return merged
+
+
+class RetrievalService:
+    """Concurrent, sharded, cached retrieval over a GeoSIR corpus."""
+
+    def __init__(self, shards: ShardSet, config: Optional[ServiceConfig]
+                 = None, metrics: Optional[MetricsRegistry] = None):
+        self.config = config or ServiceConfig()
+        self.shards = shards
+        self.metrics = metrics or MetricsRegistry()
+        self.cache = QueryResultCache(self.config.cache_capacity)
+        self.admission = AdmissionQueue(self.config.max_pending)
+        self.pool = WorkerPool(self.config.workers)
+        # Single-flight: concurrent identical queries coalesce onto one
+        # computation (thundering-herd protection for hot sketches).
+        self._inflight: Dict[Tuple[str, int], threading.Event] = {}
+        self._inflight_lock = threading.Lock()
+        self.metrics.gauge("queue.pending", lambda: self.admission.pending)
+        self.metrics.gauge("cache.size", lambda: len(self.cache))
+
+    # ------------------------------------------------------------------
+    # Construction / corpus management
+    # ------------------------------------------------------------------
+    @classmethod
+    def from_base(cls, base: ShapeBase, config: Optional[ServiceConfig]
+                  = None, metrics: Optional[MetricsRegistry] = None
+                  ) -> "RetrievalService":
+        """Shard an existing :class:`ShapeBase` and serve it.
+
+        The base's ``alpha``/``backend`` win over the config's (the
+        corpus was built with them); shapes keep their ids.
+        """
+        config = config or ServiceConfig()
+        shard_set = ShardSet.from_base(
+            base, num_shards=config.num_shards, beta=config.beta,
+            hash_curves=config.hash_curves,
+            neighbor_radius=config.neighbor_radius)
+        service = cls(shard_set, config, metrics)
+        service.warm()
+        return service
+
+    def reload(self, base: ShapeBase) -> None:
+        """Re-shard from a mutated base; cache and metrics survive.
+
+        The cache is version-keyed, so entries computed against the
+        old corpus become unreachable the moment the new shard set's
+        version differs; we also clear eagerly to free memory.
+        """
+        self.shards = ShardSet.from_base(
+            base, num_shards=self.config.num_shards, beta=self.config.beta,
+            hash_curves=self.config.hash_curves,
+            neighbor_radius=self.config.neighbor_radius)
+        self.cache.invalidate()
+        self.warm()
+
+    def ingest(self, shapes: Sequence[Shape],
+               image_id: Optional[int] = None) -> List[int]:
+        """Add shapes (routed to their shards); invalidates the cache."""
+        ids = self.shards.add_shapes(shapes, image_id=image_id)
+        self.cache.invalidate()
+        self.metrics.counter("ingest.shapes").increment(len(ids))
+        return ids
+
+    def warm(self) -> None:
+        """Build all shard structures before admitting traffic."""
+        self.pool.map_over(lambda shard: shard.warm(), list(self.shards))
+
+    # ------------------------------------------------------------------
+    # Retrieval
+    # ------------------------------------------------------------------
+    def retrieve(self, sketch: Shape, k: int = 1,
+                 deadline: Optional[float] = None) -> ServiceResult:
+        """Serve one query end to end (admission included)."""
+        self.metrics.counter("queries.total").increment()
+        if not self.admission.try_admit():
+            self.metrics.counter("queries.shed").increment()
+            return ServiceResult(status=OVERLOADED)
+        try:
+            return self._admitted_retrieve(sketch, k, deadline)
+        finally:
+            self.admission.release()
+
+    def retrieve_batch(self, sketches: Sequence[Shape], k: int = 1,
+                       deadline: Optional[float] = None
+                       ) -> List[ServiceResult]:
+        """Serve many sketches, overlapping them on the worker pool.
+
+        Admission happens at *submission* time — the bounded queue is
+        the backlog, so a batch larger than the remaining slots sheds
+        its tail immediately rather than queueing it invisibly.
+        Results come back in input order.
+        """
+        slots: List[object] = []
+        for sketch in sketches:
+            self.metrics.counter("queries.total").increment()
+            if not self.admission.try_admit():
+                self.metrics.counter("queries.shed").increment()
+                slots.append(ServiceResult(status=OVERLOADED))
+                continue
+            slots.append(self.pool.submit(
+                self._released_retrieve, sketch, k, deadline))
+        return [slot if isinstance(slot, ServiceResult) else slot.result()
+                for slot in slots]
+
+    def _released_retrieve(self, sketch: Shape, k: int,
+                           deadline: Optional[float]) -> ServiceResult:
+        try:
+            return self._admitted_retrieve(sketch, k, deadline)
+        finally:
+            self.admission.release()
+
+    # ------------------------------------------------------------------
+    def _admitted_retrieve(self, sketch: Shape, k: int,
+                           deadline_seconds: Optional[float]
+                           ) -> ServiceResult:
+        start = time.perf_counter()
+        if deadline_seconds is None:
+            deadline_seconds = self.config.deadline
+        budget = Deadline(deadline_seconds)
+
+        # -- cache probe (with single-flight coalescing) ----------------
+        key = None
+        flight = None
+        flight_key = None
+        if self.cache.enabled:
+            stage = time.perf_counter()
+            key = sketch_signature(sketch, kind="topk", parameter=k)
+            hit = self.cache.get(key, self.shards.version)
+            self.metrics.histogram("latency.cache").observe(
+                time.perf_counter() - stage)
+            if hit is not None:
+                self.metrics.counter("queries.cache_hits").increment()
+                self.metrics.counter("queries.served").increment()
+                result = replace(hit, cached=True,
+                                 latency=time.perf_counter() - start)
+                self._observe_total(result)
+                return result
+            flight_key = (key, self.shards.version)
+            with self._inflight_lock:
+                leader_event = self._inflight.get(flight_key)
+                if leader_event is None:
+                    flight = threading.Event()
+                    self._inflight[flight_key] = flight
+            if flight is None and leader_event is not None:
+                # Follower: an identical query is already being
+                # computed — wait for it (within our own deadline) and
+                # take its cached answer instead of repeating the work.
+                leader_event.wait(timeout=budget.remaining()
+                                  if budget.bounded else None)
+                hit = self.cache.get(key, self.shards.version)
+                if hit is not None:
+                    self.metrics.counter("queries.coalesced").increment()
+                    self.metrics.counter("queries.served").increment()
+                    result = replace(hit, cached=True,
+                                     latency=time.perf_counter() - start)
+                    self._observe_total(result)
+                    return result
+                # Leader failed to cache (degraded) or we timed out:
+                # fall through and compute for ourselves.
+
+        try:
+            return self._compute(sketch, k, budget, key, start)
+        finally:
+            if flight is not None:
+                with self._inflight_lock:
+                    self._inflight.pop(flight_key, None)
+                flight.set()
+
+    def _compute(self, sketch: Shape, k: int, budget: Deadline,
+                 key: Optional[str], start: float) -> ServiceResult:
+        # -- shard fan-out (envelope tier) ------------------------------
+        stage = time.perf_counter()
+        version = self.shards.version
+        per_shard = self.pool.map_over(
+            lambda shard: shard.query(sketch, k, abort=budget.expired),
+            list(self.shards))
+        self.metrics.histogram("latency.envelope").observe(
+            time.perf_counter() - stage)
+
+        # -- merge ------------------------------------------------------
+        stage = time.perf_counter()
+        merged = merge_topk([matches for matches, _ in per_shard], k)
+        stats = _merge_stats([s for _, s in per_shard])
+        self.metrics.histogram("latency.merge").observe(
+            time.perf_counter() - stage)
+
+        # -- degradation decision ---------------------------------------
+        degraded = budget.bounded and budget.expired() and stats.exhausted
+        good = [m for m in merged
+                if m.distance <= self.config.match_threshold]
+        method = "envelope"
+        if degraded or not good:
+            stage = time.perf_counter()
+            fallback = merge_topk(self.pool.map_over(
+                lambda shard: shard.hash_query(sketch, k),
+                list(self.shards)), k)
+            self.metrics.histogram("latency.fallback").observe(
+                time.perf_counter() - stage)
+            self.metrics.counter("queries.fallback").increment()
+            if fallback:
+                merged = fallback
+                method = "hashing"
+
+        result = ServiceResult(status=OK, matches=merged, method=method,
+                               stats=stats, degraded=degraded,
+                               latency=time.perf_counter() - start)
+        # Deadline-truncated answers are degraded; caching them would
+        # keep serving the degraded answer after load subsides.
+        if key is not None and not degraded:
+            self.cache.put(key, version, result)
+        self.metrics.counter("queries.served").increment()
+        self._observe_total(result)
+        return result
+
+    def _observe_total(self, result: ServiceResult) -> None:
+        self.metrics.histogram("latency.total").observe(result.latency)
+
+    # ------------------------------------------------------------------
+    # Introspection
+    # ------------------------------------------------------------------
+    def snapshot(self) -> dict:
+        """Metrics + derived rates + corpus stats, as one plain dict."""
+        snap = self.metrics.as_dict()
+        counters = snap["counters"]
+        total = counters.get("queries.total", 0)
+        snap["rates"] = {
+            "cache_hit_ratio": self.cache.hit_ratio,
+            "shed_ratio": (counters.get("queries.shed", 0) / total
+                           if total else 0.0),
+            "fallback_ratio": (counters.get("queries.fallback", 0) / total
+                               if total else 0.0),
+        }
+        snap["corpus"] = {
+            "shards": self.shards.num_shards,
+            "shapes": self.shards.num_shapes,
+            "entries": self.shards.num_entries,
+            "per_shard_shapes": self.shards.shape_counts(),
+        }
+        return snap
+
+    def close(self) -> None:
+        self.pool.shutdown()
+
+    def __enter__(self) -> "RetrievalService":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"RetrievalService(shards={self.shards.num_shards}, "
+                f"workers={self.config.workers}, "
+                f"shapes={self.shards.num_shapes})")

@@ -1,0 +1,237 @@
+"""Sharding: the shape base partitioned into independent retrieval units.
+
+A *shard* is a self-contained slice of the corpus: its own
+:class:`~repro.core.ShapeBase` (a disjoint subset of the shapes, ids
+preserved) plus the two retrieval structures built over it — the
+envelope-fattening matcher and the geometric-hashing retriever.  Since
+every shape lives in exactly one shard and the exact measure of a
+(query, shape) pair does not depend on what else is in the base,
+merging per-shard top-k lists by distance reproduces the unsharded
+answer exactly; that equivalence is the service layer's core
+correctness invariant (``tests/test_service.py``).
+
+Shape ids are routed to shards by :func:`shard_for`, a deterministic
+multiplicative hash — the same ids land on the same shards across
+processes and runs, which keeps persisted bases, caches and replicas
+in agreement without coordination.
+"""
+
+from __future__ import annotations
+
+import threading
+from typing import Callable, List, Optional, Sequence, Tuple
+
+from ..core.matcher import GeometricSimilarityMatcher, Match, MatchStats
+from ..core.shapebase import ShapeBase
+from ..geometry.polyline import Shape
+from ..hashing.hashtable import ApproximateRetriever
+
+_MASK64 = (1 << 64) - 1
+_SPLITMIX = 0x9E3779B97F4A7C15
+
+
+def shard_for(shape_id: int, num_shards: int) -> int:
+    """Deterministic shard index for a shape id (splitmix-style mix).
+
+    Pure integer arithmetic — no process-seeded hashing — so the
+    assignment is stable across runs, machines and Python versions.
+    The bit mix decorrelates the index from arithmetic structure in
+    the ids (sequential ids, per-image strides) so shards stay
+    balanced.
+    """
+    if num_shards < 1:
+        raise ValueError("num_shards must be at least 1")
+    # splitmix64 finalizer: two multiply-xorshift rounds are needed to
+    # decorrelate the low bits (a single round leaves sequential ids
+    # nearly constant modulo small shard counts).
+    x = (shape_id + _SPLITMIX) & _MASK64
+    x = (x ^ (x >> 30)) * 0xBF58476D1CE4E5B9 & _MASK64
+    x = (x ^ (x >> 27)) * 0x94D049BB133111EB & _MASK64
+    x ^= x >> 31
+    return x % num_shards
+
+
+class Shard:
+    """One partition of the corpus with its own retrieval structures.
+
+    The matcher and hashing retriever are built lazily (ingest streams
+    should not pay index builds per shape) and dropped on mutation;
+    :meth:`warm` forces the builds, which the service does once before
+    admitting concurrent traffic — the structures are read-only at
+    query time, so warmed shards are safe to share across worker
+    threads.
+    """
+
+    def __init__(self, index: int, base: ShapeBase, beta: float = 0.25,
+                 hash_curves: int = 50, neighbor_radius: int = 1):
+        self.index = index
+        self.base = base
+        self.beta = float(beta)
+        self.hash_curves = int(hash_curves)
+        self.neighbor_radius = int(neighbor_radius)
+        self._matcher: Optional[GeometricSimilarityMatcher] = None
+        self._retriever: Optional[ApproximateRetriever] = None
+        self._build_lock = threading.Lock()
+
+    # -- structures -----------------------------------------------------
+    @property
+    def matcher(self) -> GeometricSimilarityMatcher:
+        if self._matcher is None:
+            with self._build_lock:
+                if self._matcher is None:
+                    self._matcher = GeometricSimilarityMatcher(
+                        self.base, beta=self.beta)
+        return self._matcher
+
+    @property
+    def retriever(self) -> ApproximateRetriever:
+        if self._retriever is None:
+            with self._build_lock:
+                if self._retriever is None:
+                    self._retriever = ApproximateRetriever(
+                        self.base, k_curves=self.hash_curves,
+                        neighbor_radius=self.neighbor_radius)
+        return self._retriever
+
+    def warm(self) -> None:
+        """Build every lazy structure now (index, hash table)."""
+        if self.base.num_entries:
+            self.base.index
+        self.matcher
+        self.retriever
+
+    def invalidate(self) -> None:
+        """Drop derived structures after a mutation."""
+        self._matcher = None
+        self._retriever = None
+
+    # -- ingest ---------------------------------------------------------
+    def add_shape(self, shape: Shape, image_id: Optional[int],
+                  shape_id: int) -> int:
+        self.base.add_shape(shape, image_id=image_id, shape_id=shape_id)
+        self.invalidate()
+        return shape_id
+
+    # -- retrieval ------------------------------------------------------
+    def query(self, sketch: Shape, k: int,
+              abort: Optional[Callable[[], bool]] = None
+              ) -> Tuple[List[Match], MatchStats]:
+        """Envelope-matcher top-k within this shard."""
+        return self.matcher.query(sketch, k=k, abort=abort)
+
+    def hash_query(self, sketch: Shape, k: int) -> List[Match]:
+        """Hashing-fallback top-k within this shard."""
+        if self.base.num_entries == 0:
+            return []
+        return self.retriever.query(sketch, k=k)
+
+    @property
+    def num_shapes(self) -> int:
+        return self.base.num_shapes
+
+    def __repr__(self) -> str:
+        return (f"Shard({self.index}, shapes={self.base.num_shapes}, "
+                f"entries={self.base.num_entries})")
+
+
+def merge_topk(per_shard: Sequence[Sequence[Match]], k: int) -> List[Match]:
+    """Merge per-shard top-k lists into the global top-k.
+
+    Shards are disjoint (a shape id appears in at most one list) and
+    distances are base-independent exact measures, so a sort by
+    ``(distance, shape_id)`` — the id as a deterministic tie-break —
+    reproduces the unsharded ranking.
+    """
+    merged = [match for matches in per_shard for match in matches]
+    merged.sort(key=lambda m: (m.distance, m.shape_id))
+    return merged[:k]
+
+
+class ShardSet:
+    """All shards of one corpus plus the deterministic router.
+
+    Build either empty (``ShardSet(num_shards=4)``) and stream shapes
+    in, or from an existing base (:meth:`from_base`), which routes the
+    base's shapes through the same partitioner so both construction
+    paths yield identical shards.  ``version`` counts mutations; the
+    query cache keys its entries on it.
+    """
+
+    def __init__(self, num_shards: int = 4, alpha: float = 0.1,
+                 backend: str = "kdtree", beta: float = 0.25,
+                 hash_curves: int = 50, neighbor_radius: int = 1):
+        if num_shards < 1:
+            raise ValueError("num_shards must be at least 1")
+        self.num_shards = int(num_shards)
+        self.shards = [Shard(i, ShapeBase(alpha=alpha, backend=backend),
+                             beta=beta, hash_curves=hash_curves,
+                             neighbor_radius=neighbor_radius)
+                       for i in range(self.num_shards)]
+        self.version = 0
+        self._next_shape_id = 0
+        self._lock = threading.Lock()
+
+    @classmethod
+    def from_base(cls, base: ShapeBase, num_shards: int = 4,
+                  beta: float = 0.25, hash_curves: int = 50,
+                  neighbor_radius: int = 1) -> "ShardSet":
+        """Partition an existing base (shape ids preserved)."""
+        shard_set = cls(num_shards=num_shards, alpha=base.alpha,
+                        backend=base.backend, beta=beta,
+                        hash_curves=hash_curves,
+                        neighbor_radius=neighbor_radius)
+        for part_index, part in enumerate(base.split(num_shards)):
+            shard = shard_set.shards[part_index]
+            shard.base = part
+            shard.invalidate()
+        with shard_set._lock:
+            shard_set._next_shape_id = (max(base.shapes) + 1
+                                        if base.shapes else 0)
+            shard_set.version += 1
+        return shard_set
+
+    # -- ingest ---------------------------------------------------------
+    def add_shape(self, shape: Shape, image_id: Optional[int] = None,
+                  shape_id: Optional[int] = None) -> int:
+        """Route one shape to its shard; returns the assigned id."""
+        with self._lock:
+            if shape_id is None:
+                shape_id = self._next_shape_id
+            self._next_shape_id = max(self._next_shape_id, shape_id + 1)
+            self.version += 1
+        shard = self.shards[shard_for(shape_id, self.num_shards)]
+        return shard.add_shape(shape, image_id, shape_id)
+
+    def add_shapes(self, shapes: Sequence[Shape],
+                   image_id: Optional[int] = None) -> List[int]:
+        return [self.add_shape(s, image_id=image_id) for s in shapes]
+
+    def shard_of(self, shape_id: int) -> Shard:
+        return self.shards[shard_for(shape_id, self.num_shards)]
+
+    def warm(self) -> None:
+        for shard in self.shards:
+            shard.warm()
+
+    # -- statistics -----------------------------------------------------
+    @property
+    def num_shapes(self) -> int:
+        return sum(s.num_shapes for s in self.shards)
+
+    @property
+    def num_entries(self) -> int:
+        return sum(s.base.num_entries for s in self.shards)
+
+    def shape_counts(self) -> List[int]:
+        """Per-shard shape counts (balance diagnostics)."""
+        return [s.num_shapes for s in self.shards]
+
+    def __iter__(self):
+        return iter(self.shards)
+
+    def __len__(self) -> int:
+        return self.num_shards
+
+    def __repr__(self) -> str:
+        return (f"ShardSet(shards={self.num_shards}, "
+                f"shapes={self.shape_counts()})")

@@ -75,6 +75,18 @@ class BufferPool:
         self._frames.clear()
         self.stats = BufferStats()
 
+    def reset_stats(self) -> BufferStats:
+        """Zero the statistics but keep the resident frames.
+
+        Long-lived services report hit ratios per *window* rather than
+        since process start; this rolls the window without the cold-start
+        misses that :meth:`reset` would reintroduce.  Returns the stats
+        of the closed window.
+        """
+        closed = self.stats
+        self.stats = BufferStats()
+        return closed
+
     def resize(self, capacity: int) -> None:
         """Change the capacity, evicting LRU frames if shrinking."""
         if capacity < 1:

@@ -125,3 +125,84 @@ class TestCli:
                      "--sketch", str(sketch_path)])
         assert code == 0
         assert "warning" in capsys.readouterr().err
+
+    def test_query_json_output(self, built_base, capsys):
+        base_path, shapes, tmp_path = built_base
+        sketch_path = tmp_path / "sketch.json"
+        save_shapes([shapes[2].rotated(0.7).scaled(2.0)], sketch_path)
+        code = main(["query", "--base", str(base_path),
+                     "--sketch", str(sketch_path), "-k", "2", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "envelope-topk"
+        assert payload["matches"][0]["shape_id"] == 2
+        assert payload["matches"][0]["rank"] == 1
+        assert "distance" in payload["matches"][0]
+        assert payload["stats"]["iterations"] >= 1
+        assert isinstance(payload["stats"]["guaranteed"], bool)
+
+    def test_query_json_threshold_method(self, built_base, capsys):
+        base_path, shapes, tmp_path = built_base
+        sketch_path = tmp_path / "sketch.json"
+        save_shapes([shapes[0]], sketch_path)
+        code = main(["query", "--base", str(base_path),
+                     "--sketch", str(sketch_path),
+                     "--threshold", "0.001", "--json"])
+        assert code == 0
+        payload = json.loads(capsys.readouterr().out)
+        assert payload["method"] == "envelope-threshold"
+        assert any(m["shape_id"] == 0 for m in payload["matches"])
+
+    def test_query_missing_base_exits_cleanly(self, tmp_path, capsys, rng):
+        sketch_path = tmp_path / "sketch.json"
+        save_shapes([star_shaped_polygon(rng, 8)], sketch_path)
+        code = main(["query", "--base", str(tmp_path / "missing.gsir"),
+                     "--sketch", str(sketch_path)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert "Traceback" not in captured.err
+
+    def test_query_bad_sketch_exits_cleanly(self, built_base, capsys):
+        base_path, _, tmp_path = built_base
+        bad_sketch = tmp_path / "bad.json"
+        bad_sketch.write_text(json.dumps({"nope": []}))
+        code = main(["query", "--base", str(base_path),
+                     "--sketch", str(bad_sketch)])
+        assert code == 2
+        captured = capsys.readouterr()
+        assert "error" in captured.err
+        assert "Traceback" not in captured.err
+
+
+class TestServeBench:
+    def test_smoke(self, capsys):
+        code = main(["serve-bench", "--images", "6", "--queries", "8",
+                     "--distinct", "4", "--workers", "1", "--shards", "2",
+                     "--seed", "3"])
+        assert code == 0
+        output = capsys.readouterr().out
+        assert "workers" in output
+        assert "qps" in output
+
+    def test_bad_workers_exits_cleanly(self, capsys):
+        code = main(["serve-bench", "--workers", "abc"])
+        assert code == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+        code = main(["serve-bench", "--workers", "0"])
+        assert code == 2
+        assert "at least 1" in capsys.readouterr().err
+
+    def test_json_rows(self, capsys):
+        code = main(["serve-bench", "--images", "6", "--queries", "8",
+                     "--distinct", "4", "--workers", "1,2", "--shards", "2",
+                     "--seed", "3", "--json"])
+        assert code == 0
+        lines = [line for line in capsys.readouterr().out.splitlines()
+                 if line.strip().startswith("{")]
+        rows = [json.loads(line) for line in lines]
+        assert [row["workers"] for row in rows] == [1, 2]
+        for row in rows:
+            assert row["queries"] == 8
+            assert row["throughput_qps"] > 0
+            assert row["shards"] == 2
