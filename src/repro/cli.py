@@ -6,8 +6,9 @@ Usage (``python -m repro ...``)::
     repro build  --images imgs.json --out b.gsir [--alpha 0.1]
     repro stats  --base b.gsir
     repro query  --base b.gsir --sketch sk.json [-k 3] [--threshold T]
-                 [--json]
+                 [--json] [--profile]
     repro serve-bench [--workers 1,2,4] [--shards 4] [--no-cache]
+                      [--batch N] [--profile]
 
 ``imgs.json`` / ``sk.json`` use the format of
 :mod:`repro.geometry.io`; a query sketch file should contain exactly
@@ -107,7 +108,8 @@ def _cmd_query(args: argparse.Namespace) -> int:
                       "vertices_processed": stats.vertices_processed,
                       "candidates_evaluated": stats.candidates_evaluated,
                       "guaranteed": stats.guaranteed,
-                      "exhausted": stats.exhausted},
+                      "exhausted": stats.exhausted,
+                      "timings": stats.timings},
         }, indent=1))
         return 0
     print(f"{len(matches)} match(es) "
@@ -116,7 +118,19 @@ def _cmd_query(args: argparse.Namespace) -> int:
     for rank, match in enumerate(matches, start=1):
         print(f"  #{rank}: shape {match.shape_id} "
               f"(image {match.image_id}) distance {match.distance:.6f}")
+    if args.profile:
+        _print_profile(stats.timings)
     return 0
+
+
+def _print_profile(timings: dict, indent: str = "  ") -> None:
+    """Per-stage wall-time breakdown from ``MatchStats.timings``."""
+    total = sum(timings.values())
+    print("per-stage wall time:")
+    for key, seconds in sorted(timings.items(), key=lambda kv: -kv[1]):
+        share = 100.0 * seconds / total if total else 0.0
+        print(f"{indent}{key:<15s} {seconds * 1e3:9.3f} ms  "
+              f"({share:5.1f}%)")
 
 
 def _cmd_demo(args: argparse.Namespace) -> int:
@@ -193,9 +207,19 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         service = RetrievalService.from_base(base, config)
 
         # Closed loop: one client per worker; each client issues its
-        # next query only after the previous one completed.
+        # next query (or batch of queries, with --batch) only after the
+        # previous one completed.
         position = {"next": 0}
         lock = threading.Lock()
+        profile_totals: dict = {}
+        batch_size = max(0, args.batch)
+
+        def _record_profile(results) -> None:
+            with lock:
+                for result in results:
+                    for key, seconds in result.stats.timings.items():
+                        profile_totals[key] = (profile_totals.get(key, 0.0)
+                                               + seconds)
 
         def client() -> None:
             while True:
@@ -203,8 +227,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                     index = position["next"]
                     if index >= args.queries:
                         return
-                    position["next"] = index + 1
-                service.retrieve(sketches[index % len(sketches)], k=args.k)
+                    take = (min(batch_size, args.queries - index)
+                            if batch_size else 1)
+                    position["next"] = index + take
+                chunk = [sketches[(index + j) % len(sketches)]
+                         for j in range(take)]
+                if batch_size:
+                    results = service.retrieve_batch(chunk, k=args.k)
+                else:
+                    results = [service.retrieve(chunk[0], k=args.k)]
+                if args.profile:
+                    _record_profile(results)
 
         start = time.perf_counter()
         clients = [threading.Thread(target=client, name=f"client-{i}")
@@ -235,6 +268,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "fallback_ratio": round(snapshot["rates"]["fallback_ratio"], 4),
         }
         rows.append(row)
+        if args.profile:
+            print(f"\n--- profile (workers={workers}) ---")
+            _print_profile(profile_totals)
         if args.metrics:
             print(f"\n--- metrics (workers={workers}) ---")
             print(json.dumps(snapshot, indent=1))
@@ -286,6 +322,9 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--json", action="store_true",
                        help="machine-readable output (matches, distances, "
                             "method, stats)")
+    query.add_argument("--profile", action="store_true",
+                       help="print the per-stage wall-time breakdown "
+                            "(normalize, range search, exact measures)")
     query.set_defaults(func=_cmd_query)
 
     serve = commands.add_parser(
@@ -321,6 +360,13 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--metrics", action="store_true",
                        help="print the full metrics registry per "
                             "configuration")
+    serve.add_argument("--batch", type=int, default=0,
+                       help="drive the service's batched retrieval path "
+                            "with this many queries per call "
+                            "(default 0 = one query per call)")
+    serve.add_argument("--profile", action="store_true",
+                       help="print the aggregated per-stage wall-time "
+                            "breakdown per configuration")
     serve.set_defaults(func=_cmd_serve_bench)
 
     demo = commands.add_parser("demo", help="synthetic walkthrough")

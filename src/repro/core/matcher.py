@@ -25,8 +25,12 @@ Given a query shape Q the matcher:
 
 from __future__ import annotations
 
+import heapq
+import threading
+from contextlib import contextmanager
 from dataclasses import dataclass, field
-from typing import Callable, Dict, List, Optional, Tuple
+from time import perf_counter
+from typing import Callable, Dict, Iterator, List, Optional, Sequence, Tuple
 
 import numpy as np
 
@@ -68,6 +72,10 @@ class MatchStats:
     candidates_evaluated: int = 0
     guaranteed: bool = False      # early-terminated with a guarantee
     exhausted: bool = False       # hit the termination envelope
+    #: Per-stage wall time in seconds (``normalize``, ``calibrate``,
+    #: ``range_search``, ``filter``, ``exact_measures``) — the source
+    #: of the CLI's ``--profile`` breakdown.
+    timings: Dict[str, float] = field(default_factory=dict)
 
     @property
     def total_reported(self) -> int:
@@ -76,6 +84,83 @@ class MatchStats:
 
 #: Per-shape best: shape id -> (measure value, entry id).
 BestByShape = Dict[int, Tuple[float, int]]
+
+
+class _TopK:
+    """Exact bounded tracker of the ``k`` smallest per-shape values.
+
+    Replaces the per-iteration full sort in ``kth_best_guaranteed``.
+    ``offer`` is called whenever a shape's best value improves; values
+    per shape only ever decrease, which is what makes rejection at
+    insert time safe: a rejected value is ``>=`` every retained one,
+    and the shape is re-offered if it later improves.  Stale heap
+    entries (left behind by improvements and evictions) are discarded
+    lazily by checking them against the membership map.
+    """
+
+    __slots__ = ("k", "_heap", "_member")
+
+    def __init__(self, k: int):
+        self.k = k
+        self._heap: List[Tuple[float, int]] = []   # (-value, shape_id)
+        self._member: Dict[int, float] = {}        # shape_id -> value
+
+    def _clean(self) -> None:
+        heap, member = self._heap, self._member
+        while heap and member.get(heap[0][1]) != -heap[0][0]:
+            heapq.heappop(heap)
+
+    def offer(self, shape_id: int, value: float) -> None:
+        member = self._member
+        current = member.get(shape_id)
+        if current is not None:
+            if value >= current:
+                return
+            member[shape_id] = value
+            heapq.heappush(self._heap, (-value, shape_id))
+            return
+        if len(member) < self.k:
+            member[shape_id] = value
+            heapq.heappush(self._heap, (-value, shape_id))
+            return
+        self._clean()
+        if value >= -self._heap[0][0]:
+            return
+        member[shape_id] = value
+        heapq.heappush(self._heap, (-value, shape_id))
+        self._clean()
+        _, evicted = heapq.heappop(self._heap)
+        del member[evicted]
+
+    def kth(self) -> Optional[float]:
+        """The k-th smallest value seen, or ``None`` with fewer than k."""
+        if len(self._member) < self.k:
+            return None
+        self._clean()
+        return -self._heap[0][0]
+
+
+class _QueryScratch:
+    """Reusable per-query buffers for the fattening driver.
+
+    One query's worth of visited/inside-count/evaluated state plus the
+    (read-only, shared) candidate thresholds.  Pooled by the matcher so
+    repeated queries stop paying the O(n + entries) allocations.
+    """
+
+    __slots__ = ("visited", "inside_counts", "evaluated", "thresholds")
+
+    def __init__(self, num_points: int, num_entries: int,
+                 thresholds: np.ndarray):
+        self.visited = np.zeros(num_points, dtype=bool)
+        self.inside_counts = np.zeros(num_entries, dtype=np.int64)
+        self.evaluated = np.zeros(num_entries, dtype=bool)
+        self.thresholds = thresholds
+
+    def reset(self) -> None:
+        self.visited[:] = False
+        self.inside_counts[:] = 0
+        self.evaluated[:] = False
 
 
 class GeometricSimilarityMatcher:
@@ -125,6 +210,43 @@ class GeometricSimilarityMatcher:
         self.cap_sectors = int(cap_sectors)
         self.slack = float(slack)
         self.samples_per_edge = int(samples_per_edge)
+        # Scratch pool: shards are queried from several worker threads
+        # at once, so buffers are checked out under a lock rather than
+        # living on the matcher; keyed on the base version so mutations
+        # invalidate them.
+        self._scratch_lock = threading.Lock()
+        self._scratch_pool: List[_QueryScratch] = []
+        self._scratch_key: Optional[Tuple[int, int, int]] = None
+        self._thresholds: Optional[np.ndarray] = None
+
+    # ------------------------------------------------------------------
+    @contextmanager
+    def _scratch(self) -> Iterator[_QueryScratch]:
+        """Check a clean scratch object out of the pool (thread-safe)."""
+        num_points = len(self.base.vertex_points)
+        num_entries = self.base.num_entries
+        key = (self.base.version, num_points, num_entries)
+        with self._scratch_lock:
+            if self._scratch_key != key:
+                self._scratch_pool = []
+                # ceil((1 - beta) * size): the step-3 candidate
+                # threshold, shared read-only by every scratch.
+                thresholds = np.ceil(
+                    (1.0 - self.beta) * self.base.entry_sizes
+                ).astype(np.int64)
+                np.maximum(thresholds, 1, out=thresholds)
+                self._thresholds = thresholds
+                self._scratch_key = key
+            scratch = (self._scratch_pool.pop() if self._scratch_pool
+                       else _QueryScratch(num_points, num_entries,
+                                          self._thresholds))
+        try:
+            yield scratch
+        finally:
+            scratch.reset()
+            with self._scratch_lock:
+                if self._scratch_key == key:
+                    self._scratch_pool.append(scratch)
 
     # ------------------------------------------------------------------
     def normalize_query(self, query: Shape) -> Shape:
@@ -146,6 +268,26 @@ class GeometricSimilarityMatcher:
             entry.shape, normalized_query, engine=engine,
             samples_per_edge=self.samples_per_edge)
 
+    def _entry_measures(self, entries: Sequence[ShapeEntry],
+                        entry_ids: np.ndarray, engine: BoundaryDistance,
+                        normalized_query: Shape) -> List[float]:
+        """Exact measures of a whole candidate batch.
+
+        For the discrete measure every per-row distance is independent
+        of the other rows, so one engine call over the concatenated
+        vertices followed by per-entry slice means reproduces the
+        per-entry calls bit-for-bit (same values, same summation
+        order).  The continuous and symmetric measures need per-entry
+        reverse engines, so they keep the scalar path.
+        """
+        if self.measure != "discrete" or len(entries) <= 1:
+            return [self._entry_measure(entry, engine, normalized_query)
+                    for entry in entries]
+        stacked, offsets = self.base.entry_vertices_batch(entry_ids)
+        distances = engine.distances(stacked)
+        return [float(distances[offsets[i]:offsets[i + 1]].mean())
+                for i in range(len(entries))]
+
     def make_schedule(self, normalized_query: Shape) -> EpsilonSchedule:
         return schedule_for(normalized_query, self.base.num_shapes,
                             self.base.total_vertices,
@@ -153,7 +295,9 @@ class GeometricSimilarityMatcher:
                             growth=self.growth, slack=self.slack)
 
     def calibrate_initial_epsilon(self, normalized_query: Shape,
-                                  max_rounds: int = 32) -> float:
+                                  max_rounds: int = 32,
+                                  stats: Optional[MatchStats] = None
+                                  ) -> float:
         """Step 1 of the paper: adjust eps_1 by simplex range *counting*.
 
         Starting from the density-heuristic width, the envelope is
@@ -161,22 +305,25 @@ class GeometricSimilarityMatcher:
         vertex inside it (cover-triangle counts over-estimate slightly
         because the triangles overlap near joints, which only makes the
         calibration conservative).  Returns the calibrated width,
-        capped at the termination threshold.
+        capped at the termination threshold.  All of a round's cover
+        triangles are counted in one batched index call; with ``stats``
+        given, the wall time lands in ``stats.timings["calibrate"]``.
         """
+        started = perf_counter()
         schedule = self.make_schedule(normalized_query)
         index = self.base.index
         eps = schedule.initial
         for _ in range(max_rounds):
-            count = 0
-            for triangle in band_cover_triangles(normalized_query, 0.0,
-                                                 eps, self.cap_sectors):
-                count += index.count_triangle(triangle[0], triangle[1],
-                                              triangle[2])
-                if count:
-                    break
-            if count or eps >= schedule.maximum:
+            triangles = band_cover_triangles(normalized_query, 0.0,
+                                             eps, self.cap_sectors)
+            occupied = bool(index.count_triangles(triangles).any())
+            if occupied or eps >= schedule.maximum:
                 break
             eps = min(eps * self.growth, schedule.maximum)
+        if stats is not None:
+            stats.timings["calibrate"] = (
+                stats.timings.get("calibrate", 0.0) +
+                perf_counter() - started)
         return eps
 
     # ------------------------------------------------------------------
@@ -186,31 +333,48 @@ class GeometricSimilarityMatcher:
                schedule: EpsilonSchedule, stats: MatchStats,
                on_candidate: Optional[Callable[[ShapeEntry], None]],
                should_stop: Callable[[float, BestByShape], bool],
-               abort: Optional[Callable[[], bool]] = None) -> BestByShape:
+               abort: Optional[Callable[[], bool]] = None,
+               scratch: Optional[_QueryScratch] = None,
+               on_improved: Optional[Callable[[int, float], None]] = None
+               ) -> BestByShape:
         """Grow envelopes until ``should_stop(eps, best)`` or exhaustion.
 
         Maintains the per-copy inside counters, promotes candidates and
         evaluates their exact measures; sets ``stats.guaranteed`` or
-        ``stats.exhausted`` according to how the loop ended.
+        ``stats.exhausted`` according to how the loop ended.  Each
+        iteration issues *one* batched range-search call for the whole
+        cover-triangle ring and *one* distance-engine call over the
+        concatenated candidate vertices (discrete measure).
 
         ``abort`` is a cooperative cancellation hook (e.g. a deadline):
         it is polled once per envelope iteration, and a ``True`` return
         ends the loop immediately *without* the termination guarantee —
         ``stats.exhausted`` is set, exactly as if the epsilon budget had
         run out, so callers fall back to geometric hashing.
+
+        ``scratch`` is a clean checked-out :class:`_QueryScratch`
+        (allocated ad hoc when omitted); ``on_improved(shape_id,
+        value)`` fires whenever a shape's best value improves — the
+        top-k tracker's feed.
         """
         points = self.base.vertex_points
         owner = self.base.vertex_owner
-        sizes = self.base.entry_sizes
         index = self.base.index
-        # ceil((1 - beta) * size): the step-3 candidate threshold.
-        thresholds = np.ceil((1.0 - self.beta) * sizes).astype(np.int64)
-        np.maximum(thresholds, 1, out=thresholds)
-
-        visited = np.zeros(len(points), dtype=bool)
-        inside_counts = np.zeros(self.base.num_entries, dtype=np.int64)
-        evaluated = np.zeros(self.base.num_entries, dtype=bool)
+        if scratch is None:
+            with self._scratch() as owned:
+                return self._drive(normalized_query, engine, schedule,
+                                   stats, on_candidate, should_stop,
+                                   abort=abort, scratch=owned,
+                                   on_improved=on_improved)
+        visited = scratch.visited
+        inside_counts = scratch.inside_counts
+        evaluated = scratch.evaluated
+        thresholds = scratch.thresholds
         best_by_shape: BestByShape = {}
+        timings = stats.timings
+        timings.setdefault("range_search", 0.0)
+        timings.setdefault("filter", 0.0)
+        timings.setdefault("exact_measures", 0.0)
 
         eps_prev = 0.0
         for eps in schedule.widths():
@@ -219,21 +383,15 @@ class GeometricSimilarityMatcher:
                 return best_by_shape
             stats.iterations += 1
             stats.epsilons.append(eps)
+            started = perf_counter()
             triangles = band_cover_triangles(normalized_query, eps_prev,
                                              eps, self.cap_sectors)
             stats.triangles_queried += len(triangles)
-            reported: List[np.ndarray] = []
-            for triangle in triangles:
-                hits = index.report_triangle(triangle[0], triangle[1],
-                                             triangle[2])
-                if len(hits):
-                    reported.append(hits)
-            if reported:
-                ids = np.unique(np.concatenate(reported))
-                stats.vertices_reported += int(ids.size)
-                ids = ids[~visited[ids]]
-            else:
-                ids = np.zeros(0, dtype=np.int64)
+            ids = index.report_triangles(triangles)
+            timings["range_search"] += perf_counter() - started
+            started = perf_counter()
+            stats.vertices_reported += int(ids.size)
+            ids = ids[~visited[ids]]
             if len(ids):
                 distances = engine.distances(points[ids])
                 inside = ids[distances <= eps + EPSILON]
@@ -246,16 +404,24 @@ class GeometricSimilarityMatcher:
 
             fresh = touched[(inside_counts[touched] >= thresholds[touched])
                             & ~evaluated[touched]]
-            for entry_id in fresh:
-                entry = self.base.entry(int(entry_id))
-                value = self._entry_measure(entry, engine, normalized_query)
-                evaluated[entry_id] = True
-                stats.candidates_evaluated += 1
-                if on_candidate is not None:
-                    on_candidate(entry)
-                current = best_by_shape.get(entry.shape_id)
-                if current is None or value < current[0]:
-                    best_by_shape[entry.shape_id] = (value, entry.entry_id)
+            timings["filter"] += perf_counter() - started
+            if len(fresh):
+                started = perf_counter()
+                evaluated[fresh] = True
+                entries = [self.base.entry(int(e)) for e in fresh]
+                values = self._entry_measures(entries, fresh, engine,
+                                              normalized_query)
+                stats.candidates_evaluated += len(fresh)
+                for entry, value in zip(entries, values):
+                    if on_candidate is not None:
+                        on_candidate(entry)
+                    current = best_by_shape.get(entry.shape_id)
+                    if current is None or value < current[0]:
+                        best_by_shape[entry.shape_id] = (value,
+                                                         entry.entry_id)
+                        if on_improved is not None:
+                            on_improved(entry.shape_id, value)
+                timings["exact_measures"] += perf_counter() - started
 
             if should_stop(eps, best_by_shape):
                 stats.guaranteed = True
@@ -278,23 +444,67 @@ class GeometricSimilarityMatcher:
         """
         if k < 1:
             raise ValueError("k must be >= 1")
-        stats = MatchStats()
         if self.base.num_entries == 0:
+            stats = MatchStats()
             stats.exhausted = True
             return [], stats
+        with self._scratch() as scratch:
+            return self._query_one(query, k, on_candidate, abort, scratch)
+
+    def query_batch(self, queries: Sequence[Shape], k: int = 1,
+                    on_candidate: Optional[Callable[[ShapeEntry], None]]
+                    = None,
+                    abort: Optional[Callable[[], bool]] = None
+                    ) -> List[Tuple[List[Match], MatchStats]]:
+        """Answer several queries, amortizing the per-query setup.
+
+        Returns exactly ``[query(q, k) for q in queries]`` — one
+        normalization and schedule per query, but a single scratch
+        checkout shared (serially) across the whole batch.  The service
+        tier feeds cache misses through this path.
+        """
+        if k < 1:
+            raise ValueError("k must be >= 1")
+        if self.base.num_entries == 0:
+            results = []
+            for _ in queries:
+                stats = MatchStats()
+                stats.exhausted = True
+                results.append(([], stats))
+            return results
+        results = []
+        with self._scratch() as scratch:
+            for query in queries:
+                results.append(self._query_one(query, k, on_candidate,
+                                               abort, scratch))
+                scratch.reset()
+        return results
+
+    def _query_one(self, query: Shape, k: int,
+                   on_candidate: Optional[Callable[[ShapeEntry], None]],
+                   abort: Optional[Callable[[], bool]],
+                   scratch: _QueryScratch
+                   ) -> Tuple[List[Match], MatchStats]:
+        """One top-k query against a clean checked-out scratch."""
+        stats = MatchStats()
+        started = perf_counter()
         normalized_query = self.normalize_query(query)
         engine = BoundaryDistance(normalized_query)
         schedule = self.make_schedule(normalized_query)
+        stats.timings["normalize"] = perf_counter() - started
+        tracker = _TopK(k)
+        beta = self.beta
 
         def kth_best_guaranteed(eps: float, best: BestByShape) -> bool:
-            if len(best) < k:
-                return False
-            kth_value = sorted(v for v, _ in best.values())[k - 1]
-            return kth_value <= self.beta * eps + EPSILON
+            kth_value = tracker.kth()
+            return (kth_value is not None and
+                    kth_value <= beta * eps + EPSILON)
 
         best_by_shape = self._drive(normalized_query, engine, schedule,
                                     stats, on_candidate,
-                                    kth_best_guaranteed, abort=abort)
+                                    kth_best_guaranteed, abort=abort,
+                                    scratch=scratch,
+                                    on_improved=tracker.offer)
         return self._rank(best_by_shape, k), stats
 
     # ------------------------------------------------------------------
@@ -318,9 +528,11 @@ class GeometricSimilarityMatcher:
         if self.base.num_entries == 0:
             stats.exhausted = True
             return [], stats
+        started = perf_counter()
         normalized_query = self.normalize_query(query)
         engine = BoundaryDistance(normalized_query)
         base_schedule = self.make_schedule(normalized_query)
+        stats.timings["normalize"] = perf_counter() - started
         needed = distance_threshold / self.beta
         schedule = EpsilonSchedule(
             initial=base_schedule.initial, growth=base_schedule.growth,

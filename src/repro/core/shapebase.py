@@ -325,6 +325,23 @@ class ShapeBase:
         """
         return self.entries[entry_id].shape.vertices
 
+    def entry_vertices_batch(self, entry_ids) -> Tuple[np.ndarray,
+                                                       np.ndarray]:
+        """Concatenated full vertex sets of several entries.
+
+        Returns ``(stacked, offsets)``: ``stacked`` is the row-wise
+        concatenation of :meth:`entry_vertices` over ``entry_ids`` and
+        ``offsets[i]:offsets[i+1]`` delimits entry ``i``'s rows — the
+        layout the matcher's batched exact-measure evaluation consumes
+        (one distance-engine call for the whole candidate set).
+        """
+        arrays = [self.entries[int(e)].shape.vertices for e in entry_ids]
+        offsets = np.zeros(len(arrays) + 1, dtype=np.int64)
+        if not arrays:
+            return np.zeros((0, 2)), offsets
+        np.cumsum([len(a) for a in arrays], out=offsets[1:])
+        return np.vstack(arrays), offsets
+
     def entry_indexed_vertices(self, entry_id: int) -> np.ndarray:
         """The indexed (non-anchor) vertex slice of one entry."""
         self._ensure_arrays()

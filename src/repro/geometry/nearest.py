@@ -104,11 +104,45 @@ class GridBoundaryDistance:
         # The candidate list only guarantees correctness within reach.
         return self._fallback.distance(point)
 
+    def _grouped(self, pts: np.ndarray):
+        """Yield ``(rows, candidate_edge_ids | None)`` per occupied cell.
+
+        Points sharing a grid cell share a candidate list, so each
+        group is resolved with one vectorized all-candidates pass.
+        """
+        cx = np.floor(pts[:, 0] / self.cell).astype(np.int64)
+        cy = np.floor(pts[:, 1] / self.cell).astype(np.int64)
+        keys = np.stack([cx, cy], axis=1)
+        uniq, inverse = np.unique(keys, axis=0, return_inverse=True)
+        order = np.argsort(inverse, kind="stable")
+        bounds = np.searchsorted(inverse[order], np.arange(len(uniq) + 1))
+        for g in range(len(uniq)):
+            rows = order[bounds[g]:bounds[g + 1]]
+            candidates = self._buckets.get((int(uniq[g, 0]),
+                                            int(uniq[g, 1])))
+            yield rows, candidates
+
     def distances(self, points: np.ndarray) -> np.ndarray:
         pts = as_points(points)
         out = np.empty(len(pts))
-        for row, point in enumerate(pts):
-            out[row] = self.distance(point)
+        if not len(pts):
+            return out
+        fallback_rows: List[np.ndarray] = []
+        for rows, candidates in self._grouped(pts):
+            if candidates is None:
+                fallback_rows.append(rows)
+                continue
+            idx = np.asarray(candidates, dtype=np.int64)
+            best = points_segments_distance(pts[rows], self._starts[idx],
+                                            self._ends[idx])
+            out[rows] = best
+            # Candidate lists only guarantee correctness within reach.
+            over = rows[best > self.reach]
+            if len(over):
+                fallback_rows.append(over)
+        if fallback_rows:
+            rows = np.concatenate(fallback_rows)
+            out[rows] = self._fallback.distances(pts[rows])
         return out
 
     def within(self, points: np.ndarray, radius: float) -> np.ndarray:
@@ -121,13 +155,11 @@ class GridBoundaryDistance:
             raise ValueError("radius exceeds the grid's guaranteed reach")
         pts = as_points(points)
         mask = np.zeros(len(pts), dtype=bool)
-        for row, point in enumerate(pts):
-            candidates = self._buckets.get(self._cell_of(point))
-            if not candidates:
+        for rows, candidates in self._grouped(pts):
+            if candidates is None:
                 continue
-            for i in candidates:
-                if point_segment_distance(point, self._starts[i],
-                                          self._ends[i]) <= radius:
-                    mask[row] = True
-                    break
+            idx = np.asarray(candidates, dtype=np.int64)
+            best = points_segments_distance(pts[rows], self._starts[idx],
+                                            self._ends[idx])
+            mask[rows] = best <= radius
         return mask

@@ -24,9 +24,16 @@ def as_points(points: Iterable[Sequence[float]]) -> np.ndarray:
 
     Accepts any iterable of pairs (lists, tuples, arrays).  Raises
     ``ValueError`` when the input cannot be interpreted as 2-D points.
+    Already-conforming float64 ``(n, 2)`` arrays pass through without a
+    copy — this sits under every distance call in the matcher hot path.
     """
-    array = np.asarray(list(points) if not isinstance(points, np.ndarray) else points,
-                       dtype=np.float64)
+    if isinstance(points, np.ndarray):
+        if points.ndim == 2 and points.shape[1] == 2 and \
+                points.dtype == np.float64:
+            return points
+        array = np.asarray(points, dtype=np.float64)
+    else:
+        array = np.asarray(list(points), dtype=np.float64)
     if array.ndim == 1 and array.size == 2:
         array = array.reshape(1, 2)
     if array.ndim != 2 or array.shape[1] != 2:

@@ -221,6 +221,49 @@ class GeoSIR:
                                    method="envelope")
         return RetrievalResult(matches=approx, stats=stats, method="hashing")
 
+    def retrieve_batch(self, sketches: Sequence[Shape], k: int = 1
+                       ) -> List[RetrievalResult]:
+        """Batched best-match retrieval; equals per-sketch `retrieve`.
+
+        With a service enabled the batch goes through its amortized
+        multi-query path (cache probes, coalescing, per-shard batched
+        matcher calls); without one, the matcher's ``query_batch``
+        amortizes the per-query scratch, with the same per-sketch
+        hashing fallback as :meth:`retrieve`.
+        """
+        sketches = list(sketches)
+        if self._service is not None:
+            service_results = self._service.retrieve_batch(sketches, k=k)
+            results: List[RetrievalResult] = []
+            for result in service_results:
+                if result.overloaded:
+                    raise RuntimeError("retrieval service overloaded; "
+                                       "retry or raise max_pending")
+                results.append(RetrievalResult(matches=result.matches,
+                                               stats=result.stats,
+                                               method=result.method))
+            return results
+        results = []
+        for sketch, (matches, stats) in zip(
+                sketches, self.matcher.query_batch(sketches, k=k)):
+            good = [m for m in matches
+                    if m.distance <= self.match_threshold]
+            if good:
+                results.append(RetrievalResult(matches=matches,
+                                               stats=stats,
+                                               method="envelope"))
+                continue
+            approx = self.retriever.query(sketch, k=k)
+            if not approx:
+                results.append(RetrievalResult(matches=matches,
+                                               stats=stats,
+                                               method="envelope"))
+            else:
+                results.append(RetrievalResult(matches=approx,
+                                               stats=stats,
+                                               method="hashing"))
+        return results
+
     def retrieve_similar(self, sketch: Shape,
                          threshold: Optional[float] = None) -> List[Match]:
         """All shapes within a distance threshold of the sketch."""

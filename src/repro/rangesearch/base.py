@@ -8,6 +8,18 @@ all shape-base vertices:
 * ``count_triangle(a, b, c)`` — their number (simplex range *counting*,
   used while calibrating the initial envelope width in step 1).
 
+Each envelope iteration asks about O(m) cover triangles at once, so
+every backend also answers the *batch* forms:
+
+* ``report_triangles(triangles)`` — the deduplicated union of the
+  per-triangle reports, and
+* ``count_triangles(triangles)`` — the per-triangle counts.
+
+The defaults here loop over the scalar methods (exact by construction);
+backends with a fused traversal (the kd-tree, the brute scan) override
+them.  Batched answers are required to match the per-triangle loop
+bit-for-bit — that equivalence is property-tested across all backends.
+
 The paper cites near-quadratic-space structures with
 ``O(log^3 n + kappa)`` query time [17]; see DESIGN.md for why we
 substitute a kd-tree and a fractional-cascading range tree.  All
@@ -24,6 +36,27 @@ import numpy as np
 from ..geometry.primitives import as_points
 
 Point = Sequence[float]
+
+
+def as_triangle_array(triangles) -> np.ndarray:
+    """Normalize a batch of triangles to a float64 ``(m, 3, 2)`` array.
+
+    Accepts a sequence of ``(3, 2)`` array-likes (the output of
+    :func:`repro.geometry.envelope.band_cover_triangles`) or an already
+    stacked ``(m, 3, 2)`` array; zero-copy for the latter.
+    """
+    if isinstance(triangles, np.ndarray) and triangles.ndim == 3 and \
+            triangles.shape[1:] == (3, 2) and triangles.dtype == np.float64:
+        return triangles
+    array = np.asarray(triangles, dtype=np.float64)
+    if array.size == 0:
+        return np.zeros((0, 3, 2))
+    if array.ndim == 2 and array.shape == (3, 2):
+        array = array[None, :, :]
+    if array.ndim != 3 or array.shape[1:] != (3, 2):
+        raise ValueError(f"expected (m, 3, 2) triangles, got array of "
+                         f"shape {array.shape}")
+    return array
 
 
 class TriangleRangeIndex:
@@ -43,6 +76,29 @@ class TriangleRangeIndex:
     def count_triangle(self, a: Point, b: Point, c: Point) -> int:
         """Number of points inside (or on) triangle ``abc``."""
         return len(self.report_triangle(a, b, c))
+
+    def report_triangles(self, triangles) -> np.ndarray:
+        """Sorted unique indices of the points inside *any* triangle.
+
+        Equals ``unique(concat(report_triangle(t) for t in triangles))``
+        — the contract the batch-vs-scalar equivalence tests enforce.
+        """
+        tris = as_triangle_array(triangles)
+        chunks = [self.report_triangle(t[0], t[1], t[2]) for t in tris]
+        chunks = [c for c in chunks if len(c)]
+        if not chunks:
+            return np.zeros(0, dtype=np.int64)
+        return np.unique(np.concatenate(chunks))
+
+    def count_triangles(self, triangles) -> np.ndarray:
+        """Per-triangle point counts, as an ``(m,)`` int64 array.
+
+        A point inside several (overlapping) triangles contributes to
+        each of their counts, exactly like the per-triangle loop.
+        """
+        tris = as_triangle_array(triangles)
+        return np.array([self.count_triangle(t[0], t[1], t[2])
+                         for t in tris], dtype=np.int64)
 
     def report_box(self, xmin: float, ymin: float, xmax: float,
                    ymax: float) -> np.ndarray:

@@ -9,7 +9,7 @@ from __future__ import annotations
 import numpy as np
 
 from ..geometry.predicates import points_in_triangle
-from .base import Point, TriangleRangeIndex
+from .base import Point, TriangleRangeIndex, as_triangle_array
 
 
 class BruteForceIndex(TriangleRangeIndex):
@@ -21,6 +21,17 @@ class BruteForceIndex(TriangleRangeIndex):
 
     def count_triangle(self, a: Point, b: Point, c: Point) -> int:
         return int(points_in_triangle(self.points, a, b, c).sum())
+
+    def report_triangles(self, triangles) -> np.ndarray:
+        # Accumulate one membership mask; nonzero of the union equals
+        # the deduplicated concatenation of the per-triangle reports.
+        tris = as_triangle_array(triangles)
+        if len(self.points) == 0 or len(tris) == 0:
+            return np.zeros(0, dtype=np.int64)
+        mask = np.zeros(len(self.points), dtype=bool)
+        for t in tris:
+            mask |= points_in_triangle(self.points, t[0], t[1], t[2])
+        return np.nonzero(mask)[0]
 
     def report_box(self, xmin: float, ymin: float, xmax: float,
                    ymax: float) -> np.ndarray:

@@ -107,6 +107,8 @@ def _merge_stats(per_shard: Sequence[MatchStats]) -> MatchStats:
         merged.vertices_processed += stats.vertices_processed
         merged.candidates_evaluated += stats.candidates_evaluated
         merged.epsilons.extend(stats.epsilons)
+        for key, seconds in stats.timings.items():
+            merged.timings[key] = merged.timings.get(key, 0.0) + seconds
     merged.guaranteed = bool(per_shard) and \
         all(s.guaranteed for s in per_shard)
     merged.exhausted = any(s.exhausted for s in per_shard)
@@ -196,31 +198,134 @@ class RetrievalService:
     def retrieve_batch(self, sketches: Sequence[Shape], k: int = 1,
                        deadline: Optional[float] = None
                        ) -> List[ServiceResult]:
-        """Serve many sketches, overlapping them on the worker pool.
+        """Serve many sketches through the amortized batch path.
 
         Admission happens at *submission* time — the bounded queue is
         the backlog, so a batch larger than the remaining slots sheds
-        its tail immediately rather than queueing it invisibly.
-        Results come back in input order.
+        its tail immediately rather than queueing it invisibly; the
+        admitted sketches hold their slots until the batch completes.
+        Each admitted sketch gets one cache probe; identical misses
+        coalesce onto one computation, and the remaining unique misses
+        are answered by *batched* per-shard matcher calls pipelined on
+        the worker pool (one scratch checkout per shard for the whole
+        batch).  ``deadline`` budgets the batch as a whole.  Results
+        come back in input order, identical to per-sketch
+        :meth:`retrieve` calls.
         """
-        slots: List[object] = []
-        for sketch in sketches:
+        sketches = list(sketches)
+        results: List[Optional[ServiceResult]] = [None] * len(sketches)
+        admitted: List[int] = []
+        for position, _ in enumerate(sketches):
             self.metrics.counter("queries.total").increment()
             if not self.admission.try_admit():
                 self.metrics.counter("queries.shed").increment()
-                slots.append(ServiceResult(status=OVERLOADED))
-                continue
-            slots.append(self.pool.submit(
-                self._released_retrieve, sketch, k, deadline))
-        return [slot if isinstance(slot, ServiceResult) else slot.result()
-                for slot in slots]
-
-    def _released_retrieve(self, sketch: Shape, k: int,
-                           deadline: Optional[float]) -> ServiceResult:
+                results[position] = ServiceResult(status=OVERLOADED)
+            else:
+                admitted.append(position)
+        if not admitted:
+            return results
         try:
-            return self._admitted_retrieve(sketch, k, deadline)
+            self._retrieve_admitted_batch(sketches, k, deadline,
+                                          admitted, results)
         finally:
-            self.admission.release()
+            for _ in admitted:
+                self.admission.release()
+        return results
+
+    def _retrieve_admitted_batch(self, sketches: List[Shape], k: int,
+                                 deadline: Optional[float],
+                                 admitted: List[int],
+                                 results: List[Optional[ServiceResult]]
+                                 ) -> None:
+        start = time.perf_counter()
+        if deadline is None:
+            deadline = self.config.deadline
+        budget = Deadline(deadline)
+        version = self.shards.version
+
+        # -- cache probe + intra-batch coalescing -----------------------
+        keys: Dict[int, str] = {}
+        unique: List[int] = []
+        followers: Dict[int, List[int]] = {}
+        leader_of: Dict[str, int] = {}
+        for position in admitted:
+            if self.cache.enabled:
+                stage = time.perf_counter()
+                key = sketch_signature(sketches[position], kind="topk",
+                                       parameter=k)
+                hit = self.cache.get(key, version)
+                self.metrics.histogram("latency.cache").observe(
+                    time.perf_counter() - stage)
+                keys[position] = key
+                if hit is not None:
+                    self.metrics.counter("queries.cache_hits").increment()
+                    self.metrics.counter("queries.served").increment()
+                    result = replace(hit, cached=True,
+                                     latency=time.perf_counter() - start)
+                    self._observe_total(result)
+                    results[position] = result
+                    continue
+                leader = leader_of.get(key)
+                if leader is not None:
+                    followers.setdefault(leader, []).append(position)
+                    continue
+                leader_of[key] = position
+            unique.append(position)
+        if not unique:
+            return
+
+        # -- shard fan-out: one batched matcher call per shard ----------
+        stage = time.perf_counter()
+        miss_sketches = [sketches[position] for position in unique]
+        shards = list(self.shards)
+        per_shard = self.pool.map_over(
+            lambda shard: shard.query_batch(miss_sketches, k,
+                                            abort=budget.expired),
+            shards)
+        self.metrics.histogram("latency.envelope").observe(
+            time.perf_counter() - stage)
+
+        # -- per-sketch merge, degradation, caching ---------------------
+        for offset, position in enumerate(unique):
+            answers = [per_shard[s][offset] for s in range(len(shards))]
+            stage = time.perf_counter()
+            merged = merge_topk([matches for matches, _ in answers], k)
+            stats = _merge_stats([s for _, s in answers])
+            self.metrics.histogram("latency.merge").observe(
+                time.perf_counter() - stage)
+            degraded = budget.bounded and budget.expired() and \
+                stats.exhausted
+            good = [m for m in merged
+                    if m.distance <= self.config.match_threshold]
+            method = "envelope"
+            if degraded or not good:
+                stage = time.perf_counter()
+                sketch = sketches[position]
+                fallback = merge_topk(self.pool.map_over(
+                    lambda shard: shard.hash_query(sketch, k), shards), k)
+                self.metrics.histogram("latency.fallback").observe(
+                    time.perf_counter() - stage)
+                self.metrics.counter("queries.fallback").increment()
+                if fallback:
+                    merged = fallback
+                    method = "hashing"
+            result = ServiceResult(status=OK, matches=merged,
+                                   method=method, stats=stats,
+                                   degraded=degraded,
+                                   latency=time.perf_counter() - start)
+            key = keys.get(position)
+            if key is not None and not degraded:
+                self.cache.put(key, version, result)
+            self.metrics.counter("queries.served").increment()
+            self._observe_total(result)
+            results[position] = result
+            for follower in followers.get(position, ()):
+                dup = replace(result, cached=True,
+                              latency=time.perf_counter() - start)
+                self.metrics.counter("queries.coalesced").increment()
+                self.metrics.counter("queries.served").increment()
+                self._observe_total(dup)
+                results[follower] = dup
 
     # ------------------------------------------------------------------
     def _admitted_retrieve(self, sketch: Shape, k: int,

@@ -119,6 +119,17 @@ class Shard:
         """Envelope-matcher top-k within this shard."""
         return self.matcher.query(sketch, k=k, abort=abort)
 
+    def query_batch(self, sketches: Sequence[Shape], k: int,
+                    abort: Optional[Callable[[], bool]] = None
+                    ) -> List[Tuple[List[Match], MatchStats]]:
+        """Envelope-matcher top-k for many sketches in one call.
+
+        Delegates to the matcher's amortized multi-query path (one
+        scratch checkout for the whole batch); results are in input
+        order and identical to per-sketch :meth:`query` calls.
+        """
+        return self.matcher.query_batch(sketches, k=k, abort=abort)
+
     def hash_query(self, sketch: Shape, k: int) -> List[Match]:
         """Hashing-fallback top-k within this shard."""
         if self.base.num_entries == 0:

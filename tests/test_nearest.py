@@ -74,3 +74,44 @@ class TestGridBoundaryDistance:
         exact = BoundaryDistance(square)
         assert grid.distance((50.0, 50.0)) == \
             pytest.approx(exact.distance((50.0, 50.0)))
+
+    def test_vectorized_distances_equal_exact(self, shape_factory, rng):
+        """Grouped batch path == exact engine, bit-for-bit.
+
+        Candidate distances come from the same segment kernel and the
+        fallback *is* the exact engine, so the vectorized path must
+        reproduce `BoundaryDistance.distances` exactly (no tolerance),
+        including near-boundary, far, and scalar-path points.
+        """
+        for seed in (3, 9, 11):
+            shape = shape_factory(seed)
+            exact = BoundaryDistance(shape)
+            for reach in (0.05, 0.3, 1.0):
+                grid = GridBoundaryDistance(shape, reach=reach)
+                points = np.vstack([
+                    rng.uniform(-2, 2, (200, 2)),     # mixed near/far
+                    rng.uniform(-30, 30, (40, 2)),    # mostly fallback
+                    shape.vertices,                   # zero distance
+                ])
+                expected = exact.distances(points)
+                assert np.array_equal(grid.distances(points), expected)
+                for p in points[:25]:
+                    assert grid.distance(p) == exact.distance(p)
+
+    def test_vectorized_within_equals_exact(self, shape_factory, rng):
+        for seed in (5, 11):
+            shape = shape_factory(seed)
+            exact = BoundaryDistance(shape)
+            grid = GridBoundaryDistance(shape, reach=0.4)
+            points = rng.uniform(-3, 3, (300, 2))
+            distances = exact.distances(points)
+            for radius in (0.1, 0.25, 0.4):
+                mask = grid.within(points, radius)
+                assert np.array_equal(mask, distances <= radius)
+
+    def test_vectorized_empty_and_single(self, square):
+        grid = GridBoundaryDistance(square, reach=0.3)
+        assert grid.distances(np.zeros((0, 2))).shape == (0,)
+        assert grid.within(np.zeros((0, 2)), 0.2).shape == (0,)
+        one = np.array([[0.5, 0.5]])
+        assert grid.distances(one)[0] == pytest.approx(0.5)
