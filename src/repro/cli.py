@@ -164,7 +164,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     import numpy as np
 
     from .imaging.synthesis import generate_workload, make_query_set
-    from .service import RetrievalService, ServiceConfig
+    from .service import FaultPlan, RetrievalService, ServiceConfig
 
     try:
         worker_counts = [int(w) for w in str(args.workers).split(",")]
@@ -191,6 +191,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(f"base: {base.num_shapes} shapes over {base.num_images} images; "
           f"{args.queries} queries ({len(sketches)} distinct) per config")
 
+    chaos_plan = None
+    if args.chaos is not None:
+        chaos_plan = FaultPlan.default(args.chaos, args.shards)
+        print(f"chaos: seed {args.chaos} -> {chaos_plan!r} "
+              f"(replayable: same seed, same schedule)")
+
     # Priming pass: first-touch numpy/allocator costs land here instead
     # of biasing whichever configuration happens to run first.
     with RetrievalService.from_base(base, ServiceConfig(
@@ -199,11 +205,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             primer.retrieve(sketch, k=args.k)
 
     rows = []
+    escaped: list = []
     for workers in worker_counts:
+        config_plan = chaos_plan.replay() if chaos_plan is not None \
+            else None
         config = ServiceConfig(
             num_shards=args.shards, workers=workers,
             cache_capacity=0 if args.no_cache else args.cache_capacity,
-            max_pending=args.max_pending, deadline=args.deadline)
+            max_pending=args.max_pending, deadline=args.deadline,
+            fault_plan=config_plan, retry_seed=args.seed)
         service = RetrievalService.from_base(base, config)
 
         # Closed loop: one client per worker; each client issues its
@@ -212,6 +222,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         position = {"next": 0}
         lock = threading.Lock()
         profile_totals: dict = {}
+        degraded_count = {"n": 0}
         batch_size = max(0, args.batch)
 
         def _record_profile(results) -> None:
@@ -232,10 +243,21 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                     position["next"] = index + take
                 chunk = [sketches[(index + j) % len(sketches)]
                          for j in range(take)]
-                if batch_size:
-                    results = service.retrieve_batch(chunk, k=args.k)
-                else:
-                    results = [service.retrieve(chunk[0], k=args.k)]
+                try:
+                    if batch_size:
+                        results = service.retrieve_batch(chunk, k=args.k)
+                    else:
+                        results = [service.retrieve(chunk[0], k=args.k)]
+                except Exception as exc:
+                    # Under chaos this is the invariant violation the
+                    # smoke run exists to catch: no exception may
+                    # escape retrieve/retrieve_batch.
+                    with lock:
+                        escaped.append(f"{type(exc).__name__}: {exc}")
+                    return
+                with lock:
+                    degraded_count["n"] += sum(
+                        1 for r in results if r.failed_shards)
                 if args.profile:
                     _record_profile(results)
 
@@ -267,6 +289,14 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                                      4),
             "fallback_ratio": round(snapshot["rates"]["fallback_ratio"], 4),
         }
+        if chaos_plan is not None:
+            row["degraded"] = degraded_count["n"]
+            row["shard_failures"] = snapshot["counters"].get(
+                "shards.failures", 0)
+            row["retries"] = snapshot["counters"].get("shards.retries", 0)
+            row["breaker_skipped"] = snapshot["counters"].get(
+                "shards.breaker_skipped", 0)
+            row["faults_injected"] = dict(config_plan.counts())
         rows.append(row)
         if args.profile:
             print(f"\n--- profile (workers={workers}) ---")
@@ -285,10 +315,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"{row['latency_p50_ms']:<8.2f} {row['latency_p90_ms']:<8.2f} "
               f"{row['latency_p99_ms']:<8.2f} {row['cache_hit_ratio']:<8.4f} "
               f"{row['fallback_ratio']:<8.4f} {row['shed']}")
+    if chaos_plan is not None:
+        print()
+        for row in rows:
+            print(f"chaos workers={row['workers']}: "
+                  f"{row['degraded']} degraded answers, "
+                  f"{row['shard_failures']} shard failures, "
+                  f"{row['retries']} retries, "
+                  f"{row['breaker_skipped']} breaker skips, "
+                  f"faults {row['faults_injected']}")
     if args.json:
         print()
         for row in rows:
             print(json.dumps(row))
+    if escaped:
+        print(f"error: {len(escaped)} exception(s) escaped the service "
+              f"under chaos:", file=sys.stderr)
+        for message in escaped[:5]:
+            print(f"  {message}", file=sys.stderr)
+        return 1
     return 0
 
 
@@ -367,6 +412,12 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--profile", action="store_true",
                        help="print the aggregated per-stage wall-time "
                             "breakdown per configuration")
+    serve.add_argument("--chaos", type=int, default=None, metavar="SEED",
+                       help="inject a seeded fault plan (one haunted "
+                            "shard: exceptions, latency, corrupted "
+                            "answers); the run fails if any exception "
+                            "escapes the service — same seed, same "
+                            "fault schedule")
     serve.set_defaults(func=_cmd_serve_bench)
 
     demo = commands.add_parser("demo", help="synthetic walkthrough")

@@ -21,6 +21,27 @@ from ..geometry.transform import NormalizedCopy, normalized_copies
 from ..rangesearch import TriangleRangeIndex, make_index
 
 
+def validate_shape(shape: Shape) -> None:
+    """Reject shapes that would corrupt the index if ingested.
+
+    Normalization divides by inter-vertex distances and the range
+    index assumes finite coordinates, so a NaN/inf vertex or a shape
+    with fewer than 3 distinct vertices (no triangle, no diameter
+    pair worth normalizing about) must be refused at the door with a
+    clear error rather than poisoning every later query.
+    """
+    vertices = np.asarray(shape.vertices, dtype=float)
+    if vertices.ndim != 2 or vertices.shape[1] != 2:
+        raise ValueError(
+            f"shape vertices must be an (n, 2) array, "
+            f"got shape {vertices.shape}")
+    if not np.all(np.isfinite(vertices)):
+        raise ValueError("shape contains NaN or infinite coordinates")
+    if len(np.unique(vertices, axis=0)) < 3:
+        raise ValueError(
+            "shape must have at least 3 distinct vertices")
+
+
 class ShapeEntry:
     """One normalized copy stored in the base."""
 
@@ -85,8 +106,11 @@ class ShapeBase:
 
         The shape is normalized about all its alpha-diameters (both
         orders) and each copy becomes an entry.  Invalidates the
-        range-search index, which is rebuilt lazily.
+        range-search index, which is rebuilt lazily.  Shapes with
+        non-finite coordinates or fewer than 3 distinct vertices are
+        rejected (:func:`validate_shape`).
         """
+        validate_shape(shape)
         if shape_id is None:
             shape_id = self._next_shape_id
         if shape_id in self.shapes:

@@ -13,20 +13,31 @@ Entry points: :meth:`RetrievalService.from_base` over an existing
 :class:`~repro.core.ShapeBase`, or
 :meth:`repro.geosir.GeoSIR.enable_service` to put the service behind
 the familiar facade.  ``repro serve-bench`` exercises it from the CLI.
+
+Fault tolerance lives in :mod:`~repro.service.breaker` (per-shard
+circuit breakers) and :mod:`~repro.service.faults` (the deterministic
+fault-injection harness behind ``serve-bench --chaos``); the service
+isolates, retries and degrades per shard so a single-shard failure
+costs answer quality, never availability.
 """
 
+from .breaker import BreakerConfig, CircuitBreaker
 from .cache import QueryResultCache, sketch_signature
 from .deadline import Deadline
+from .faults import (CorruptShardAnswer, FaultError, FaultPlan,
+                     FaultSpec, FaultyShard, ShardTimeoutError)
 from .metrics import Counter, Histogram, MetricsRegistry
 from .pool import AdmissionQueue, WorkerPool
-from .service import (OK, OVERLOADED, RetrievalService, ServiceConfig,
-                      ServiceResult)
+from .service import (DEGRADED, OK, OVERLOADED, RetrievalService,
+                      ServiceConfig, ServiceResult)
 from .shards import Shard, ShardSet, merge_topk, shard_for
 
 __all__ = [
-    "AdmissionQueue", "Counter", "Deadline", "Histogram",
+    "AdmissionQueue", "BreakerConfig", "CircuitBreaker",
+    "CorruptShardAnswer", "Counter", "DEGRADED", "Deadline",
+    "FaultError", "FaultPlan", "FaultSpec", "FaultyShard", "Histogram",
     "MetricsRegistry", "OK", "OVERLOADED", "QueryResultCache",
     "RetrievalService", "ServiceConfig", "ServiceResult", "Shard",
-    "ShardSet", "WorkerPool", "merge_topk", "shard_for",
-    "sketch_signature",
+    "ShardSet", "ShardTimeoutError", "WorkerPool", "merge_topk",
+    "shard_for", "sketch_signature",
 ]

@@ -1,0 +1,180 @@
+"""Per-shard circuit breakers for the retrieval service.
+
+A :class:`CircuitBreaker` guards one shard.  While the shard behaves,
+the breaker is *closed* and calls pass through.  Failures land in a
+sliding outcome window; once the failure rate over that window crosses
+the threshold (with a minimum volume, so one early error cannot trip
+an idle shard), the breaker *opens*: calls are refused instantly, so a
+persistently broken shard costs a dictionary lookup instead of a full
+retry-with-backoff cycle on every query.  After a cooldown on the
+monotonic clock the breaker goes *half-open* and admits a bounded
+number of probe calls — one success closes it again, one failure
+re-opens it for another cooldown.
+
+The clock is injectable so the whole state machine is unit-testable
+without sleeping; all transitions happen under a lock because shard
+calls run on the service's worker pool.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from collections import deque
+from dataclasses import dataclass
+from typing import Callable, Deque, Optional
+
+#: Breaker states (``CircuitBreaker.state`` values).
+CLOSED = "closed"
+OPEN = "open"
+HALF_OPEN = "half_open"
+
+#: Numeric encoding for gauges (higher = less healthy).
+STATE_CODES = {CLOSED: 0.0, HALF_OPEN: 1.0, OPEN: 2.0}
+
+
+@dataclass(frozen=True)
+class BreakerConfig:
+    """Tuning knobs of one :class:`CircuitBreaker`.
+
+    ``window`` outcomes are retained; the breaker trips when at least
+    ``min_volume`` of them exist and the failure fraction reaches
+    ``failure_threshold``.  ``cooldown`` seconds after tripping, up to
+    ``half_open_probes`` concurrent probe calls are admitted.
+    """
+
+    window: int = 16
+    failure_threshold: float = 0.5
+    min_volume: int = 4
+    cooldown: float = 5.0
+    half_open_probes: int = 1
+
+    def __post_init__(self):
+        if self.window < 1:
+            raise ValueError("window must be at least 1")
+        if not 0.0 < self.failure_threshold <= 1.0:
+            raise ValueError("failure_threshold must be in (0, 1]")
+        if self.min_volume < 1:
+            raise ValueError("min_volume must be at least 1")
+        if self.cooldown < 0:
+            raise ValueError("cooldown must be non-negative")
+        if self.half_open_probes < 1:
+            raise ValueError("half_open_probes must be at least 1")
+
+
+class CircuitBreaker:
+    """closed → open → half-open state machine over a failure window.
+
+    State transitions are driven by :meth:`allow` (which also performs
+    the open → half-open promotion once the cooldown elapses) and by
+    :meth:`record_success` / :meth:`record_failure`.  Outcomes reported
+    while the breaker is open (stragglers from calls admitted earlier)
+    are ignored — they carry no information the trip did not already
+    act on.
+    """
+
+    def __init__(self, config: Optional[BreakerConfig] = None,
+                 clock: Callable[[], float] = time.monotonic):
+        self.config = config or BreakerConfig()
+        self._clock = clock
+        self._lock = threading.Lock()
+        self._state = CLOSED
+        self._outcomes: Deque[bool] = deque(maxlen=self.config.window)
+        self._opened_at: Optional[float] = None
+        self._probes_inflight = 0
+        self._opened_count = 0
+
+    # ------------------------------------------------------------------
+    @property
+    def state(self) -> str:
+        """Current state; open → half-open happens inside :meth:`allow`."""
+        with self._lock:
+            return self._state
+
+    @property
+    def opened_count(self) -> int:
+        """How many times the breaker has tripped over its lifetime."""
+        return self._opened_count
+
+    @property
+    def failure_rate(self) -> float:
+        with self._lock:
+            if not self._outcomes:
+                return 0.0
+            failures = sum(1 for ok in self._outcomes if not ok)
+            return failures / len(self._outcomes)
+
+    def state_code(self) -> float:
+        """Numeric state for metrics gauges (0 closed … 2 open)."""
+        return STATE_CODES[self.state]
+
+    # ------------------------------------------------------------------
+    def allow(self) -> bool:
+        """Whether a call may proceed right now (may promote to half-open)."""
+        with self._lock:
+            if self._state == CLOSED:
+                return True
+            if self._state == OPEN:
+                elapsed = self._clock() - self._opened_at
+                if elapsed < self.config.cooldown:
+                    return False
+                self._state = HALF_OPEN
+                self._probes_inflight = 0
+            # Half-open: admit a bounded number of probes.
+            if self._probes_inflight < self.config.half_open_probes:
+                self._probes_inflight += 1
+                return True
+            return False
+
+    def record_success(self) -> None:
+        with self._lock:
+            if self._state == OPEN:
+                return                      # straggler; trip already acted
+            if self._state == HALF_OPEN:
+                self._close_locked()
+                return
+            self._outcomes.append(True)
+
+    def record_failure(self) -> None:
+        with self._lock:
+            if self._state == OPEN:
+                return                      # straggler
+            if self._state == HALF_OPEN:
+                self._open_locked()
+                return
+            self._outcomes.append(False)
+            if len(self._outcomes) < self.config.min_volume:
+                return
+            failures = sum(1 for ok in self._outcomes if not ok)
+            if failures / len(self._outcomes) >= \
+                    self.config.failure_threshold:
+                self._open_locked()
+
+    # ------------------------------------------------------------------
+    def _open_locked(self) -> None:
+        self._state = OPEN
+        self._opened_at = self._clock()
+        self._opened_count += 1
+        self._outcomes.clear()
+        self._probes_inflight = 0
+
+    def _close_locked(self) -> None:
+        self._state = CLOSED
+        self._outcomes.clear()
+        self._probes_inflight = 0
+
+    def snapshot(self) -> dict:
+        """Plain-dict state for ``RetrievalService.snapshot()``."""
+        with self._lock:
+            failures = sum(1 for ok in self._outcomes if not ok)
+            window = len(self._outcomes)
+            return {
+                "state": self._state,
+                "window": window,
+                "failure_rate": failures / window if window else 0.0,
+                "opened_count": self._opened_count,
+            }
+
+    def __repr__(self) -> str:
+        return (f"CircuitBreaker(state={self.state}, "
+                f"opened={self._opened_count})")

@@ -19,17 +19,20 @@ from typing import Callable, Optional
 class Deadline:
     """A point on the monotonic clock after which work must stop.
 
-    ``Deadline(None)`` never expires (the unlimited query).  The clock
-    is injectable so tests can drive expiry deterministically.
+    ``Deadline(None)`` never expires (the unlimited query);
+    ``Deadline(0)`` is expired from birth — the first ``expired()``
+    call returns True regardless of clock granularity.  The clock is
+    injectable so tests can drive expiry deterministically.
     """
 
-    __slots__ = ("_expires_at", "_clock")
+    __slots__ = ("_expires_at", "_clock", "_immediate")
 
     def __init__(self, seconds: Optional[float] = None,
                  clock: Callable[[], float] = time.monotonic):
         if seconds is not None and seconds < 0:
             raise ValueError("deadline must be non-negative")
         self._clock = clock
+        self._immediate = seconds == 0
         self._expires_at = None if seconds is None \
             else clock() + float(seconds)
 
@@ -44,12 +47,16 @@ class Deadline:
     def expired(self) -> bool:
         if self._expires_at is None:
             return False
+        if self._immediate:
+            return True
         return self._clock() >= self._expires_at
 
     def remaining(self) -> float:
         """Seconds left (``inf`` when unlimited, clamped at 0)."""
         if self._expires_at is None:
             return float("inf")
+        if self._immediate:
+            return 0.0
         return max(0.0, self._expires_at - self._clock())
 
     def __repr__(self) -> str:

@@ -58,6 +58,12 @@ class AdmissionQueue:
             return True
 
     def release(self) -> None:
+        """Return one slot; a double release is a caller bug.
+
+        The guard keeps ``_pending`` from going negative — an
+        underflowed counter would silently raise the effective
+        admission bound for the rest of the process's life.
+        """
         with self._lock:
             if self._pending <= 0:
                 raise RuntimeError("release without a matching admit")
@@ -86,6 +92,7 @@ class WorkerPool:
                 thread_name_prefix="repro-service")
         self._pool_threads: set = set()
         self._threads_lock = threading.Lock()
+        self._closed = False
 
     # ------------------------------------------------------------------
     def _in_pool_thread(self) -> bool:
@@ -123,7 +130,15 @@ class WorkerPool:
             return future
         return self._executor.submit(self._run_tracked, fn, *args)
 
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
     def shutdown(self) -> None:
+        """Stop the executor; idempotent."""
+        if self._closed:
+            return
+        self._closed = True
         if self._executor is not None:
             self._executor.shutdown(wait=True)
 

@@ -18,27 +18,46 @@ One query's path through :class:`RetrievalService`:
 
 Every stage feeds the :class:`~repro.service.metrics.MetricsRegistry`;
 ``snapshot()`` returns the whole picture as a plain dict.
+
+**Failure isolation.**  Each shard task runs behind a resilience
+wrapper: an exception, a corrupted answer (non-finite distance /
+foreign shape id) or a blown per-attempt budget is caught, retried
+with capped exponential backoff + jitter, and — once a per-shard
+:class:`~repro.service.breaker.CircuitBreaker` trips — skipped
+outright until the cooldown's half-open probe succeeds.  A shard that
+stays broken is *excluded*, not fatal: the query completes from the
+surviving shards (exact over them, since shards are disjoint), the
+broken shard contributes its constant-cost hashing tier when that
+still works, and the result carries ``status="degraded"`` with the
+failed shard ids.  The headline guarantee: any single-shard failure
+mode degrades the answer, never the availability.
 """
 
 from __future__ import annotations
 
+import math
+import random
 import threading
 import time
 from dataclasses import dataclass, field, replace
-from typing import Dict, List, Optional, Sequence, Tuple
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
 from ..core.matcher import Match, MatchStats
 from ..core.shapebase import ShapeBase
 from ..geometry.polyline import Shape
+from .breaker import BreakerConfig, CircuitBreaker
 from .cache import QueryResultCache, sketch_signature
 from .deadline import Deadline
+from .faults import (CorruptShardAnswer, FaultPlan, FaultyShard,
+                     ShardTimeoutError)
 from .metrics import MetricsRegistry
 from .pool import AdmissionQueue, WorkerPool
-from .shards import ShardSet, merge_topk
+from .shards import Shard, ShardSet, merge_topk
 
 #: ``ServiceResult.status`` values.
 OK = "ok"
 OVERLOADED = "overloaded"
+DEGRADED = "degraded"
 
 
 @dataclass
@@ -64,16 +83,44 @@ class ServiceConfig:
     hash_curves: int = 50
     neighbor_radius: int = 1
     match_threshold: float = 0.05
+    #: -- fault tolerance ------------------------------------------------
+    #: Attempts per shard per query (1 = no retry); backoff between
+    #: attempts doubles from ``retry_backoff`` up to
+    #: ``retry_backoff_max``, randomized by ``retry_jitter`` (the
+    #: fraction of the delay that is uniform-random, decorrelating
+    #: retry storms; ``retry_seed`` makes the jitter reproducible).
+    retry_attempts: int = 2
+    retry_backoff: float = 0.02
+    retry_backoff_max: float = 0.25
+    retry_jitter: float = 0.5
+    retry_seed: Optional[int] = None
+    #: Per-attempt time budget in seconds (cooperative — enforced via
+    #: the matcher's abort hook and checked after the call returns);
+    #: ``None`` leaves attempts bounded only by the query deadline.
+    attempt_timeout: Optional[float] = None
+    #: Answer a failed shard's slice from its hashing tier (approximate
+    #: but constant-cost) instead of dropping it from the merge.
+    shard_hash_fallback: bool = True
+    #: Per-shard circuit breaker tuning; ``None`` disables breakers.
+    breaker: Optional[BreakerConfig] = field(default_factory=BreakerConfig)
+    #: Deterministic fault injection (chaos testing); see
+    #: :mod:`repro.service.faults` and ``serve-bench --chaos``.
+    fault_plan: Optional[FaultPlan] = None
 
 
 @dataclass
 class ServiceResult:
     """Outcome of one service query.
 
-    ``status`` is ``"ok"`` or ``"overloaded"`` (shed at admission —
-    no retrieval was attempted).  ``method`` records which tier
-    answered: ``"envelope"`` (exact search), ``"hashing"`` (degraded /
-    fallback) or ``"none"`` (shed or empty corpus).
+    ``status`` is ``"ok"``, ``"overloaded"`` (shed at admission — no
+    retrieval was attempted) or ``"degraded"`` (one or more shards
+    failed; the answer is exact over the surviving shards, listed-by-
+    omission in ``failed_shards``, plus any hash-tier salvage from the
+    broken ones).  ``method`` records which tier answered:
+    ``"envelope"`` (exact search), ``"hashing"`` (degraded / fallback)
+    or ``"none"`` (shed or empty corpus).  The ``degraded`` *flag*
+    keeps its original meaning — the deadline forced the hashing tier
+    — independent of shard failures.
     """
 
     status: str
@@ -83,6 +130,7 @@ class ServiceResult:
     cached: bool = False
     degraded: bool = False       # deadline forced the hashing tier
     latency: float = 0.0         # seconds, as measured by the service
+    failed_shards: List[int] = field(default_factory=list)
 
     @property
     def ok(self) -> bool:
@@ -93,8 +141,25 @@ class ServiceResult:
         return self.status == OVERLOADED
 
     @property
+    def partial(self) -> bool:
+        """True when one or more shards failed to answer exactly."""
+        return bool(self.failed_shards)
+
+    @property
     def best(self) -> Optional[Match]:
         return self.matches[0] if self.matches else None
+
+
+@dataclass
+class _ShardOutcome:
+    """What one shard's resilient call produced (never an exception)."""
+
+    shard_index: int
+    value: Any = None            # op result when the call succeeded
+    failed: bool = False
+    error: Optional[str] = None
+    attempts: int = 0
+    breaker_skipped: bool = False
 
 
 def _merge_stats(per_shard: Sequence[MatchStats]) -> MatchStats:
@@ -119,7 +184,8 @@ class RetrievalService:
     """Concurrent, sharded, cached retrieval over a GeoSIR corpus."""
 
     def __init__(self, shards: ShardSet, config: Optional[ServiceConfig]
-                 = None, metrics: Optional[MetricsRegistry] = None):
+                 = None, metrics: Optional[MetricsRegistry] = None,
+                 clock: Callable[[], float] = time.monotonic):
         self.config = config or ServiceConfig()
         self.shards = shards
         self.metrics = metrics or MetricsRegistry()
@@ -130,6 +196,12 @@ class RetrievalService:
         # computation (thundering-herd protection for hot sketches).
         self._inflight: Dict[Tuple[str, int], threading.Event] = {}
         self._inflight_lock = threading.Lock()
+        self._closed = False
+        self._clock = clock
+        self._breakers: Dict[int, CircuitBreaker] = {}
+        self._breakers_lock = threading.Lock()
+        self._retry_rng = random.Random(self.config.retry_seed)
+        self._retry_lock = threading.Lock()
         self.metrics.gauge("queue.pending", lambda: self.admission.pending)
         self.metrics.gauge("cache.size", lambda: len(self.cache))
 
@@ -181,11 +253,165 @@ class RetrievalService:
         self.pool.map_over(lambda shard: shard.warm(), list(self.shards))
 
     # ------------------------------------------------------------------
+    # Fault tolerance: shard views, breakers, resilient execution
+    # ------------------------------------------------------------------
+    def _shard_views(self) -> List[Shard]:
+        """The shards as served — wrapped for fault injection if any."""
+        shards = list(self.shards)
+        if self.config.fault_plan is None:
+            return shards
+        return [FaultyShard(shard, self.config.fault_plan)
+                for shard in shards]
+
+    def _breaker_for(self, index: int) -> Optional[CircuitBreaker]:
+        if self.config.breaker is None:
+            return None
+        breaker = self._breakers.get(index)
+        if breaker is None:
+            with self._breakers_lock:
+                breaker = self._breakers.get(index)
+                if breaker is None:
+                    breaker = CircuitBreaker(self.config.breaker,
+                                             clock=self._clock)
+                    self._breakers[index] = breaker
+                    self.metrics.gauge(f"breaker.shard{index}.state",
+                                       breaker.state_code)
+        return breaker
+
+    @staticmethod
+    def _validate_matches(shard: Shard, matches: Sequence[Match]) -> None:
+        """Reject corrupted shard answers before they reach the merge.
+
+        A well-formed answer has finite non-negative distances and
+        shape ids the shard actually owns; anything else means the
+        shard's matcher is lying (bit rot, a bad index rebuild, an
+        injected ``corrupt``/``wrong_shard`` fault) and must count as
+        a shard failure, not poison the global top-k.
+        """
+        owned = shard.base.shapes
+        for match in matches:
+            if not math.isfinite(match.distance) or match.distance < 0:
+                raise CorruptShardAnswer(
+                    f"shard {shard.index} returned a non-finite "
+                    f"distance for shape {match.shape_id}")
+            if match.shape_id not in owned:
+                raise CorruptShardAnswer(
+                    f"shard {shard.index} returned foreign shape id "
+                    f"{match.shape_id}")
+
+    def _backoff_delay(self, attempt: int, budget: Deadline) -> float:
+        """Capped exponential backoff with decorrelating jitter."""
+        config = self.config
+        delay = min(config.retry_backoff_max,
+                    config.retry_backoff * (2 ** (attempt - 1)))
+        if config.retry_jitter > 0:
+            with self._retry_lock:
+                draw = self._retry_rng.random()
+            delay *= (1.0 - config.retry_jitter) + \
+                config.retry_jitter * draw
+        if budget.bounded:
+            delay = min(delay, budget.remaining())
+        return max(0.0, delay)
+
+    def _resilient_call(self, shard: Shard, budget: Deadline,
+                        op: Callable[[Callable[[], bool]], Any],
+                        validate: Callable[[Any], None]) -> _ShardOutcome:
+        """Run one shard operation with isolation, retries and breaker.
+
+        ``op`` receives the attempt's abort callback (query deadline OR
+        per-attempt budget) and returns the shard's answer; ``validate``
+        raises :class:`CorruptShardAnswer` on a mangled one.  Whatever
+        happens inside the shard — exception, corruption, timeout — the
+        return is a :class:`_ShardOutcome`, never an exception: this is
+        the failure-isolation boundary.
+        """
+        breaker = self._breaker_for(shard.index)
+        attempts_allowed = max(1, self.config.retry_attempts)
+        attempt_timeout = self.config.attempt_timeout
+        outcome = _ShardOutcome(shard_index=shard.index)
+        while True:
+            if breaker is not None and not breaker.allow():
+                outcome.failed = True
+                outcome.breaker_skipped = True
+                outcome.error = "circuit breaker open"
+                self.metrics.counter("shards.breaker_skipped").increment()
+                return outcome
+            outcome.attempts += 1
+            attempt = Deadline(attempt_timeout)
+
+            def aborted() -> bool:
+                return budget.expired() or attempt.expired()
+
+            try:
+                value = op(aborted)
+                validate(value)
+                if attempt.bounded and attempt.expired() \
+                        and not budget.expired():
+                    raise ShardTimeoutError(
+                        f"shard {shard.index} attempt exceeded "
+                        f"{attempt_timeout}s")
+            except Exception as exc:  # isolation boundary, not a bug trap
+                if breaker is not None:
+                    breaker.record_failure()
+                self.metrics.counter("shards.failures").increment()
+                outcome.error = f"{type(exc).__name__}: {exc}"
+                if outcome.attempts >= attempts_allowed \
+                        or budget.expired():
+                    outcome.failed = True
+                    return outcome
+                self.metrics.counter("shards.retries").increment()
+                delay = self._backoff_delay(outcome.attempts, budget)
+                if delay > 0:
+                    time.sleep(delay)
+                continue
+            if breaker is not None:
+                breaker.record_success()
+            outcome.value = value
+            outcome.failed = False
+            outcome.error = None
+            return outcome
+
+    def _guarded_hash(self, shard: Shard, sketch: Shape,
+                      k: int) -> List[Match]:
+        """The shard's hashing tier, degraded to [] on failure.
+
+        Hash answers get the same validation as matcher answers —
+        average distances are finite non-negative exact measures and
+        the ids must be the shard's own — so a corrupted hash tier
+        contributes nothing rather than poisoning the merge.
+        """
+        try:
+            matches = shard.hash_query(sketch, k)
+            self._validate_matches(shard, matches)
+            return matches
+        except Exception:
+            self.metrics.counter("shards.hash_failures").increment()
+            return []
+
+    def _salvage_failed(self, failed: Sequence[_ShardOutcome],
+                        shard_by_index: Dict[int, Shard], sketch: Shape,
+                        k: int) -> List[List[Match]]:
+        """Hash-tier answers for the failed shards' slices (maybe [])."""
+        if not failed or not self.config.shard_hash_fallback:
+            return []
+        salvage: List[List[Match]] = []
+        for outcome in failed:
+            matches = self._guarded_hash(
+                shard_by_index[outcome.shard_index], sketch, k)
+            if matches:
+                self.metrics.counter("shards.hash_salvage").increment()
+                salvage.append(matches)
+        return salvage
+
+    # ------------------------------------------------------------------
     # Retrieval
     # ------------------------------------------------------------------
     def retrieve(self, sketch: Shape, k: int = 1,
                  deadline: Optional[float] = None) -> ServiceResult:
         """Serve one query end to end (admission included)."""
+        if self._closed:
+            raise RuntimeError(
+                "RetrievalService is closed; create a new service")
         self.metrics.counter("queries.total").increment()
         if not self.admission.try_admit():
             self.metrics.counter("queries.shed").increment()
@@ -212,6 +438,9 @@ class RetrievalService:
         come back in input order, identical to per-sketch
         :meth:`retrieve` calls.
         """
+        if self._closed:
+            raise RuntimeError(
+                "RetrievalService is closed; create a new service")
         sketches = list(sketches)
         results: List[Optional[ServiceResult]] = [None] * len(sketches)
         admitted: List[int] = []
@@ -274,22 +503,37 @@ class RetrievalService:
         if not unique:
             return
 
-        # -- shard fan-out: one batched matcher call per shard ----------
+        # -- shard fan-out: one batched resilient call per shard --------
         stage = time.perf_counter()
         miss_sketches = [sketches[position] for position in unique]
-        shards = list(self.shards)
-        per_shard = self.pool.map_over(
-            lambda shard: shard.query_batch(miss_sketches, k,
-                                            abort=budget.expired),
+        shards = self._shard_views()
+        shard_by_index = {shard.index: shard for shard in shards}
+        outcomes = self.pool.map_over(
+            lambda shard: self._resilient_call(
+                shard, budget,
+                lambda abort, shard=shard: shard.query_batch(
+                    miss_sketches, k, abort=abort),
+                lambda value, shard=shard: [
+                    self._validate_matches(shard, matches)
+                    for matches, _ in value]),
             shards)
         self.metrics.histogram("latency.envelope").observe(
             time.perf_counter() - stage)
+        survivors = [o for o in outcomes if not o.failed]
+        failed = [o for o in outcomes if o.failed]
+        failed_ids = sorted(o.shard_index for o in failed)
+        if failed_ids:
+            self.metrics.counter("queries.degraded").increment(
+                len(unique))
 
         # -- per-sketch merge, degradation, caching ---------------------
         for offset, position in enumerate(unique):
-            answers = [per_shard[s][offset] for s in range(len(shards))]
+            answers = [o.value[offset] for o in survivors]
             stage = time.perf_counter()
-            merged = merge_topk([matches for matches, _ in answers], k)
+            salvage = self._salvage_failed(failed, shard_by_index,
+                                           sketches[position], k)
+            merged = merge_topk([matches for matches, _ in answers]
+                                + salvage, k)
             stats = _merge_stats([s for _, s in answers])
             self.metrics.histogram("latency.merge").observe(
                 time.perf_counter() - stage)
@@ -302,19 +546,22 @@ class RetrievalService:
                 stage = time.perf_counter()
                 sketch = sketches[position]
                 fallback = merge_topk(self.pool.map_over(
-                    lambda shard: shard.hash_query(sketch, k), shards), k)
+                    lambda shard: self._guarded_hash(shard, sketch, k),
+                    shards), k)
                 self.metrics.histogram("latency.fallback").observe(
                     time.perf_counter() - stage)
                 self.metrics.counter("queries.fallback").increment()
                 if fallback:
                     merged = fallback
                     method = "hashing"
-            result = ServiceResult(status=OK, matches=merged,
+            result = ServiceResult(status=DEGRADED if failed_ids else OK,
+                                   matches=merged,
                                    method=method, stats=stats,
                                    degraded=degraded,
+                                   failed_shards=list(failed_ids),
                                    latency=time.perf_counter() - start)
             key = keys.get(position)
-            if key is not None and not degraded:
+            if key is not None and not degraded and not failed_ids:
                 self.cache.put(key, version, result)
             self.metrics.counter("queries.served").increment()
             self._observe_total(result)
@@ -386,19 +633,32 @@ class RetrievalService:
 
     def _compute(self, sketch: Shape, k: int, budget: Deadline,
                  key: Optional[str], start: float) -> ServiceResult:
-        # -- shard fan-out (envelope tier) ------------------------------
+        # -- shard fan-out (envelope tier, isolated per shard) ----------
         stage = time.perf_counter()
         version = self.shards.version
-        per_shard = self.pool.map_over(
-            lambda shard: shard.query(sketch, k, abort=budget.expired),
-            list(self.shards))
+        shards = self._shard_views()
+        shard_by_index = {shard.index: shard for shard in shards}
+        outcomes = self.pool.map_over(
+            lambda shard: self._resilient_call(
+                shard, budget,
+                lambda abort, shard=shard: shard.query(sketch, k,
+                                                       abort=abort),
+                lambda value, shard=shard: self._validate_matches(
+                    shard, value[0])),
+            shards)
         self.metrics.histogram("latency.envelope").observe(
             time.perf_counter() - stage)
+        survivors = [o for o in outcomes if not o.failed]
+        failed = [o for o in outcomes if o.failed]
+        failed_ids = sorted(o.shard_index for o in failed)
+        if failed_ids:
+            self.metrics.counter("queries.degraded").increment()
 
-        # -- merge ------------------------------------------------------
+        # -- merge (plus hash-tier salvage for failed shards) -----------
         stage = time.perf_counter()
-        merged = merge_topk([matches for matches, _ in per_shard], k)
-        stats = _merge_stats([s for _, s in per_shard])
+        salvage = self._salvage_failed(failed, shard_by_index, sketch, k)
+        merged = merge_topk([o.value[0] for o in survivors] + salvage, k)
+        stats = _merge_stats([o.value[1] for o in survivors])
         self.metrics.histogram("latency.merge").observe(
             time.perf_counter() - stage)
 
@@ -410,8 +670,8 @@ class RetrievalService:
         if degraded or not good:
             stage = time.perf_counter()
             fallback = merge_topk(self.pool.map_over(
-                lambda shard: shard.hash_query(sketch, k),
-                list(self.shards)), k)
+                lambda shard: self._guarded_hash(shard, sketch, k),
+                shards), k)
             self.metrics.histogram("latency.fallback").observe(
                 time.perf_counter() - stage)
             self.metrics.counter("queries.fallback").increment()
@@ -419,12 +679,14 @@ class RetrievalService:
                 merged = fallback
                 method = "hashing"
 
-        result = ServiceResult(status=OK, matches=merged, method=method,
+        result = ServiceResult(status=DEGRADED if failed_ids else OK,
+                               matches=merged, method=method,
                                stats=stats, degraded=degraded,
+                               failed_shards=list(failed_ids),
                                latency=time.perf_counter() - start)
-        # Deadline-truncated answers are degraded; caching them would
-        # keep serving the degraded answer after load subsides.
-        if key is not None and not degraded:
+        # Deadline-truncated and shard-degraded answers would keep
+        # serving the degraded answer after the trouble subsides.
+        if key is not None and not degraded and not failed_ids:
             self.cache.put(key, version, result)
         self.metrics.counter("queries.served").increment()
         self._observe_total(result)
@@ -447,6 +709,8 @@ class RetrievalService:
                            if total else 0.0),
             "fallback_ratio": (counters.get("queries.fallback", 0) / total
                                if total else 0.0),
+            "degraded_ratio": (counters.get("queries.degraded", 0) / total
+                               if total else 0.0),
         }
         snap["corpus"] = {
             "shards": self.shards.num_shards,
@@ -454,9 +718,17 @@ class RetrievalService:
             "entries": self.shards.num_entries,
             "per_shard_shapes": self.shards.shape_counts(),
         }
+        with self._breakers_lock:
+            snap["breakers"] = {str(index): breaker.snapshot()
+                                for index, breaker
+                                in sorted(self._breakers.items())}
         return snap
 
     def close(self) -> None:
+        """Shut the worker pool down; safe to call more than once."""
+        if self._closed:
+            return
+        self._closed = True
         self.pool.shutdown()
 
     def __enter__(self) -> "RetrievalService":

@@ -22,7 +22,7 @@ import threading
 from typing import Callable, List, Optional, Sequence, Tuple
 
 from ..core.matcher import GeometricSimilarityMatcher, Match, MatchStats
-from ..core.shapebase import ShapeBase
+from ..core.shapebase import ShapeBase, validate_shape
 from ..geometry.polyline import Shape
 from ..hashing.hashtable import ApproximateRetriever
 
@@ -204,7 +204,12 @@ class ShardSet:
     # -- ingest ---------------------------------------------------------
     def add_shape(self, shape: Shape, image_id: Optional[int] = None,
                   shape_id: Optional[int] = None) -> int:
-        """Route one shape to its shard; returns the assigned id."""
+        """Route one shape to its shard; returns the assigned id.
+
+        Validation runs *before* the version bump so a rejected shape
+        leaves no torn state (no consumed id, no cache invalidation).
+        """
+        validate_shape(shape)
         with self._lock:
             if shape_id is None:
                 shape_id = self._next_shape_id

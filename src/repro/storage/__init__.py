@@ -9,13 +9,14 @@ from .layout import (LAYOUTS, compute_signatures, local_optimization,
                      make_layout, rehash_cost_localopt, rehash_cost_sorted,
                      sort_by_mean_curve, sort_by_median_curve,
                      sort_lexicographic)
-from .persist import load_base, save_base
+from .persist import CorruptSnapshotError, load_base, save_base
 from .serialization import (RECORD_HEADER_SIZE, ShapeRecord, decode_record,
                             encode_entry, record_size)
 from .shapestore import ExternalShapeStore, StoreStats
 
 __all__ = [
-    "BlockDevice", "BufferPool", "BufferStats", "DEFAULT_BLOCK_SIZE",
+    "BlockDevice", "BufferPool", "BufferStats", "CorruptSnapshotError",
+    "DEFAULT_BLOCK_SIZE",
     "ExternalShapeStore", "IOStats", "LAYOUTS", "RECORD_HEADER_SIZE",
     "ShapeRecord", "StoreStats", "compute_signatures", "decode_record",
     "encode_entry", "load_base", "local_optimization", "make_layout",

@@ -7,11 +7,22 @@ binary file holding every entry in the record format of
 applying each copy's inverse normalization transform, so a loaded base
 answers queries identically (up to float32 rounding of the stored
 vertices).
+
+Writes are crash-safe: :func:`save_base` writes to a temp file in the
+destination directory, fsyncs it, and publishes with ``os.replace`` —
+the destination is always either the old snapshot or the complete new
+one, never a torn mix.  The v2 header carries the body length and a
+CRC32 of the body; :func:`load_base` verifies both and raises
+:class:`CorruptSnapshotError` (a :class:`ValueError`) on truncation or
+bit rot instead of loading garbage.  Version-1 files (no checksum)
+still load.
 """
 
 from __future__ import annotations
 
+import os
 import struct
+import zlib
 from pathlib import Path
 from typing import Union
 
@@ -19,17 +30,42 @@ from ..core.shapebase import ShapeBase
 from .serialization import decode_record, encode_entry
 
 MAGIC = b"GSIR"
-VERSION = 1
-_HEADER = struct.Struct("<4sHfI")     # magic, version, alpha, num entries
+VERSION = 2
+_PREFIX = struct.Struct("<4sH")       # magic, version
+_HEADER_V1 = struct.Struct("<fI")     # alpha, num entries
+_HEADER_V2 = struct.Struct("<fIQI")   # alpha, num entries, body len, CRC32
+
+
+class CorruptSnapshotError(ValueError):
+    """A snapshot file is truncated, checksum-broken, or not ours.
+
+    Subclasses :class:`ValueError` so callers guarding persistence
+    with ``except (OSError, ValueError)`` keep working.
+    """
 
 
 def save_base(base: ShapeBase, path: Union[str, Path]) -> int:
-    """Write the whole base to ``path``; returns bytes written."""
+    """Write the whole base to ``path`` atomically; returns bytes written.
+
+    The payload lands in a same-directory temp file first (fsynced),
+    then ``os.replace`` publishes it — a crash mid-write leaves the
+    previous snapshot intact, never a torn file.
+    """
     path = Path(path)
-    blobs = [encode_entry(entry) for entry in base.entries]
-    header = _HEADER.pack(MAGIC, VERSION, base.alpha, len(blobs))
-    payload = header + b"".join(blobs)
-    path.write_bytes(payload)
+    body = b"".join(encode_entry(entry) for entry in base.entries)
+    header = _PREFIX.pack(MAGIC, VERSION) + _HEADER_V2.pack(
+        base.alpha, len(base.entries), len(body), zlib.crc32(body))
+    payload = header + body
+    tmp = path.with_name(path.name + ".tmp")
+    try:
+        with open(tmp, "wb") as handle:
+            handle.write(payload)
+            handle.flush()
+            os.fsync(handle.fileno())
+        os.replace(tmp, path)
+    except BaseException:
+        tmp.unlink(missing_ok=True)
+        raise
     return len(payload)
 
 
@@ -40,18 +76,39 @@ def load_base(path: Union[str, Path], backend: str = "kdtree") -> ShapeBase:
     Every original shape is reconstructed from the first of its stored
     copies via the inverse transform, then re-normalized on insertion —
     so the loaded base has exactly the same structure as one built
-    fresh from the recovered originals.
+    fresh from the recovered originals.  The v2 body length and CRC32
+    are verified before any record is decoded.
     """
     payload = Path(path).read_bytes()
-    if len(payload) < _HEADER.size:
-        raise ValueError("truncated shape-base file")
-    magic, version, alpha, count = _HEADER.unpack_from(payload, 0)
+    if len(payload) < _PREFIX.size:
+        raise CorruptSnapshotError("truncated shape-base file")
+    magic, version = _PREFIX.unpack_from(payload, 0)
     if magic != MAGIC:
-        raise ValueError("not a GeoSIR shape-base file")
-    if version != VERSION:
-        raise ValueError(f"unsupported shape-base file version {version}")
+        raise CorruptSnapshotError("not a GeoSIR shape-base file")
+    if version == 1:
+        header = _HEADER_V1
+    elif version == VERSION:
+        header = _HEADER_V2
+    else:
+        raise CorruptSnapshotError(
+            f"unsupported shape-base file version {version}")
+    if len(payload) < _PREFIX.size + header.size:
+        raise CorruptSnapshotError("truncated shape-base file")
+    if version == 1:
+        alpha, count = header.unpack_from(payload, _PREFIX.size)
+    else:
+        alpha, count, body_len, checksum = header.unpack_from(
+            payload, _PREFIX.size)
+        body = payload[_PREFIX.size + header.size:]
+        if len(body) != body_len:
+            raise CorruptSnapshotError(
+                f"truncated shape-base file: body holds {len(body)} "
+                f"bytes, header promises {body_len}")
+        if zlib.crc32(body) != checksum:
+            raise CorruptSnapshotError(
+                "shape-base file checksum mismatch (corrupted snapshot)")
     base = ShapeBase(alpha=float(alpha), backend=backend)
-    offset = _HEADER.size
+    offset = _PREFIX.size + header.size
     seen = set()
     for _ in range(count):
         record, offset = decode_record(payload, offset)

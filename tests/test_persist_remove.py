@@ -125,6 +125,74 @@ class TestPersistence:
         assert loaded.alpha == pytest.approx(0.2)
 
 
+class TestCrashSafePersistence:
+    """save_base is atomic, load_base verifies length + checksum."""
+
+    @pytest.fixture
+    def saved(self, rng, tmp_path):
+        base = ShapeBase(alpha=0.1)
+        for i in range(6):
+            base.add_shape(star_shaped_polygon(rng, 10), image_id=i)
+        path = tmp_path / "base.gsir"
+        save_base(base, path)
+        return base, path
+
+    def test_no_temp_file_left_behind(self, saved, tmp_path):
+        _, path = saved
+        assert [p.name for p in tmp_path.iterdir()] == [path.name]
+
+    def test_overwrite_is_atomic_replace(self, saved):
+        base, path = saved
+        before = path.read_bytes()
+        save_base(base, path)                 # overwrite in place
+        assert path.read_bytes() == before
+        assert not path.with_name(path.name + ".tmp").exists()
+
+    def test_truncated_body_raises_corrupt(self, saved):
+        from repro.storage import CorruptSnapshotError
+        _, path = saved
+        data = path.read_bytes()
+        path.write_bytes(data[:len(data) - 40])
+        with pytest.raises(CorruptSnapshotError, match="truncated"):
+            load_base(path)
+
+    def test_bit_flip_fails_checksum(self, saved):
+        from repro.storage import CorruptSnapshotError
+        _, path = saved
+        data = bytearray(path.read_bytes())
+        data[-25] ^= 0xFF                     # flip one body byte
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptSnapshotError, match="checksum"):
+            load_base(path)
+
+    def test_corrupt_error_is_a_value_error(self):
+        from repro.storage import CorruptSnapshotError
+        assert issubclass(CorruptSnapshotError, ValueError)
+
+    def test_legacy_v1_file_still_loads(self, saved, tmp_path):
+        import struct
+
+        from repro.storage.serialization import encode_entry
+        base, _ = saved
+        blobs = b"".join(encode_entry(e) for e in base.entries)
+        v1 = struct.Struct("<4sHfI").pack(
+            b"GSIR", 1, base.alpha, base.num_entries) + blobs
+        path = tmp_path / "legacy.gsir"
+        path.write_bytes(v1)
+        loaded = load_base(path)
+        assert loaded.num_shapes == base.num_shapes
+        assert loaded.shape_ids() == base.shape_ids()
+
+    def test_unsupported_version_rejected(self, saved):
+        from repro.storage import CorruptSnapshotError
+        _, path = saved
+        data = bytearray(path.read_bytes())
+        data[4:6] = (99).to_bytes(2, "little")
+        path.write_bytes(bytes(data))
+        with pytest.raises(CorruptSnapshotError, match="version"):
+            load_base(path)
+
+
 class TestRehash:
     def test_rehash_changes_layout_counts_io(self, rng):
         base = ShapeBase(alpha=0.05)
