@@ -4,11 +4,12 @@ Usage (``python -m repro ...``)::
 
     repro demo                                   # synthetic walkthrough
     repro build  --images imgs.json --out b.gsir [--alpha 0.1]
+                 [--snapshot out.gsb] [--sign-curves 50]
     repro stats  --base b.gsir
     repro query  --base b.gsir --sketch sk.json [-k 3] [--threshold T]
                  [--json] [--profile]
     repro serve-bench [--workers 1,2,4] [--shards 4] [--no-cache]
-                      [--batch N] [--profile]
+                      [--batch N] [--profile] [--snapshot b.gsb]
 
 ``imgs.json`` / ``sk.json`` use the format of
 :mod:`repro.geometry.io`; a query sketch file should contain exactly
@@ -31,24 +32,51 @@ from .storage.persist import load_base, save_base
 
 
 def _cmd_build(args: argparse.Namespace) -> int:
+    import time
+
+    if args.out is None and args.snapshot is None:
+        print("error: build needs --out and/or --snapshot",
+              file=sys.stderr)
+        return 2
     base = ShapeBase(alpha=args.alpha)
     images = load_images(args.images)
+    all_shapes = []
+    all_images = []
     next_id = 0
     for image_id, shapes in images:
         if image_id is None:
             image_id = next_id
         next_id = max(next_id, image_id + 1)
-        for shape in shapes:
-            base.add_shape(shape, image_id=image_id)
-    written = save_base(base, args.out)
+        all_shapes.extend(shapes)
+        all_images.extend([image_id] * len(shapes))
+    start = time.perf_counter()
+    if all_shapes:
+        base.add_shapes(all_shapes, image_ids=all_images)
+    ingest_s = time.perf_counter() - start
     print(f"built base: {base.num_shapes} shapes over "
-          f"{base.num_images} images -> {base.num_entries} copies, "
-          f"{written} bytes at {args.out}")
+          f"{base.num_images} images -> {base.num_entries} copies "
+          f"({ingest_s * 1e3:.1f} ms bulk ingest)")
+    if args.out is not None:
+        written = save_base(base, args.out)
+        print(f"wrote {written} bytes at {args.out}")
+    if args.snapshot is not None:
+        start = time.perf_counter()
+        written = save_base(base, args.snapshot,
+                            hash_curves=args.sign_curves)
+        snap_s = time.perf_counter() - start
+        print(f"wrote v3 snapshot: {written} bytes at {args.snapshot} "
+              f"({snap_s * 1e3:.1f} ms, signatures for "
+              f"{args.sign_curves} curves embedded)")
     return 0
 
 
 def _cmd_stats(args: argparse.Namespace) -> int:
+    from .storage.persist import snapshot_info
+    info = snapshot_info(args.base)
     base = load_base(args.base)
+    print(f"format version:   v{info['version']}" +
+          (f" ({info.get('signature_curves')}-curve signatures embedded)"
+           if info.get("signature_curves") else ""))
     print(f"shapes:           {base.num_shapes}")
     print(f"images:           {base.num_images}")
     print(f"normalized copies: {base.num_entries}")
@@ -177,17 +205,36 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               file=sys.stderr)
         return 2
 
-    rng = np.random.default_rng(args.seed)
-    workload = generate_workload(args.images, rng, shapes_per_image=4.0,
-                                 noise=0.01)
-    base = ShapeBase(alpha=0.1)
-    for image in workload.images:
-        for shape in image.shapes:
-            base.add_shape(shape, image_id=image.image_id)
-    sketches = [query for query, _ in
-                make_query_set(workload, args.distinct,
-                               np.random.default_rng(args.seed + 1),
-                               noise=0.01)]
+    if args.snapshot is not None:
+        start = time.perf_counter()
+        try:
+            base = load_base(args.snapshot)
+        except (OSError, ValueError) as exc:
+            print(f"error: cannot load snapshot {args.snapshot!r}: {exc}",
+                  file=sys.stderr)
+            return 2
+        load_s = time.perf_counter() - start
+        if base.num_shapes == 0:
+            print("error: snapshot base is empty", file=sys.stderr)
+            return 2
+        # Stored shapes double as the query set: planted exact matches,
+        # which is what the cold-start measurement needs (no synthesis).
+        sketches = [base.shapes[sid]
+                    for sid in list(base.shapes)[:args.distinct]]
+        print(f"snapshot {args.snapshot}: {base.num_shapes} shapes, "
+              f"{base.num_entries} copies loaded in {load_s * 1e3:.1f} ms")
+    else:
+        rng = np.random.default_rng(args.seed)
+        workload = generate_workload(args.images, rng,
+                                     shapes_per_image=4.0, noise=0.01)
+        base = ShapeBase(alpha=0.1)
+        for image in workload.images:
+            for shape in image.shapes:
+                base.add_shape(shape, image_id=image.image_id)
+        sketches = [query for query, _ in
+                    make_query_set(workload, args.distinct,
+                                   np.random.default_rng(args.seed + 1),
+                                   noise=0.01)]
     print(f"base: {base.num_shapes} shapes over {base.num_images} images; "
           f"{args.queries} queries ({len(sketches)} distinct) per config")
 
@@ -198,9 +245,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"(replayable: same seed, same schedule)")
 
     # Priming pass: first-touch numpy/allocator costs land here instead
-    # of biasing whichever configuration happens to run first.
+    # of biasing whichever configuration happens to run first.  Its
+    # construction time is the cold start proper: shard the base and
+    # build every shard's kd-tree and hash table in parallel.
+    start = time.perf_counter()
     with RetrievalService.from_base(base, ServiceConfig(
             num_shards=args.shards, workers=1, cache_capacity=0)) as primer:
+        cold_s = time.perf_counter() - start
+        print(f"cold start (shard + parallel warm, {args.shards} shards): "
+              f"{cold_s * 1e3:.1f} ms")
         for sketch in sketches:
             primer.retrieve(sketch, k=args.k)
 
@@ -346,7 +399,15 @@ def build_parser() -> argparse.ArgumentParser:
     build = commands.add_parser("build", help="build a base from JSON")
     build.add_argument("--images", required=True,
                        help="JSON file of images/shapes")
-    build.add_argument("--out", required=True, help="output .gsir file")
+    build.add_argument("--out", default=None, help="output .gsir file")
+    build.add_argument("--snapshot", default=None, metavar="PATH",
+                       help="also write an array-native v3 snapshot with "
+                            "precomputed hashing signatures (loads with "
+                            "zero re-normalization)")
+    build.add_argument("--sign-curves", type=int, default=50,
+                       dest="sign_curves",
+                       help="hash-curve family size for the signatures "
+                            "embedded in --snapshot (default 50)")
     build.add_argument("--alpha", type=float, default=0.1,
                        help="alpha-diameter tolerance (default 0.1)")
     build.set_defaults(func=_cmd_build)
@@ -377,6 +438,10 @@ def build_parser() -> argparse.ArgumentParser:
         help="closed-loop load benchmark of the retrieval service")
     serve.add_argument("--images", type=int, default=24,
                        help="synthetic base size (default 24)")
+    serve.add_argument("--snapshot", default=None, metavar="PATH",
+                       help="serve a stored base instead of a synthetic "
+                            "one; load time and cold start (shard + "
+                            "parallel warm) are reported")
     serve.add_argument("--queries", type=int, default=60,
                        help="total queries per configuration (default 60)")
     serve.add_argument("--distinct", type=int, default=12,

@@ -17,8 +17,9 @@ from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
 import numpy as np
 
 from ..geometry.polyline import Shape
-from ..geometry.transform import NormalizedCopy, normalized_copies
-from ..rangesearch import TriangleRangeIndex, make_index
+from ..geometry.transform import (NormalizedCopy, batch_normalized_copies,
+                                  normalized_copies)
+from ..rangesearch import IncrementalIndex, TriangleRangeIndex, make_index
 
 
 def validate_shape(shape: Shape) -> None:
@@ -37,9 +38,26 @@ def validate_shape(shape: Shape) -> None:
             f"got shape {vertices.shape}")
     if not np.all(np.isfinite(vertices)):
         raise ValueError("shape contains NaN or infinite coordinates")
-    if len(np.unique(vertices, axis=0)) < 3:
+    if not _has_three_distinct(vertices):
         raise ValueError(
             "shape must have at least 3 distinct vertices")
+
+
+def _has_three_distinct(vertices: np.ndarray) -> bool:
+    """True when the rows contain at least three distinct points.
+
+    Equivalent to ``len(np.unique(vertices, axis=0)) >= 3`` (exact
+    comparison, no tolerance) but without the full sort — validation is
+    on the bulk-ingest hot path.
+    """
+    first = vertices[0]
+    not_first = (vertices[:, 0] != first[0]) | (vertices[:, 1] != first[1])
+    second_pos = np.argmax(not_first)
+    if not not_first[second_pos]:
+        return False                       # all rows identical
+    second = vertices[second_pos]
+    not_second = (vertices[:, 0] != second[0]) | (vertices[:, 1] != second[1])
+    return bool(np.any(not_first & not_second))
 
 
 class ShapeEntry:
@@ -96,6 +114,11 @@ class ShapeBase:
         self._vertex_owner: Optional[np.ndarray] = None
         self._entry_sizes: Optional[np.ndarray] = None
         self._entry_offsets: Optional[np.ndarray] = None
+        # Cached per-entry hashing signatures: ``(num_curves, (E, 4)
+        # int16 array)`` aligned with ``entries``.  Populated by the
+        # hashing layer or a v3 snapshot; invalidated/patched alongside
+        # the vertex arrays so it can never go stale.
+        self._signature_cache: Optional[Tuple[int, np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Population
@@ -119,22 +142,131 @@ class ShapeBase:
         self.shapes[shape_id] = shape
         self.shape_image[shape_id] = image_id
         entry_ids: List[int] = []
+        new_entries: List[ShapeEntry] = []
         for copy in normalized_copies(shape, self.alpha):
             entry_id = len(self.entries)
-            self.entries.append(ShapeEntry(entry_id, shape_id, image_id, copy))
+            entry = ShapeEntry(entry_id, shape_id, image_id, copy)
+            self.entries.append(entry)
             entry_ids.append(entry_id)
+            new_entries.append(entry)
         self._entries_by_shape[shape_id] = entry_ids
         if image_id is not None:
             self._shapes_by_image.setdefault(image_id, []).append(shape_id)
-        self._index = None
-        self._vertex_points = None
+        self._register_new_entries(new_entries)
         self.version += 1
         return shape_id
 
     def add_shapes(self, shapes: Sequence[Shape],
-                   image_id: Optional[int] = None) -> List[int]:
-        """Add several shapes belonging to the same image."""
-        return [self.add_shape(s, image_id=image_id) for s in shapes]
+                   image_id: Optional[int] = None, *,
+                   image_ids: Optional[Sequence[Optional[int]]] = None,
+                   shape_ids: Optional[Sequence[int]] = None) -> List[int]:
+        """Add several shapes in one vectorized pass; returns their ids.
+
+        Validation, alpha-diameter computation and all normalized-copy
+        coordinates run as stacked numpy passes over every shape at
+        once (:func:`repro.geometry.batch_normalized_copies`), producing
+        entries bit-for-bit identical to a loop of :meth:`add_shape`
+        calls in the same order.
+
+        ``image_id`` assigns every shape to one image (the legacy
+        signature); ``image_ids`` gives one image per shape and wins
+        over ``image_id``.  ``shape_ids`` pins explicit ids (same
+        semantics as :meth:`add_shape`'s).  Unlike the scalar loop, the
+        bulk path validates everything *before* mutating, so a rejected
+        shape leaves the base untouched.
+        """
+        shapes = list(shapes)
+        if not shapes:
+            return []
+        if image_ids is None:
+            per_image: List[Optional[int]] = [image_id] * len(shapes)
+        else:
+            per_image = list(image_ids)
+            if len(per_image) != len(shapes):
+                raise ValueError("image_ids must match shapes in length")
+        if shape_ids is None:
+            ids = list(range(self._next_shape_id,
+                             self._next_shape_id + len(shapes)))
+        else:
+            ids = [int(s) for s in shape_ids]
+            if len(ids) != len(shapes):
+                raise ValueError("shape_ids must match shapes in length")
+        seen = set()
+        for sid in ids:
+            if sid in self.shapes or sid in seen:
+                raise ValueError(f"shape id {sid} already present")
+            seen.add(sid)
+        self._validate_batch(shapes)
+        copies_per_shape = batch_normalized_copies(shapes, self.alpha)
+        new_entries: List[ShapeEntry] = []
+        for shape, sid, iid, copies in zip(shapes, ids, per_image,
+                                           copies_per_shape):
+            self._next_shape_id = max(self._next_shape_id, sid + 1)
+            self.shapes[sid] = shape
+            self.shape_image[sid] = iid
+            entry_ids: List[int] = []
+            for copy in copies:
+                entry_id = len(self.entries)
+                entry = ShapeEntry(entry_id, sid, iid, copy)
+                self.entries.append(entry)
+                entry_ids.append(entry_id)
+                new_entries.append(entry)
+            self._entries_by_shape[sid] = entry_ids
+            if iid is not None:
+                self._shapes_by_image.setdefault(iid, []).append(sid)
+        self._register_new_entries(new_entries)
+        self.version += 1
+        return ids
+
+    def _validate_batch(self, shapes: Sequence[Shape]) -> None:
+        """Batched :func:`validate_shape` with identical error messages."""
+        flat = np.concatenate([s.vertices for s in shapes], axis=0)
+        if not np.all(np.isfinite(flat)):
+            for shape in shapes:       # find the offender, raise exactly
+                validate_shape(shape)
+        for shape in shapes:
+            if not _has_three_distinct(shape.vertices):
+                raise ValueError(
+                    "shape must have at least 3 distinct vertices")
+
+    def _register_new_entries(self, new_entries: List[ShapeEntry]) -> None:
+        """Absorb freshly appended entries into the derived structures.
+
+        With cold caches this just leaves everything to the next lazy
+        build.  With live flat arrays the new entries' non-anchor
+        vertices are appended in place and the range index is extended
+        incrementally (:meth:`IncrementalIndex.extended`) instead of
+        being thrown away — the single-shape ingest fast path.
+        """
+        self._signature_cache = None
+        if self._vertex_points is None or self._index is None or \
+                not new_entries:
+            self._index = None
+            self._vertex_points = None
+            return
+        counts = np.array([e.shape.num_vertices for e in new_entries],
+                          dtype=np.int64)
+        offsets = np.concatenate(([0], np.cumsum(counts)))
+        flat = np.concatenate([e.shape.vertices for e in new_entries],
+                              axis=0)
+        pairs = np.array([e.copy.pair for e in new_entries], dtype=np.int64)
+        mask = np.ones(len(flat), dtype=bool)
+        mask[offsets[:-1] + pairs[:, 0]] = False
+        mask[offsets[:-1] + pairs[:, 1]] = False
+        new_points = flat[mask]
+        new_sizes = counts - 2
+        first_new = len(self.entries) - len(new_entries)
+        self._vertex_points = np.concatenate(
+            [self._vertex_points, new_points], axis=0)
+        self._entry_sizes = np.concatenate([self._entry_sizes, new_sizes])
+        offsets_all = np.zeros(len(self._entry_sizes) + 1, dtype=np.int64)
+        np.cumsum(self._entry_sizes, out=offsets_all[1:])
+        self._entry_offsets = offsets_all
+        self._vertex_owner = np.concatenate(
+            [self._vertex_owner,
+             np.repeat(np.arange(first_new, len(self.entries)), new_sizes)])
+        self._index = IncrementalIndex.extended(self._index, new_points,
+                                                self.backend)
 
     def remove_shape(self, shape_id: int) -> None:
         """Remove a shape and all its normalized copies.
@@ -150,7 +282,7 @@ class ShapeBase:
             raise KeyError(f"shape id {shape_id} not in the base")
         del self.shapes[shape_id]
         image_id = self.shape_image.pop(shape_id)
-        del self._entries_by_shape[shape_id]
+        removed_ids = self._entries_by_shape.pop(shape_id)
         if image_id is not None:
             remaining = [s for s in self._shapes_by_image[image_id]
                          if s != shape_id]
@@ -158,15 +290,30 @@ class ShapeBase:
                 self._shapes_by_image[image_id] = remaining
             else:
                 del self._shapes_by_image[image_id]
-        survivors = [e for e in self.entries if e.shape_id != shape_id]
-        self.entries = []
-        self._entries_by_shape = {sid: [] for sid in self.shapes}
-        for entry in survivors:
-            entry.entry_id = len(self.entries)
-            self.entries.append(entry)
-            self._entries_by_shape[entry.shape_id].append(entry.entry_id)
-        self._index = None
-        self._vertex_points = None
+        entry_keep = np.ones(len(self.entries), dtype=bool)
+        entry_keep[removed_ids] = False
+        new_ids = np.cumsum(entry_keep) - 1      # old entry id -> new id
+        self.entries = [e for e in self.entries if entry_keep[e.entry_id]]
+        for entry in self.entries:
+            entry.entry_id = int(new_ids[entry.entry_id])
+        for sid, ids in self._entries_by_shape.items():
+            self._entries_by_shape[sid] = [int(new_ids[i]) for i in ids]
+        if self._vertex_points is not None and self._index is not None:
+            # Patch the flat arrays and the index in place of a rebuild:
+            # drop the removed entries' vertex rows, renumber owners
+            # densely and shrink the kd-tree structurally.
+            point_keep = np.repeat(entry_keep, self._entry_sizes)
+            self._index = self._index.removed(point_keep)
+            self._vertex_points = self._index.points
+            self._entry_sizes = self._entry_sizes[entry_keep]
+            offsets = np.zeros(len(self._entry_sizes) + 1, dtype=np.int64)
+            np.cumsum(self._entry_sizes, out=offsets[1:])
+            self._entry_offsets = offsets
+            self._vertex_owner = np.repeat(
+                np.arange(len(self.entries)), self._entry_sizes)
+        if self._signature_cache is not None:
+            num_curves, rows = self._signature_cache
+            self._signature_cache = (num_curves, rows[entry_keep])
         self.version += 1
 
     # ------------------------------------------------------------------
@@ -247,17 +394,39 @@ class ShapeBase:
     def subset(self, shape_ids: Sequence[int]) -> "ShapeBase":
         """A new base holding only ``shape_ids`` (ids preserved).
 
-        The shapes are re-normalized on insertion, so the subset is
-        structurally identical to a base built fresh from those
-        originals; entry ids are local to the subset.
+        The already-normalized entries are *carried over* (the
+        immutable ``NormalizedCopy`` objects are shared, entry ids are
+        renumbered locally), so taking a subset costs O(entries
+        copied) instead of re-running normalization — structurally the
+        result is identical to a base built fresh from those originals
+        in the same order.  Cached hashing signatures come along too.
         """
         out = ShapeBase(alpha=self.alpha, backend=self.backend)
+        old_entry_ids: List[int] = []
         for shape_id in shape_ids:
             if shape_id not in self.shapes:
                 raise KeyError(f"shape id {shape_id} not in the base")
-            out.add_shape(self.shapes[shape_id],
-                          image_id=self.shape_image[shape_id],
-                          shape_id=shape_id)
+            image_id = self.shape_image[shape_id]
+            out._next_shape_id = max(out._next_shape_id, shape_id + 1)
+            out.shapes[shape_id] = self.shapes[shape_id]
+            out.shape_image[shape_id] = image_id
+            entry_ids: List[int] = []
+            for old_id in self._entries_by_shape[shape_id]:
+                entry = self.entries[old_id]
+                new_id = len(out.entries)
+                out.entries.append(ShapeEntry(new_id, shape_id, image_id,
+                                              entry.copy))
+                entry_ids.append(new_id)
+                old_entry_ids.append(old_id)
+            out._entries_by_shape[shape_id] = entry_ids
+            if image_id is not None:
+                out._shapes_by_image.setdefault(image_id, []) \
+                    .append(shape_id)
+            out.version += 1
+        if self._signature_cache is not None and out.entries:
+            num_curves, rows = self._signature_cache
+            out._signature_cache = (num_curves,
+                                    rows[np.array(old_entry_ids)])
         return out
 
     def split(self, num_parts: int,
@@ -297,31 +466,36 @@ class ShapeBase:
         exact measures still use the full vertex set via
         :meth:`entry_vertices`.
         """
-        if self._vertex_points is not None and self._index is not None:
-            return
-        points_list = []
-        sizes = np.zeros(len(self.entries), dtype=np.int64)
-        for position, entry in enumerate(self.entries):
-            vertices = entry.shape.vertices
-            i, j = entry.copy.pair
-            mask = np.ones(len(vertices), dtype=bool)
-            mask[i] = mask[j] = False
-            non_anchor = vertices[mask]
-            sizes[position] = len(non_anchor)
-            points_list.append(non_anchor)
-        offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
-        np.cumsum(sizes, out=offsets[1:])
-        if self.entries:
-            points = np.vstack(points_list)
-            owner = np.repeat(np.arange(len(self.entries)), sizes)
-        else:
-            points = np.zeros((0, 2))
-            owner = np.zeros(0, dtype=np.int64)
-        self._entry_sizes = sizes
-        self._entry_offsets = offsets
-        self._vertex_points = points
-        self._vertex_owner = owner
-        self._index = make_index(points, self.backend)
+        if self._vertex_points is None:
+            if self.entries:
+                counts = np.array(
+                    [e.shape.num_vertices for e in self.entries],
+                    dtype=np.int64)
+                shape_offsets = np.concatenate(([0], np.cumsum(counts)))
+                flat = np.concatenate(
+                    [e.shape.vertices for e in self.entries], axis=0)
+                pairs = np.array([e.copy.pair for e in self.entries],
+                                 dtype=np.int64)
+                if np.any(pairs < 0) or np.any(pairs >= counts[:, None]):
+                    raise IndexError("entry anchor pair out of range")
+                mask = np.ones(len(flat), dtype=bool)
+                mask[shape_offsets[:-1] + pairs[:, 0]] = False
+                mask[shape_offsets[:-1] + pairs[:, 1]] = False
+                points = flat[mask]
+                sizes = counts - 2
+                owner = np.repeat(np.arange(len(self.entries)), sizes)
+            else:
+                points = np.zeros((0, 2))
+                sizes = np.zeros(0, dtype=np.int64)
+                owner = np.zeros(0, dtype=np.int64)
+            offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+            np.cumsum(sizes, out=offsets[1:])
+            self._entry_sizes = sizes
+            self._entry_offsets = offsets
+            self._vertex_points = points
+            self._vertex_owner = owner
+        if self._index is None:
+            self._index = make_index(self._vertex_points, self.backend)
 
     @property
     def vertex_points(self) -> np.ndarray:
@@ -378,6 +552,32 @@ class ShapeBase:
         """The simplex range-search index over all entry vertices."""
         self._ensure_arrays()
         return self._index
+
+    # ------------------------------------------------------------------
+    # Hashing-signature cache (filled by the hashing layer / snapshots)
+    # ------------------------------------------------------------------
+    def cached_signatures(self, num_curves: int) -> Optional[np.ndarray]:
+        """Per-entry characteristic quadruples, if cached for this family.
+
+        Returns an ``(E, 4)`` int array aligned with ``entries`` or
+        ``None`` when nothing is cached for a ``num_curves``-curve hash
+        family.  The cache is invalidated on ingest and compacted on
+        removal, so a non-``None`` answer is always current.
+        """
+        if self._signature_cache is None:
+            return None
+        cached_curves, rows = self._signature_cache
+        if cached_curves != num_curves or len(rows) != len(self.entries):
+            return None
+        return rows
+
+    def set_signature_cache(self, num_curves: int,
+                            signatures: Sequence[Sequence[int]]) -> None:
+        """Remember per-entry signatures for a ``num_curves`` family."""
+        rows = np.asarray(signatures, dtype=np.int16)
+        if rows.shape != (len(self.entries), 4):
+            raise ValueError("signatures must be one quadruple per entry")
+        self._signature_cache = (int(num_curves), rows)
 
     def __repr__(self) -> str:
         return (f"ShapeBase(shapes={self.num_shapes}, "

@@ -23,13 +23,15 @@ from .primitives import (EPSILON, as_points, bounding_box, cross, distance,
                          interior_angle, point_segment_distance,
                          points_segment_distance, points_segments_distance,
                          polygon_signed_area, signed_angle)
-from .transform import (NormalizedCopy, SimilarityTransform, normalize_about,
+from .transform import (NormalizedCopy, SimilarityTransform,
+                        batch_normalized_copies, normalize_about,
                         normalize_about_diameter, normalized_copies)
 
 __all__ = [
     "EPSILON", "LUNE_AREA", "BoundaryDistance", "EpsilonEnvelope",
     "GridBoundaryDistance", "NormalizedCopy", "Shape", "SimilarityTransform",
-    "alpha_diameters", "as_points", "band_cover_triangles", "bounding_box",
+    "alpha_diameters", "as_points", "band_cover_triangles",
+    "batch_normalized_copies", "bounding_box",
     "clamp_to_lune", "convex_hull", "cross", "diameter",
     "diameter_bruteforce", "diameter_rotating_calipers", "difference_mask",
     "distance", "in_lune", "interior_angle", "load_images", "load_shapes",

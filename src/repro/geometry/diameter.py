@@ -131,6 +131,26 @@ def diameter(points: np.ndarray, method: str = "auto") -> Tuple[VertexPair, floa
     return (i, j), length
 
 
+#: Above this vertex count the O(n^2) pairwise matrix stops being the
+#: cheapest option and alpha_diameters falls back to the rowwise scan.
+_MATRIX_LIMIT = 1024
+
+
+def _pairwise_upper_sq(pts: np.ndarray) -> np.ndarray:
+    """Squared distances of all ``i < j`` pairs as an ``(n, n)`` matrix.
+
+    The lower triangle and diagonal are set to ``-1`` so row-major
+    reductions (argmax, nonzero) see only the upper pairs.  Each
+    ``sq[i, j]`` is computed with exactly the arithmetic of the rowwise
+    scan (``pts[j] - pts[i]``, square, add), so reductions over the
+    matrix agree bit-for-bit with the scalar loop.
+    """
+    diff = pts[None, :, :] - pts[:, None, :]        # diff[i, j] = p_j - p_i
+    sq = diff[:, :, 0] ** 2 + diff[:, :, 1] ** 2
+    sq[np.tril_indices(len(pts))] = -1.0
+    return sq
+
+
 def alpha_diameters(points: np.ndarray, alpha: float
                     ) -> Tuple[List[VertexPair], float]:
     """All vertex pairs at distance >= ``(1 - alpha) * diameter``.
@@ -139,17 +159,32 @@ def alpha_diameters(points: np.ndarray, alpha: float
     ``i < j`` and always include the true diameter pair.  ``alpha = 0``
     yields exactly the diameter pair(s).  Section 2.4: every shape is
     normalized (twice) about each of these pairs.
+
+    For the small shapes the base stores, the whole scan runs as one
+    vectorized pass over the pairwise-distance matrix; the output is
+    identical (same pairs, same order, same floats) to the rowwise
+    reference loop, which remains as the large-``n`` fallback.
     """
     if not 0.0 <= alpha < 1.0:
         raise ValueError("alpha must be in [0, 1)")
     pts = as_points(points)
-    _, diam = diameter(pts)
-    threshold_sq = ((1.0 - alpha) * diam) ** 2
-    pairs: List[VertexPair] = []
     n = len(pts)
-    for i in range(n - 1):
-        delta = pts[i + 1:] - pts[i]
-        sq = delta[:, 0] ** 2 + delta[:, 1] ** 2
-        for offset in np.nonzero(sq >= threshold_sq - 1e-12)[0]:
-            pairs.append((i, i + 1 + int(offset)))
-    return pairs, diam
+    if n < 2:
+        raise ValueError("need at least two points")
+    if n > _MATRIX_LIMIT:
+        _, diam = diameter(pts)
+        threshold_sq = ((1.0 - alpha) * diam) ** 2
+        pairs: List[VertexPair] = []
+        for i in range(n - 1):
+            delta = pts[i + 1:] - pts[i]
+            sq = delta[:, 0] ** 2 + delta[:, 1] ** 2
+            for offset in np.nonzero(sq >= threshold_sq - 1e-12)[0]:
+                pairs.append((i, i + 1 + int(offset)))
+        return pairs, diam
+    sq = _pairwise_upper_sq(pts)
+    # Row-major argmax = the first pair attaining the maximum, the same
+    # tie-break as the brute-force scan's strict-improvement update.
+    diam = math.sqrt(float(sq.flat[int(np.argmax(sq))]))
+    threshold_sq = ((1.0 - alpha) * diam) ** 2
+    rows, cols = np.nonzero(sq >= threshold_sq - 1e-12)
+    return [(int(i), int(j)) for i, j in zip(rows, cols)], diam

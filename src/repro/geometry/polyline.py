@@ -49,6 +49,23 @@ class Shape:
         self._perimeter: Optional[float] = None
         self._edge_lengths: Optional[np.ndarray] = None
 
+    @classmethod
+    def _trusted(cls, vertices: np.ndarray, closed: bool) -> "Shape":
+        """Wrap an already-validated vertex array without copying.
+
+        ``vertices`` must be a read-only float64 ``(n, 2)`` array that
+        already satisfies the constructor's invariants (enough vertices,
+        no duplicated closing vertex).  Bulk pipelines use this to turn
+        slices of one big batch-computed array into ``Shape`` objects
+        without re-running per-shape validation.
+        """
+        shape = object.__new__(cls)
+        shape._vertices = vertices
+        shape.closed = closed
+        shape._perimeter = None
+        shape._edge_lengths = None
+        return shape
+
     # ------------------------------------------------------------------
     # Basic accessors
     # ------------------------------------------------------------------

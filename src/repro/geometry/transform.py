@@ -189,3 +189,97 @@ def normalized_copies(shape: Shape, alpha: float = 0.0) -> List[NormalizedCopy]:
         copies.append(normalize_about(shape, i, j))
         copies.append(normalize_about(shape, j, i))
     return copies
+
+
+def batch_normalized_copies(shapes: Sequence[Shape], alpha: float = 0.0
+                            ) -> List[List[NormalizedCopy]]:
+    """``[normalized_copies(s, alpha) for s in shapes]``, batched.
+
+    All transform parameters and all normalized vertex coordinates are
+    computed in a handful of stacked numpy passes over every copy of
+    every shape at once; only the final ``NormalizedCopy`` objects are
+    assembled in Python.  Because each elementwise operation uses the
+    same operands in the same order as the scalar path, the resulting
+    entries are bit-for-bit identical to per-shape ``normalized_copies``
+    (same floats, same pair order, same errors on degenerate input).
+    """
+    if not shapes:
+        return []
+    n_s = np.array([s.num_vertices for s in shapes], dtype=np.int64)
+    starts = np.concatenate(([0], np.cumsum(n_s)))[:-1]
+    flat = np.concatenate([s.vertices for s in shapes], axis=0)
+
+    # One (shape_idx, p, q) row per copy; pair (i, j) yields (i, j) then
+    # (j, i), preserving the scalar path's copy order exactly.
+    shape_idx: List[int] = []
+    p_loc: List[int] = []
+    q_loc: List[int] = []
+    pair_tuples: List[Tuple[int, int]] = []
+    per_shape_counts: List[int] = []
+    for s_i, shape in enumerate(shapes):
+        pairs, _ = alpha_diameters(shape.vertices, alpha)
+        per_shape_counts.append(2 * len(pairs))
+        for i, j in pairs:
+            shape_idx.extend((s_i, s_i))
+            p_loc.extend((i, j))
+            q_loc.extend((j, i))
+            pair_tuples.append((i, j))
+            pair_tuples.append((j, i))
+    sidx = np.array(shape_idx, dtype=np.int64)
+    p_glob = starts[sidx] + np.array(p_loc, dtype=np.int64)
+    q_glob = starts[sidx] + np.array(q_loc, dtype=np.int64)
+
+    # Stacked transform parameters (mapping_segment_to_unit, vectorized).
+    P = flat[p_glob]
+    Q = flat[q_glob]
+    dx = Q[:, 0] - P[:, 0]
+    dy = Q[:, 1] - P[:, 1]
+    norm_sq = dx * dx + dy * dy
+    if np.any(norm_sq < EPSILON * EPSILON):
+        raise ValueError("cannot normalize about a zero-length segment")
+    A = dx / norm_sq
+    B = -dy / norm_sq
+    TX = -(A * P[:, 0] - B * P[:, 1])
+    TY = -(B * P[:, 0] + A * P[:, 1])
+
+    # Apply every transform to its shape's vertices in one flat pass.
+    counts = n_s[sidx]                              # vertices per copy
+    copy_off = np.concatenate(([0], np.cumsum(counts)))
+    total = int(copy_off[-1])
+    src = np.arange(total, dtype=np.int64) + \
+        np.repeat(starts[sidx] - copy_off[:-1], counts)
+    x = flat[src, 0]
+    y = flat[src, 1]
+    Af = np.repeat(A, counts)
+    Bf = np.repeat(B, counts)
+    out = np.empty((total, 2), dtype=np.float64)
+    out[:, 0] = Af * x - Bf * y + np.repeat(TX, counts)
+    out[:, 1] = Bf * x + Af * y + np.repeat(TY, counts)
+    out.setflags(write=False)
+
+    # Shape.__init__'s duplicated-closing-vertex check, vectorized: for
+    # closed shapes, drop the last vertex when np.allclose(first, last)
+    # (atol=EPSILON, default rtol=1e-5) would fire.
+    closed_s = np.array([s.closed for s in shapes], dtype=bool)
+    closed_c = closed_s[sidx]
+    first = out[copy_off[:-1]]
+    last = out[copy_off[1:] - 1]
+    near = np.abs(first - last) <= (EPSILON + 1.0e-5 * np.abs(last))
+    drop = closed_c & near.all(axis=1)
+    if np.any(drop & (counts - 1 < 3)):
+        raise ValueError("a closed shape needs at least three vertices")
+
+    result: List[List[NormalizedCopy]] = []
+    k = 0
+    for s_i, copy_count in enumerate(per_shape_counts):
+        copies: List[NormalizedCopy] = []
+        closed = bool(closed_s[s_i])
+        for _ in range(copy_count):
+            end = int(copy_off[k + 1]) - (1 if drop[k] else 0)
+            norm_shape = Shape._trusted(out[int(copy_off[k]):end], closed)
+            transform = SimilarityTransform(A[k], B[k], TX[k], TY[k])
+            copies.append(NormalizedCopy(norm_shape, transform,
+                                         pair_tuples[k]))
+            k += 1
+        result.append(copies)
+    return result

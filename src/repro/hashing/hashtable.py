@@ -100,10 +100,21 @@ class ApproximateRetriever:
         self.family = HashCurveFamily(k_curves)
         self.neighbor_radius = int(neighbor_radius)
         self.table = GeometricHashTable(self.family)
-        for entry in base:
-            self.table.insert(
-                entry.entry_id,
-                characteristic_quadruple(entry.shape, self.family))
+        # Computing a characteristic quadruple walks every vertex of
+        # every entry; reuse the base's cache (filled by a previous
+        # retriever build or a v3 snapshot) when one exists for this
+        # curve family, and fill it otherwise.
+        cached = base.cached_signatures(k_curves)
+        if cached is not None:
+            signatures = [(int(a), int(b), int(c), int(d))
+                          for a, b, c, d in cached]
+        else:
+            signatures = [characteristic_quadruple(entry.shape, self.family)
+                          for entry in base]
+            if len(base):
+                base.set_signature_cache(k_curves, signatures)
+        for entry, quadruple in zip(base, signatures):
+            self.table.insert(entry.entry_id, quadruple)
 
     def query(self, query: Shape, k: int = 1,
               neighbor_radius: Optional[int] = None) -> List[Match]:

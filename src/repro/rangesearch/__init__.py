@@ -12,6 +12,7 @@ Three interchangeable backends behind :func:`make_index`:
 
 from .base import TriangleRangeIndex, make_index
 from .brute import BruteForceIndex
+from .dynamic import IncrementalIndex
 from .external import ExternalSpatialIndex
 from .fractional_cascading import FractionalCascade
 from .kdtree import KdTreeIndex
@@ -19,6 +20,6 @@ from .layered_range_tree import LayeredRangeTreeIndex
 
 __all__ = [
     "BruteForceIndex", "ExternalSpatialIndex", "FractionalCascade",
-    "KdTreeIndex", "LayeredRangeTreeIndex", "TriangleRangeIndex",
-    "make_index",
+    "IncrementalIndex", "KdTreeIndex", "LayeredRangeTreeIndex",
+    "TriangleRangeIndex", "make_index",
 ]

@@ -109,6 +109,19 @@ class TriangleRangeIndex:
                   ymax: float) -> int:
         return len(self.report_box(xmin, ymin, xmax, ymax))
 
+    def removed(self, keep_mask: np.ndarray) -> "TriangleRangeIndex":
+        """A new index over ``points[keep_mask]`` (ids renumbered densely).
+
+        The default rebuilds from scratch; backends with a patchable
+        layout (the kd-tree) override this with a structural O(n)
+        shrink.  The returned index is always a *new* object — callers
+        rely on identity change to invalidate derived caches.
+        """
+        keep = np.asarray(keep_mask, dtype=bool)
+        if keep.shape != (len(self.points),):
+            raise ValueError("keep_mask must have one flag per point")
+        return type(self)(self.points[keep])
+
 
 def make_index(points: np.ndarray, backend: str = "kdtree",
                **kwargs) -> TriangleRangeIndex:

@@ -219,6 +219,46 @@ class KdTreeIndex(TriangleRangeIndex):
         # is ~5x slower than tuple unpacking).
         self._box_tuples = [(float(b[0]), float(b[1]), float(b[2]),
                              float(b[3])) for b in boxes]
+        # Point count at the last full build; removed() rebuilds once
+        # fewer than half of those points survive.
+        self._built_n = n
+
+    def removed(self, keep_mask: np.ndarray) -> "KdTreeIndex":
+        """Shrink the tree to ``points[keep_mask]`` without rebuilding.
+
+        The node topology and bounding boxes are *shared* with the old
+        tree: boxes become conservative supersets of their surviving
+        points, which keeps every disjoint / fully-inside classification
+        correct (a superset box inside a triangle still implies all its
+        points are; a superset box disjoint from it would have been
+        disjoint anyway had it shrunk).  Only the permutation array and
+        the node start/end offsets are recomputed, in O(n).  Once fewer
+        than half of the last fully-built point set survives, the boxes
+        are stale enough that a fresh build pays for itself.
+        """
+        keep = np.asarray(keep_mask, dtype=bool)
+        if keep.shape != (len(self.points),):
+            raise ValueError("keep_mask must have one flag per point")
+        kept = int(keep.sum())
+        if kept < max(1, self._built_n) * 0.5:
+            return KdTreeIndex(self.points[keep], leaf_size=self.leaf_size)
+        clone = object.__new__(KdTreeIndex)
+        new_points = self.points[keep]
+        new_points.setflags(write=False)
+        clone.points = new_points
+        clone.leaf_size = self.leaf_size
+        kept_at = keep[self._perm]           # survival per perm position
+        prefix = np.concatenate(([0], np.cumsum(kept_at)))
+        new_id = np.cumsum(keep) - 1         # old point id -> new id
+        clone._perm = new_id[self._perm[kept_at]]
+        clone._starts = prefix[self._starts]
+        clone._ends = prefix[self._ends]
+        clone._lefts = self._lefts
+        clone._rights = self._rights
+        clone._boxes = self._boxes
+        clone._box_tuples = self._box_tuples
+        clone._built_n = self._built_n
+        return clone
 
     # ------------------------------------------------------------------
     def report_triangle(self, a: Point, b: Point, c: Point) -> np.ndarray:

@@ -226,6 +226,22 @@ class RetrievalService:
         service.warm()
         return service
 
+    @classmethod
+    def from_snapshot(cls, path, config: Optional[ServiceConfig] = None,
+                      metrics: Optional[MetricsRegistry] = None
+                      ) -> "RetrievalService":
+        """Cold-start a service straight from a snapshot file.
+
+        Loads the base (a v3 snapshot materializes with zero
+        re-normalization), shards it, and warms every shard's kd-tree
+        and hash table in parallel on the service's worker pool — the
+        whole path from file to first answered query.
+        """
+        from ..storage.persist import load_base
+        config = config or ServiceConfig()
+        base = load_base(path, backend=config.backend)
+        return cls.from_base(base, config, metrics)
+
     def reload(self, base: ShapeBase) -> None:
         """Re-shard from a mutated base; cache and metrics survive.
 

@@ -112,6 +112,15 @@ class Shard:
         self.invalidate()
         return shape_id
 
+    def add_shapes(self, shapes: Sequence[Shape],
+                   image_ids: Sequence[Optional[int]],
+                   shape_ids: Sequence[int]) -> List[int]:
+        """Bulk-ingest pre-routed shapes through the vectorized path."""
+        ids = self.base.add_shapes(shapes, image_ids=image_ids,
+                                   shape_ids=shape_ids)
+        self.invalidate()
+        return ids
+
     # -- retrieval ------------------------------------------------------
     def query(self, sketch: Shape, k: int,
               abort: Optional[Callable[[], bool]] = None
@@ -219,15 +228,59 @@ class ShardSet:
         return shard.add_shape(shape, image_id, shape_id)
 
     def add_shapes(self, shapes: Sequence[Shape],
-                   image_id: Optional[int] = None) -> List[int]:
-        return [self.add_shape(s, image_id=image_id) for s in shapes]
+                   image_id: Optional[int] = None, *,
+                   image_ids: Optional[Sequence[Optional[int]]] = None
+                   ) -> List[int]:
+        """Bulk ingest: one id block, one vectorized add per shard.
+
+        Shapes are validated up front, ids assigned in one locked
+        block, then each shard receives its whole slice through
+        :meth:`ShapeBase.add_shapes` — per-shard work is one batched
+        normalization instead of a Python loop of scalar adds.  The
+        resulting shards are identical to a loop of :meth:`add_shape`
+        calls in the same order.
+        """
+        shapes = list(shapes)
+        if not shapes:
+            return []
+        if image_ids is None:
+            per_image: List[Optional[int]] = [image_id] * len(shapes)
+        else:
+            per_image = list(image_ids)
+            if len(per_image) != len(shapes):
+                raise ValueError("image_ids must match shapes in length")
+        for shape in shapes:
+            validate_shape(shape)
+        with self._lock:
+            first = self._next_shape_id
+            ids = list(range(first, first + len(shapes)))
+            self._next_shape_id = first + len(shapes)
+            self.version += 1
+        by_shard: dict = {}
+        for shape, sid, iid in zip(shapes, ids, per_image):
+            by_shard.setdefault(shard_for(sid, self.num_shards),
+                                ([], [], []))
+            group = by_shard[shard_for(sid, self.num_shards)]
+            group[0].append(shape)
+            group[1].append(iid)
+            group[2].append(sid)
+        for shard_index, (group_shapes, group_images, group_ids) \
+                in sorted(by_shard.items()):
+            self.shards[shard_index].add_shapes(group_shapes, group_images,
+                                                group_ids)
+        return ids
 
     def shard_of(self, shape_id: int) -> Shard:
         return self.shards[shard_for(shape_id, self.num_shards)]
 
-    def warm(self) -> None:
-        for shard in self.shards:
-            shard.warm()
+    def warm(self, pool=None) -> None:
+        """Build every shard's structures; in parallel when given a
+        :class:`~repro.service.pool.WorkerPool`."""
+        if pool is not None:
+            pool.map_over(lambda shard: shard.warm(), list(self.shards))
+        else:
+            for shard in self.shards:
+                shard.warm()
 
     # -- statistics -----------------------------------------------------
     @property

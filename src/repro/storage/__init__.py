@@ -9,7 +9,8 @@ from .layout import (LAYOUTS, compute_signatures, local_optimization,
                      make_layout, rehash_cost_localopt, rehash_cost_sorted,
                      sort_by_mean_curve, sort_by_median_curve,
                      sort_lexicographic)
-from .persist import CorruptSnapshotError, load_base, save_base
+from .persist import (CorruptSnapshotError, load_base, save_base,
+                      snapshot_info)
 from .serialization import (RECORD_HEADER_SIZE, ShapeRecord, decode_record,
                             encode_entry, record_size)
 from .shapestore import ExternalShapeStore, StoreStats
@@ -20,7 +21,7 @@ __all__ = [
     "ExternalShapeStore", "IOStats", "LAYOUTS", "RECORD_HEADER_SIZE",
     "ShapeRecord", "StoreStats", "compute_signatures", "decode_record",
     "encode_entry", "load_base", "local_optimization", "make_layout",
-    "record_size", "save_base",
+    "record_size", "save_base", "snapshot_info",
     "rehash_cost_localopt", "rehash_cost_sorted", "sort_by_mean_curve",
     "sort_by_median_curve", "sort_lexicographic",
 ]

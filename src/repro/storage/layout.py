@@ -46,8 +46,19 @@ def _register(name: str):
 
 def compute_signatures(base: ShapeBase,
                        family: HashCurveFamily) -> List[Quadruple]:
-    """Characteristic quadruple of every entry, in entry-id order."""
-    return [characteristic_quadruple(entry.shape, family) for entry in base]
+    """Characteristic quadruple of every entry, in entry-id order.
+
+    Answers from (and fills) the base's signature cache, so hash-table
+    builds, layout sorts and snapshot saves share one computation.
+    """
+    cached = base.cached_signatures(family.k)
+    if cached is not None:
+        return [(int(a), int(b), int(c), int(d)) for a, b, c, d in cached]
+    signatures = [characteristic_quadruple(entry.shape, family)
+                  for entry in base]
+    if len(base):
+        base.set_signature_cache(family.k, signatures)
+    return signatures
 
 
 @_register("mean")

@@ -1,21 +1,34 @@
 """File persistence for the shape base.
 
 The external store of Section 4 is an in-memory *simulated* disk so
-I/O can be counted; this module is the boring real thing: a single
-binary file holding every entry in the record format of
-:mod:`.serialization`, with a small header.  Originals are recovered by
-applying each copy's inverse normalization transform, so a loaded base
-answers queries identically (up to float32 rounding of the stored
-vertices).
+I/O can be counted; this module is the boring real thing: one binary
+file per base, crash-safe and checksummed.
+
+Three on-disk versions coexist:
+
+* **v1** — header + per-entry records (no checksum); legacy, load only.
+* **v2** — v1 plus body length + CRC32 in the header.  Records store
+  only the *normalized* copies with float32 vertices, so loading
+  reconstructs each original via the inverse transform and re-runs the
+  whole normalization pipeline — an O(normalize) cold start with
+  float32 rounding.
+* **v3** (current) — array-native: the originals, every normalized
+  copy's float64 vertices, all transforms, pairs and entry metadata as
+  flat columnar arrays, plus (optionally) the precomputed hashing
+  signatures.  :func:`load_base` materializes the base with **zero
+  re-normalization** — vertex data is wrapped straight out of the
+  file buffer, the flat index arrays are derived by pure slicing, and
+  the range index builds lazily (or eagerly with ``warm=True``).  A
+  v3-loaded base answers queries bit-for-bit identically to the base
+  that was saved.
 
 Writes are crash-safe: :func:`save_base` writes to a temp file in the
 destination directory, fsyncs it, and publishes with ``os.replace`` —
 the destination is always either the old snapshot or the complete new
-one, never a torn mix.  The v2 header carries the body length and a
+one, never a torn mix.  v2/v3 headers carry the body length and a
 CRC32 of the body; :func:`load_base` verifies both and raises
 :class:`CorruptSnapshotError` (a :class:`ValueError`) on truncation or
-bit rot instead of loading garbage.  Version-1 files (no checksum)
-still load.
+bit rot instead of loading garbage.
 """
 
 from __future__ import annotations
@@ -24,16 +37,23 @@ import os
 import struct
 import zlib
 from pathlib import Path
-from typing import Union
+from typing import Dict, List, Optional, Union
 
-from ..core.shapebase import ShapeBase
+import numpy as np
+
+from ..core.shapebase import ShapeBase, ShapeEntry
+from ..geometry.polyline import Shape
+from ..geometry.transform import NormalizedCopy, SimilarityTransform
 from .serialization import decode_record, encode_entry
 
 MAGIC = b"GSIR"
-VERSION = 2
+VERSION = 3
 _PREFIX = struct.Struct("<4sH")       # magic, version
 _HEADER_V1 = struct.Struct("<fI")     # alpha, num entries
 _HEADER_V2 = struct.Struct("<fIQI")   # alpha, num entries, body len, CRC32
+# alpha (f8), num shapes, num entries, total original vertices, total
+# copy vertices, signature curve count (0 = none), body len, CRC32
+_HEADER_V3 = struct.Struct("<dIIQQiQI")
 
 
 class CorruptSnapshotError(ValueError):
@@ -44,18 +64,7 @@ class CorruptSnapshotError(ValueError):
     """
 
 
-def save_base(base: ShapeBase, path: Union[str, Path]) -> int:
-    """Write the whole base to ``path`` atomically; returns bytes written.
-
-    The payload lands in a same-directory temp file first (fsynced),
-    then ``os.replace`` publishes it — a crash mid-write leaves the
-    previous snapshot intact, never a torn file.
-    """
-    path = Path(path)
-    body = b"".join(encode_entry(entry) for entry in base.entries)
-    header = _PREFIX.pack(MAGIC, VERSION) + _HEADER_V2.pack(
-        base.alpha, len(base.entries), len(body), zlib.crc32(body))
-    payload = header + body
+def _write_atomic(path: Path, payload: bytes) -> int:
     tmp = path.with_name(path.name + ".tmp")
     try:
         with open(tmp, "wb") as handle:
@@ -69,15 +78,196 @@ def save_base(base: ShapeBase, path: Union[str, Path]) -> int:
     return len(payload)
 
 
-def load_base(path: Union[str, Path], backend: str = "kdtree") -> ShapeBase:
+def _encode_v2(base: ShapeBase) -> bytes:
+    body = b"".join(encode_entry(entry) for entry in base.entries)
+    header = _PREFIX.pack(MAGIC, 2) + _HEADER_V2.pack(
+        base.alpha, len(base.entries), len(body), zlib.crc32(body))
+    return header + body
+
+
+def _encode_v3(base: ShapeBase, hash_curves: Optional[int]) -> bytes:
+    shape_items = list(base.shapes.items())      # insertion order
+    sid_to_idx = {sid: i for i, (sid, _) in enumerate(shape_items)}
+    shape_ids = np.array([sid for sid, _ in shape_items], dtype="<i8")
+    shape_image = np.array(
+        [-1 if base.shape_image[sid] is None else int(base.shape_image[sid])
+         for sid, _ in shape_items], dtype="<i8")
+    orig_counts = np.array([s.num_vertices for _, s in shape_items],
+                           dtype="<i4")
+    orig_closed = np.array([1 if s.closed else 0 for _, s in shape_items],
+                           dtype="<u1")
+    orig_vertices = (np.concatenate([s.vertices for _, s in shape_items],
+                                    axis=0)
+                     if shape_items else np.zeros((0, 2))).astype("<f8")
+
+    entries = base.entries
+    entry_shape_idx = np.array([sid_to_idx[e.shape_id] for e in entries],
+                               dtype="<i4")
+    pairs = np.array([e.copy.pair for e in entries],
+                     dtype="<u2").reshape(len(entries), 2)
+    transforms = np.array([e.copy.transform.as_tuple() for e in entries],
+                          dtype="<f8").reshape(len(entries), 4)
+    copy_counts = np.array([e.shape.num_vertices for e in entries],
+                           dtype="<i4")
+    copy_vertices = (np.concatenate([e.shape.vertices for e in entries],
+                                    axis=0)
+                     if entries else np.zeros((0, 2))).astype("<f8")
+
+    if hash_curves is not None:
+        from ..hashing.curves import HashCurveFamily
+        from .layout import compute_signatures
+        compute_signatures(base, HashCurveFamily(int(hash_curves)))
+    sig = base._signature_cache
+    if sig is not None and len(sig[1]) == len(entries) and len(entries):
+        sig_curves, sig_rows = int(sig[0]), sig[1].astype("<i2")
+    else:
+        sig_curves, sig_rows = 0, np.zeros((0, 4), dtype="<i2")
+
+    body = b"".join([
+        shape_ids.tobytes(), shape_image.tobytes(), orig_counts.tobytes(),
+        orig_closed.tobytes(), entry_shape_idx.tobytes(), pairs.tobytes(),
+        transforms.tobytes(), copy_counts.tobytes(), orig_vertices.tobytes(),
+        copy_vertices.tobytes(), sig_rows.tobytes(),
+    ])
+    header = _PREFIX.pack(MAGIC, 3) + _HEADER_V3.pack(
+        base.alpha, len(shape_items), len(entries), len(orig_vertices),
+        len(copy_vertices), sig_curves, len(body), zlib.crc32(body))
+    return header + body
+
+
+def save_base(base: ShapeBase, path: Union[str, Path], *,
+              version: int = VERSION,
+              hash_curves: Optional[int] = None) -> int:
+    """Write the whole base to ``path`` atomically; returns bytes written.
+
+    ``version`` selects the on-disk format (3, the array-native
+    default, or 2 for compatibility with older readers).  With
+    ``hash_curves`` set, a v3 snapshot additionally embeds the
+    per-entry characteristic signatures for that curve-family size
+    (computing them now if the base has no cache), so a later
+    :class:`~repro.hashing.ApproximateRetriever` build costs nothing.
+
+    The payload lands in a same-directory temp file first (fsynced),
+    then ``os.replace`` publishes it — a crash mid-write leaves the
+    previous snapshot intact, never a torn file.
+    """
+    path = Path(path)
+    if version == 3:
+        payload = _encode_v3(base, hash_curves)
+    elif version == 2:
+        payload = _encode_v2(base)
+    else:
+        raise ValueError(f"cannot write shape-base file version {version}")
+    return _write_atomic(path, payload)
+
+
+def _load_v3(payload: bytes, backend: str) -> ShapeBase:
+    alpha, num_shapes, num_entries, n_orig, n_copy, sig_curves, \
+        body_len, checksum = _HEADER_V3.unpack_from(payload, _PREFIX.size)
+    start = _PREFIX.size + _HEADER_V3.size
+    body = payload[start:]
+    if len(body) != body_len:
+        raise CorruptSnapshotError(
+            f"truncated shape-base file: body holds {len(body)} "
+            f"bytes, header promises {body_len}")
+    if zlib.crc32(body) != checksum:
+        raise CorruptSnapshotError(
+            "shape-base file checksum mismatch (corrupted snapshot)")
+
+    sections = [
+        ("shape_ids", "<i8", num_shapes),
+        ("shape_image", "<i8", num_shapes),
+        ("orig_counts", "<i4", num_shapes),
+        ("orig_closed", "<u1", num_shapes),
+        ("entry_shape_idx", "<i4", num_entries),
+        ("pairs", "<u2", 2 * num_entries),
+        ("transforms", "<f8", 4 * num_entries),
+        ("copy_counts", "<i4", num_entries),
+        ("orig_vertices", "<f8", 2 * n_orig),
+        ("copy_vertices", "<f8", 2 * n_copy),
+        ("signatures", "<i2", 4 * num_entries if sig_curves else 0),
+    ]
+    expected = sum(np.dtype(d).itemsize * c for _, d, c in sections)
+    if expected != body_len:
+        raise CorruptSnapshotError(
+            "shape-base file section sizes are inconsistent")
+    cols: Dict[str, np.ndarray] = {}
+    offset = start
+    for name, dtype, count in sections:
+        cols[name] = np.frombuffer(payload, dtype=dtype, count=count,
+                                   offset=offset)
+        offset += np.dtype(dtype).itemsize * count
+    pairs = cols["pairs"].reshape(-1, 2).astype(np.int64)
+    transforms = cols["transforms"].reshape(-1, 4)
+    orig_vertices = cols["orig_vertices"].reshape(-1, 2)
+    copy_vertices = cols["copy_vertices"].reshape(-1, 2)
+
+    base = ShapeBase(alpha=float(alpha), backend=backend)
+    shape_ids = cols["shape_ids"]
+    images = cols["shape_image"]
+    orig_counts = cols["orig_counts"].astype(np.int64)
+    orig_offsets = np.concatenate(([0], np.cumsum(orig_counts)))
+    closed_flags = cols["orig_closed"] != 0
+    for k in range(num_shapes):
+        sid = int(shape_ids[k])
+        image_id = None if images[k] < 0 else int(images[k])
+        verts = orig_vertices[orig_offsets[k]:orig_offsets[k + 1]]
+        base.shapes[sid] = Shape._trusted(verts, bool(closed_flags[k]))
+        base.shape_image[sid] = image_id
+        base._entries_by_shape[sid] = []
+        if image_id is not None:
+            base._shapes_by_image.setdefault(image_id, []).append(sid)
+        base._next_shape_id = max(base._next_shape_id, sid + 1)
+
+    copy_counts = cols["copy_counts"].astype(np.int64)
+    copy_offsets = np.concatenate(([0], np.cumsum(copy_counts)))
+    entry_shape_idx = cols["entry_shape_idx"]
+    for e in range(num_entries):
+        s_idx = int(entry_shape_idx[e])
+        sid = int(shape_ids[s_idx])
+        verts = copy_vertices[copy_offsets[e]:copy_offsets[e + 1]]
+        copy = NormalizedCopy(
+            Shape._trusted(verts, bool(closed_flags[s_idx])),
+            SimilarityTransform(transforms[e, 0], transforms[e, 1],
+                                transforms[e, 2], transforms[e, 3]),
+            (int(pairs[e, 0]), int(pairs[e, 1])))
+        base.entries.append(ShapeEntry(e, sid, base.shape_image[sid], copy))
+        base._entries_by_shape[sid].append(e)
+
+    # Derive the flat index arrays by pure slicing (no per-entry work):
+    # drop each copy's two anchor rows from the stored vertex block.
+    if num_entries:
+        mask = np.ones(len(copy_vertices), dtype=bool)
+        mask[copy_offsets[:-1] + pairs[:, 0]] = False
+        mask[copy_offsets[:-1] + pairs[:, 1]] = False
+        sizes = copy_counts - 2
+        base._vertex_points = copy_vertices[mask]
+        base._entry_sizes = sizes
+        offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+        np.cumsum(sizes, out=offsets[1:])
+        base._entry_offsets = offsets
+        base._vertex_owner = np.repeat(np.arange(num_entries), sizes)
+    if sig_curves:
+        base.set_signature_cache(sig_curves,
+                                 cols["signatures"].reshape(-1, 4))
+    base.version = 1 if num_shapes else 0
+    return base
+
+
+def load_base(path: Union[str, Path], backend: str = "kdtree", *,
+              warm: bool = False) -> ShapeBase:
     """Rebuild a :class:`ShapeBase` from a file written by
     :func:`save_base`.
 
-    Every original shape is reconstructed from the first of its stored
-    copies via the inverse transform, then re-normalized on insertion —
-    so the loaded base has exactly the same structure as one built
-    fresh from the recovered originals.  The v2 body length and CRC32
-    are verified before any record is decoded.
+    v3 snapshots materialize directly from the stored arrays — no
+    re-normalization, exact float64 vertices, cached signatures — with
+    the range index built lazily on first use, or right away when
+    ``warm`` is true.  v1/v2 snapshots reconstruct each original from
+    the first of its stored copies via the inverse transform and
+    re-normalize through the bulk-ingest path (identical structure to
+    a fresh build, up to the old formats' float32 vertex rounding).
+    The stored body length and CRC32 (v2/v3) are verified before any
+    array or record is decoded.
     """
     payload = Path(path).read_bytes()
     if len(payload) < _PREFIX.size:
@@ -87,13 +277,20 @@ def load_base(path: Union[str, Path], backend: str = "kdtree") -> ShapeBase:
         raise CorruptSnapshotError("not a GeoSIR shape-base file")
     if version == 1:
         header = _HEADER_V1
-    elif version == VERSION:
+    elif version == 2:
         header = _HEADER_V2
+    elif version == 3:
+        header = _HEADER_V3
     else:
         raise CorruptSnapshotError(
             f"unsupported shape-base file version {version}")
     if len(payload) < _PREFIX.size + header.size:
         raise CorruptSnapshotError("truncated shape-base file")
+    if version == 3:
+        base = _load_v3(payload, backend)
+        if warm:
+            base._ensure_arrays()
+        return base
     if version == 1:
         alpha, count = header.unpack_from(payload, _PREFIX.size)
     else:
@@ -110,12 +307,53 @@ def load_base(path: Union[str, Path], backend: str = "kdtree") -> ShapeBase:
     base = ShapeBase(alpha=float(alpha), backend=backend)
     offset = _PREFIX.size + header.size
     seen = set()
+    originals: List[Shape] = []
+    shape_ids: List[int] = []
+    image_ids: List[Optional[int]] = []
     for _ in range(count):
         record, offset = decode_record(payload, offset)
         if record.shape_id in seen:
             continue
         seen.add(record.shape_id)
-        original = record.transform.inverse().apply_shape(record.shape)
-        base.add_shape(original, image_id=record.image_id,
-                       shape_id=record.shape_id)
+        originals.append(record.transform.inverse().apply_shape(record.shape))
+        shape_ids.append(record.shape_id)
+        image_ids.append(record.image_id)
+    if originals:
+        base.add_shapes(originals, image_ids=image_ids, shape_ids=shape_ids)
+    if warm:
+        base._ensure_arrays()
     return base
+
+
+def snapshot_info(path: Union[str, Path]) -> Dict[str, object]:
+    """Header-only peek at a snapshot: version, alpha and counts.
+
+    Reads just the fixed-size header (no body verification) — cheap
+    enough for CLI ``stats`` to call on every invocation.
+    """
+    with open(path, "rb") as handle:
+        head = handle.read(_PREFIX.size + _HEADER_V3.size)
+    if len(head) < _PREFIX.size:
+        raise CorruptSnapshotError("truncated shape-base file")
+    magic, version = _PREFIX.unpack_from(head, 0)
+    if magic != MAGIC:
+        raise CorruptSnapshotError("not a GeoSIR shape-base file")
+    info: Dict[str, object] = {"version": int(version)}
+    if version == 1 and len(head) >= _PREFIX.size + _HEADER_V1.size:
+        alpha, count = _HEADER_V1.unpack_from(head, _PREFIX.size)
+        info.update(alpha=float(alpha), num_entries=int(count))
+    elif version == 2 and len(head) >= _PREFIX.size + _HEADER_V2.size:
+        alpha, count, _, _ = _HEADER_V2.unpack_from(head, _PREFIX.size)
+        info.update(alpha=float(alpha), num_entries=int(count))
+    elif version == 3 and len(head) >= _PREFIX.size + _HEADER_V3.size:
+        alpha, num_shapes, num_entries, _, _, sig_curves, _, _ = \
+            _HEADER_V3.unpack_from(head, _PREFIX.size)
+        info.update(alpha=float(alpha), num_shapes=int(num_shapes),
+                    num_entries=int(num_entries),
+                    signature_curves=int(sig_curves))
+    elif version in (1, 2, 3):
+        raise CorruptSnapshotError("truncated shape-base file")
+    else:
+        raise CorruptSnapshotError(
+            f"unsupported shape-base file version {version}")
+    return info
