@@ -1,0 +1,202 @@
+"""Recall/latency curve of the polygon-LSH approximate tier.
+
+For each corpus size, the exact matcher's batched top-k answers are the
+ground truth (and the latency baseline); each (tables, band width)
+configuration of :class:`repro.ann.AnnPrunedMatcher` is then scored on
+
+* **recall@k** — the fraction of the exact top-k shape ids the ANN
+  answer recovers, averaged over the query set;
+* **ms/query** — best-of-N batched wall time, against the exact batch
+  path's ms/query (their ratio is the speedup);
+* **candidates** — mean exact-scored candidate-set size, the knob the
+  LSH parameters actually turn.
+
+Points are appended to ``BENCH_ann.json`` when ``REPRO_BENCH_LABEL``
+is set (the CI benchmark-smoke job does this on every run) — the same
+trajectory protocol as ``BENCH_build.json``.
+"""
+
+import json
+import os
+import time
+from pathlib import Path
+
+import numpy as np
+import pytest
+
+from repro.ann import AnnConfig, AnnPrunedMatcher
+from repro.core.matcher import GeometricSimilarityMatcher
+from repro.core.shapebase import ShapeBase
+from repro.imaging.synthesis import generate_workload, make_query_set
+
+from .conftest import write_table
+
+SIZES = tuple(int(s) for s in os.environ.get(
+    "REPRO_BENCH_ANN_SIZES", "30,90").split(","))
+QUERIES = int(os.environ.get("REPRO_BENCH_ANN_QUERIES", "6"))
+K = 10
+#: The (tables, band width) sweep.  More tables -> higher recall and
+#: larger candidate sets; wider bands -> stricter collisions.
+CONFIGS = ((4, 2), (8, 2), (16, 2), (8, 4))
+#: The configuration the recall acceptance test pins down.
+REFERENCE = (16, 2)
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_ann.json"
+
+
+def _time(fn, repeats=2):
+    """Best-of-N wall time (minimum: noise only ever adds time)."""
+    best = None
+    result = None
+    for _ in range(repeats):
+        start = time.perf_counter()
+        result = fn()
+        elapsed = time.perf_counter() - start
+        best = elapsed if best is None else min(best, elapsed)
+    return result, best
+
+
+@pytest.fixture(scope="module")
+def ann_sweep():
+    rows = []
+    for num_images in SIZES:
+        workload = generate_workload(
+            num_images, np.random.default_rng(20020604),
+            shapes_per_image=5.5, vertices_mean=20.0, noise=0.01,
+            num_prototypes=14)
+        base = ShapeBase(alpha=0.1)
+        shapes, image_ids = [], []
+        for image in workload.images:
+            shapes.extend(image.shapes)
+            image_ids.extend([image.image_id] * len(image.shapes))
+        base.add_shapes(shapes, image_ids=image_ids)
+        base.index                     # build outside the timed region
+        queries = [query for query, _ in
+                   make_query_set(workload, QUERIES,
+                                  np.random.default_rng(7), noise=0.012)]
+        k = min(K, base.num_shapes)
+
+        matcher = GeometricSimilarityMatcher(base)
+        exact_results, exact_s = _time(
+            lambda: matcher.query_batch(queries, k=k))
+        exact_ids = [set(m.shape_id for m in matches)
+                     for matches, _ in exact_results]
+        exact_ms = exact_s * 1e3 / len(queries)
+
+        for tables, band in CONFIGS:
+            config = AnnConfig(tables=tables, band_width=band,
+                               candidate_cap=512)
+            start = time.perf_counter()
+            ann = AnnPrunedMatcher(base, config)
+            build_ms = (time.perf_counter() - start) * 1e3
+            ann_results, ann_s = _time(
+                lambda: ann.query_batch(queries, k=k))
+            recalls, candidate_counts = [], []
+            for truth, (matches, stats) in zip(exact_ids, ann_results):
+                found = set(m.shape_id for m in matches)
+                recalls.append(len(found & truth) / len(truth))
+                candidate_counts.append(stats.candidates_evaluated)
+            ann_ms = ann_s * 1e3 / len(queries)
+            rows.append({
+                "images": num_images,
+                "shapes": base.num_shapes,
+                "entries": base.num_entries,
+                "tables": tables,
+                "band": band,
+                "recall": float(np.mean(recalls)),
+                "candidates": float(np.mean(candidate_counts)),
+                "build_ms": build_ms,
+                "ann_ms": ann_ms,
+                "exact_ms": exact_ms,
+                "speedup": exact_ms / ann_ms if ann_ms else float("inf"),
+            })
+    _render(rows)
+    _record_trajectory(rows)
+    return rows
+
+
+def _render(rows):
+    lines = [f"{'images':>7} {'entries':>8} {'tables':>7} {'band':>5} "
+             f"{'recall@10':>10} {'cands':>7} {'ann ms':>8} "
+             f"{'exact ms':>9} {'speedup':>8}"]
+    for row in rows:
+        lines.append(
+            f"{row['images']:>7d} {row['entries']:>8d} "
+            f"{row['tables']:>7d} {row['band']:>5d} "
+            f"{row['recall']:>10.3f} {row['candidates']:>7.0f} "
+            f"{row['ann_ms']:>8.2f} {row['exact_ms']:>9.2f} "
+            f"{row['speedup']:>8.1f}")
+    write_table("ann_recall_latency", lines)
+
+
+def _record_trajectory(rows):
+    """Append one labeled point to the recall/latency trajectory.
+
+    Gated on ``REPRO_BENCH_LABEL`` so ad-hoc local runs do not dirty
+    the committed history (same protocol as BENCH_build.json).
+    """
+    label = os.environ.get("REPRO_BENCH_LABEL")
+    if not label:
+        return
+    if BENCH_JSON.exists():
+        history = json.loads(BENCH_JSON.read_text())
+    else:
+        history = {
+            "benchmark": "ann_recall_latency",
+            "metric": "recall@10 vs ms/query",
+            "protocol": (
+                "benchmarks/bench_ann.py: synthetic workload "
+                "(shapes_per_image=5.5, vertices_mean=20, seed "
+                "20020604); exact GeometricSimilarityMatcher batched "
+                "top-10 as ground truth and latency baseline; "
+                "AnnPrunedMatcher swept over (tables, band width) with "
+                "candidate cap 512.  recall@10 averages |ann ∩ exact| "
+                "/ k over the query set; ms/query is best-of-2 batched "
+                "wall time.  Points are appended when "
+                "REPRO_BENCH_LABEL is set (the CI benchmark-smoke job "
+                "does this on every run)."),
+            "trajectory": [],
+        }
+    history["trajectory"].append({
+        "label": label,
+        "rows": [{key: (round(float(row[key]), 4)
+                        if isinstance(row[key], float) else row[key])
+                  for key in ("images", "shapes", "entries", "tables",
+                              "band", "recall", "candidates", "build_ms",
+                              "ann_ms", "exact_ms", "speedup")}
+                 for row in rows],
+    })
+    BENCH_JSON.write_text(json.dumps(history, indent=2) + "\n")
+
+
+def test_reference_config_recall(ann_sweep, benchmark):
+    """recall@10 >= 0.9 at the reference config, largest corpus."""
+    benchmark(lambda: None)
+    largest = max(row["images"] for row in ann_sweep)
+    row = next(row for row in ann_sweep
+               if row["images"] == largest
+               and (row["tables"], row["band"]) == REFERENCE)
+    assert row["recall"] >= 0.9
+
+
+def test_some_config_is_fast_and_accurate(ann_sweep, benchmark):
+    """A config with recall@10 >= 0.9 beats exact by >= 3x at the
+    largest corpus size (the PR's acceptance bar)."""
+    benchmark(lambda: None)
+    largest = max(row["images"] for row in ann_sweep)
+    good = [row for row in ann_sweep
+            if row["images"] == largest and row["recall"] >= 0.9]
+    assert good, "no configuration reached recall 0.9"
+    assert max(row["speedup"] for row in good) >= 3.0
+
+
+def test_pruning_actually_prunes(ann_sweep, benchmark):
+    """Candidate sets stay well under the corpus size — the tier is a
+    pruner, not an exact scan in disguise."""
+    benchmark(lambda: None)
+    for row in ann_sweep:
+        assert row["candidates"] <= row["entries"]
+    largest = max(row["images"] for row in ann_sweep)
+    row = next(row for row in ann_sweep
+               if row["images"] == largest
+               and (row["tables"], row["band"]) == REFERENCE)
+    assert row["candidates"] < row["entries"] * 0.7

@@ -1,0 +1,24 @@
+"""Approximate retrieval tier: polygon MinHash sketches + banded LSH.
+
+The sub-linear pre-filter in front of the paper's exact machinery:
+:mod:`repro.ann.sketch` turns normalized copies into seeded MinHash
+signatures, :mod:`repro.ann.lsh` indexes them in banded multi-table
+LSH, and :mod:`repro.ann.retriever` wraps both into the
+:class:`AnnPrunedMatcher` the service exposes as the middle rung of
+its degradation ladder (exact -> LSH-pruned exact -> hash tier).
+"""
+
+from .lsh import LshIndex
+from .retriever import AnnConfig, AnnPrunedMatcher
+from .sketch import (SketchConfig, compute_entry_sketches,
+                     sketch_normalized_shape, sketch_vertex_sets)
+
+__all__ = [
+    "AnnConfig",
+    "AnnPrunedMatcher",
+    "LshIndex",
+    "SketchConfig",
+    "compute_entry_sketches",
+    "sketch_normalized_shape",
+    "sketch_vertex_sets",
+]

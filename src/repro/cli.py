@@ -4,12 +4,19 @@ Usage (``python -m repro ...``)::
 
     repro demo                                   # synthetic walkthrough
     repro build  --images imgs.json --out b.gsir [--alpha 0.1]
-                 [--snapshot out.gsb] [--sign-curves 50]
+                 [--snapshot out.gsb] [--sign-curves 50] [--ann]
     repro stats  --base b.gsir
     repro query  --base b.gsir --sketch sk.json [-k 3] [--threshold T]
-                 [--json] [--profile]
+                 [--json] [--profile] [--ann]
     repro serve-bench [--workers 1,2,4] [--shards 4] [--no-cache]
                       [--batch N] [--profile] [--snapshot b.gsb]
+                      [--ann] [--ann-mode auto|always]
+
+``--ann`` flags select the polygon-LSH approximate tier
+(:mod:`repro.ann`): ``build --ann`` embeds MinHash sketches in a v4
+snapshot, ``query --ann`` answers from the LSH candidate set only, and
+``serve-bench --ann`` serves the three-rung degradation ladder with
+per-tier counters.
 
 ``imgs.json`` / ``sk.json`` use the format of
 :mod:`repro.geometry.io`; a query sketch file should contain exactly
@@ -31,6 +38,31 @@ from .geometry.io import load_images, load_shapes
 from .storage.persist import load_base, save_base
 
 
+def _ann_config(args: argparse.Namespace):
+    """The :class:`repro.ann.AnnConfig` the ``--ann-*`` flags describe."""
+    from .ann import AnnConfig
+    return AnnConfig(tables=args.ann_tables, band_width=args.ann_band,
+                     candidate_cap=args.ann_cap, grid=args.ann_grid,
+                     seed=args.ann_seed)
+
+
+def _add_ann_args(parser: argparse.ArgumentParser, ann_help: str) -> None:
+    """The shared ``--ann`` flag family (build / query / serve-bench)."""
+    group = parser.add_argument_group("approximate (LSH) tier")
+    group.add_argument("--ann", action="store_true", help=ann_help)
+    group.add_argument("--ann-tables", type=int, default=16,
+                       dest="ann_tables",
+                       help="LSH tables (default 16)")
+    group.add_argument("--ann-band", type=int, default=2, dest="ann_band",
+                       help="MinHash rows per LSH band (default 2)")
+    group.add_argument("--ann-grid", type=int, default=32, dest="ann_grid",
+                       help="area-grid resolution per axis (default 32)")
+    group.add_argument("--ann-seed", type=int, default=0, dest="ann_seed",
+                       help="MinHash family seed (default 0)")
+    group.add_argument("--ann-cap", type=int, default=512, dest="ann_cap",
+                       help="candidate-set cap per query (default 512)")
+
+
 def _cmd_build(args: argparse.Namespace) -> int:
     import time
 
@@ -38,6 +70,7 @@ def _cmd_build(args: argparse.Namespace) -> int:
         print("error: build needs --out and/or --snapshot",
               file=sys.stderr)
         return 2
+    ann_sketch = _ann_config(args).sketch if args.ann else None
     base = ShapeBase(alpha=args.alpha)
     images = load_images(args.images)
     all_shapes = []
@@ -56,17 +89,22 @@ def _cmd_build(args: argparse.Namespace) -> int:
     print(f"built base: {base.num_shapes} shapes over "
           f"{base.num_images} images -> {base.num_entries} copies "
           f"({ingest_s * 1e3:.1f} ms bulk ingest)")
+    fmt = "v4" if ann_sketch is not None else "v3"
     if args.out is not None:
-        written = save_base(base, args.out)
-        print(f"wrote {written} bytes at {args.out}")
+        written = save_base(base, args.out, ann_sketch=ann_sketch)
+        print(f"wrote {written} bytes at {args.out} ({fmt})")
     if args.snapshot is not None:
         start = time.perf_counter()
         written = save_base(base, args.snapshot,
-                            hash_curves=args.sign_curves)
+                            hash_curves=args.sign_curves,
+                            ann_sketch=ann_sketch)
         snap_s = time.perf_counter() - start
-        print(f"wrote v3 snapshot: {written} bytes at {args.snapshot} "
-              f"({snap_s * 1e3:.1f} ms, signatures for "
-              f"{args.sign_curves} curves embedded)")
+        extras = f"signatures for {args.sign_curves} curves"
+        if ann_sketch is not None:
+            extras += (f" + {ann_sketch.num_hashes}-hash ANN sketches "
+                       f"(grid {ann_sketch.grid})")
+        print(f"wrote {fmt} snapshot: {written} bytes at {args.snapshot} "
+              f"({snap_s * 1e3:.1f} ms, {extras} embedded)")
     return 0
 
 
@@ -85,6 +123,15 @@ def _cmd_stats(args: argparse.Namespace) -> int:
     if base.num_shapes:
         print(f"copies per shape: "
               f"{base.num_entries / base.num_shapes:.1f}")
+    ann_hashes = info.get("ann_hashes")
+    if ann_hashes:
+        sketch_bytes = base.num_entries * int(ann_hashes) * 8
+        print(f"ann sketches:     {ann_hashes} hashes/entry "
+              f"(grid {info['ann_grid']}, seed {info['ann_seed']}), "
+              f"{sketch_bytes} bytes embedded")
+    else:
+        print("ann sketches:     none (write them with "
+              "`repro build --ann`)")
     return 0
 
 
@@ -114,13 +161,32 @@ def _cmd_query(args: argparse.Namespace) -> int:
         print(f"error: cannot load sketch {args.sketch!r}: {exc}",
               file=sys.stderr)
         return 2
-    matcher = GeometricSimilarityMatcher(base)
-    if args.threshold is not None:
-        matches, stats = matcher.query_threshold(sketch, args.threshold)
-        method = "envelope-threshold"
-    else:
+    if args.ann:
+        if args.threshold is not None:
+            print("error: --ann is top-k only; it cannot honor "
+                  "--threshold", file=sys.stderr)
+            return 2
+        from .ann import AnnPrunedMatcher
+        config = _ann_config(args)
+        if base.cached_sketches(config.sketch.key) is None:
+            print(f"error: {args.base!r} has no embedded ANN sketches "
+                  f"for (hashes={config.num_hashes}, "
+                  f"grid={config.grid}, seed={config.seed}); "
+                  f"rebuild the base with `repro build --ann` "
+                  f"(matching --ann-* parameters)", file=sys.stderr)
+            return 2
+        matcher = AnnPrunedMatcher(base, config)
         matches, stats = matcher.query(sketch, k=args.k)
-        method = "envelope-topk"
+        method = "ann-topk"
+    else:
+        matcher = GeometricSimilarityMatcher(base)
+        if args.threshold is not None:
+            matches, stats = matcher.query_threshold(sketch,
+                                                     args.threshold)
+            method = "envelope-threshold"
+        else:
+            matches, stats = matcher.query(sketch, k=args.k)
+            method = "envelope-topk"
     if args.json:
         print(json.dumps({
             "method": method,
@@ -238,6 +304,13 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     print(f"base: {base.num_shapes} shapes over {base.num_images} images; "
           f"{args.queries} queries ({len(sketches)} distinct) per config")
 
+    ann_config = _ann_config(args) if args.ann else None
+    if ann_config is not None:
+        print(f"ann tier: {args.ann_mode} mode, "
+              f"{ann_config.tables} tables x {ann_config.band_width} "
+              f"rows, grid {ann_config.grid}, cap "
+              f"{ann_config.candidate_cap}")
+
     chaos_plan = None
     if args.chaos is not None:
         chaos_plan = FaultPlan.default(args.chaos, args.shards)
@@ -250,7 +323,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
     # build every shard's kd-tree and hash table in parallel.
     start = time.perf_counter()
     with RetrievalService.from_base(base, ServiceConfig(
-            num_shards=args.shards, workers=1, cache_capacity=0)) as primer:
+            num_shards=args.shards, workers=1, cache_capacity=0,
+            ann=ann_config, ann_mode=args.ann_mode)) as primer:
         cold_s = time.perf_counter() - start
         print(f"cold start (shard + parallel warm, {args.shards} shards): "
               f"{cold_s * 1e3:.1f} ms")
@@ -266,7 +340,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             num_shards=args.shards, workers=workers,
             cache_capacity=0 if args.no_cache else args.cache_capacity,
             max_pending=args.max_pending, deadline=args.deadline,
-            fault_plan=config_plan, retry_seed=args.seed)
+            fault_plan=config_plan, retry_seed=args.seed,
+            ann=ann_config, ann_mode=args.ann_mode)
         service = RetrievalService.from_base(base, config)
 
         # Closed loop: one client per worker; each client issues its
@@ -341,7 +416,12 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             "cache_hit_ratio": round(snapshot["rates"]["cache_hit_ratio"],
                                      4),
             "fallback_ratio": round(snapshot["rates"]["fallback_ratio"], 4),
+            "tiers": dict(snapshot["tiers"]["counts"]),
         }
+        candidates = snapshot["tiers"].get("ann_candidates")
+        if candidates:
+            row["ann_candidates_p50"] = round(candidates["p50"], 1)
+            row["ann_candidates_p90"] = round(candidates["p90"], 1)
         if chaos_plan is not None:
             row["degraded"] = degraded_count["n"]
             row["shard_failures"] = snapshot["counters"].get(
@@ -368,6 +448,16 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"{row['latency_p50_ms']:<8.2f} {row['latency_p90_ms']:<8.2f} "
               f"{row['latency_p99_ms']:<8.2f} {row['cache_hit_ratio']:<8.4f} "
               f"{row['fallback_ratio']:<8.4f} {row['shed']}")
+    print()
+    for row in rows:
+        tiers = row["tiers"]
+        line = (f"tiers workers={row['workers']}: "
+                f"exact {tiers['exact']}, ann {tiers['ann']}, "
+                f"hash {tiers['hash']}")
+        if "ann_candidates_p50" in row:
+            line += (f"; ann candidates p50 {row['ann_candidates_p50']} "
+                     f"p90 {row['ann_candidates_p90']}")
+        print(line)
     if chaos_plan is not None:
         print()
         for row in rows:
@@ -410,6 +500,10 @@ def build_parser() -> argparse.ArgumentParser:
                             "embedded in --snapshot (default 50)")
     build.add_argument("--alpha", type=float, default=0.1,
                        help="alpha-diameter tolerance (default 0.1)")
+    _add_ann_args(build,
+                  "embed per-entry ANN MinHash sketches (v4 snapshot); "
+                  "`query --ann` and the service's LSH tier then warm "
+                  "with zero recompute")
     build.set_defaults(func=_cmd_build)
 
     stats = commands.add_parser("stats", help="inspect a stored base")
@@ -431,6 +525,10 @@ def build_parser() -> argparse.ArgumentParser:
     query.add_argument("--profile", action="store_true",
                        help="print the per-stage wall-time breakdown "
                             "(normalize, range search, exact measures)")
+    _add_ann_args(query,
+                  "answer via the LSH-pruned approximate tier "
+                  "(requires a base built with `build --ann` using the "
+                  "same --ann-* parameters)")
     query.set_defaults(func=_cmd_query)
 
     serve = commands.add_parser(
@@ -483,6 +581,15 @@ def build_parser() -> argparse.ArgumentParser:
                             "answers); the run fails if any exception "
                             "escapes the service — same seed, same "
                             "fault schedule")
+    _add_ann_args(serve,
+                  "enable the LSH-pruned tier on every shard and route "
+                  "queries per --ann-mode")
+    serve.add_argument("--ann-mode", choices=("auto", "always"),
+                       default="always", dest="ann_mode",
+                       help="'always' answers every query through the "
+                            "ANN tier; 'auto' walks the deadline-driven "
+                            "ladder exact -> ann -> hash (default "
+                            "always)")
     serve.set_defaults(func=_cmd_serve_bench)
 
     demo = commands.add_parser("demo", help="synthetic walkthrough")

@@ -119,6 +119,12 @@ class ShapeBase:
         # hashing layer or a v3 snapshot; invalidated/patched alongside
         # the vertex arrays so it can never go stale.
         self._signature_cache: Optional[Tuple[int, np.ndarray]] = None
+        # Cached per-entry ANN MinHash sketches: ``((num_hashes, grid,
+        # seed), (E, num_hashes) int64 array)`` aligned with
+        # ``entries``.  Populated by the ann layer or a v4 snapshot;
+        # maintained under mutation exactly like the signature cache.
+        self._sketch_cache: Optional[
+            Tuple[Tuple[int, int, int], np.ndarray]] = None
 
     # ------------------------------------------------------------------
     # Population
@@ -239,6 +245,7 @@ class ShapeBase:
         being thrown away — the single-shape ingest fast path.
         """
         self._signature_cache = None
+        self._sketch_cache = None
         if self._vertex_points is None or self._index is None or \
                 not new_entries:
             self._index = None
@@ -314,6 +321,9 @@ class ShapeBase:
         if self._signature_cache is not None:
             num_curves, rows = self._signature_cache
             self._signature_cache = (num_curves, rows[entry_keep])
+        if self._sketch_cache is not None:
+            sketch_key, rows = self._sketch_cache
+            self._sketch_cache = (sketch_key, rows[entry_keep])
         self.version += 1
 
     # ------------------------------------------------------------------
@@ -427,6 +437,10 @@ class ShapeBase:
             num_curves, rows = self._signature_cache
             out._signature_cache = (num_curves,
                                     rows[np.array(old_entry_ids)])
+        if self._sketch_cache is not None and out.entries:
+            sketch_key, rows = self._sketch_cache
+            out._sketch_cache = (sketch_key,
+                                 rows[np.array(old_entry_ids)])
         return out
 
     def split(self, num_parts: int,
@@ -578,6 +592,34 @@ class ShapeBase:
         if rows.shape != (len(self.entries), 4):
             raise ValueError("signatures must be one quadruple per entry")
         self._signature_cache = (int(num_curves), rows)
+
+    # ------------------------------------------------------------------
+    # ANN-sketch cache (filled by the ann layer / v4 snapshots)
+    # ------------------------------------------------------------------
+    def cached_sketches(self, key: Tuple[int, int, int]
+                        ) -> Optional[np.ndarray]:
+        """Per-entry MinHash sketches, if cached for this family.
+
+        ``key`` is ``SketchConfig.key`` — ``(num_hashes, grid,
+        seed)``.  Returns an ``(E, num_hashes)`` int64 array aligned
+        with ``entries`` or ``None`` when nothing is cached for that
+        family.  Maintained like the signature cache: invalidated on
+        ingest, compacted on removal, carried by :meth:`subset`.
+        """
+        if self._sketch_cache is None:
+            return None
+        cached_key, rows = self._sketch_cache
+        if cached_key != tuple(key) or len(rows) != len(self.entries):
+            return None
+        return rows
+
+    def set_sketch_cache(self, key: Tuple[int, int, int],
+                         sketches: np.ndarray) -> None:
+        """Remember per-entry ANN sketches for one sketch family."""
+        rows = np.asarray(sketches, dtype=np.int64)
+        if rows.shape != (len(self.entries), int(key[0])):
+            raise ValueError("sketches must be one row per entry")
+        self._sketch_cache = (tuple(int(k) for k in key), rows)
 
     def __repr__(self) -> str:
         return (f"ShapeBase(shapes={self.num_shapes}, "

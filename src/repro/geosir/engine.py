@@ -33,6 +33,7 @@ from ..query.executor import QueryEngine
 from ..query.graph import DISJOINT, diameter_angle, relation_between
 
 if TYPE_CHECKING:                  # pragma: no cover - import cycle guard
+    from ..ann import AnnConfig
     from ..service import RetrievalService
 
 
@@ -165,8 +166,9 @@ class GeoSIR:
     def enable_service(self, num_shards: int = 4, workers: int = 2,
                        cache_capacity: int = 256,
                        max_pending: Optional[int] = None,
-                       deadline: Optional[float] = None
-                       ) -> "RetrievalService":
+                       deadline: Optional[float] = None,
+                       ann: Optional["AnnConfig"] = None,
+                       ann_mode: str = "auto") -> "RetrievalService":
         """Serve retrievals through a sharded, cached, concurrent tier.
 
         Builds a :class:`repro.service.RetrievalService` over the
@@ -174,6 +176,11 @@ class GeoSIR:
         delegates :meth:`retrieve` to it from now on.  Ingest keeps
         working through this facade; the service is re-sharded on every
         mutation, exactly as the matcher and retriever are rebuilt.
+
+        ``ann`` (an :class:`repro.ann.AnnConfig`) adds the LSH-pruned
+        approximate tier as the middle rung of the service's
+        degradation ladder; ``ann_mode="always"`` routes every query
+        through it.
         """
         from ..service import RetrievalService, ServiceConfig
         config = ServiceConfig(
@@ -181,7 +188,8 @@ class GeoSIR:
             cache_capacity=cache_capacity, max_pending=max_pending,
             deadline=deadline, alpha=self.base.alpha, beta=self.beta,
             backend=self.base.backend, hash_curves=self.hash_curves,
-            match_threshold=self.match_threshold)
+            match_threshold=self.match_threshold, ann=ann,
+            ann_mode=ann_mode)
         self._service = RetrievalService.from_base(self.base, config)
         return self._service
 

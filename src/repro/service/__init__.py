@@ -5,7 +5,8 @@ the corpus is partitioned into :class:`ShardSet` shards (each with its
 own matcher and hashing retriever), queries fan out across shards on a
 :class:`WorkerPool` and merge exactly, results are cached under
 similarity-invariant sketch signatures, per-query :class:`Deadline`
-budgets degrade gracefully to the hashing tier, and a bounded
+budgets walk a three-rung degradation ladder (exact envelope →
+LSH-pruned exact via :mod:`repro.ann` → hashing tier), and a bounded
 :class:`AdmissionQueue` sheds load explicitly instead of queueing
 without bound.  :class:`MetricsRegistry` instruments all of it.
 
@@ -28,8 +29,9 @@ from .faults import (CorruptShardAnswer, FaultError, FaultPlan,
                      FaultSpec, FaultyShard, ShardTimeoutError)
 from .metrics import Counter, Histogram, MetricsRegistry
 from .pool import AdmissionQueue, WorkerPool
-from .service import (DEGRADED, OK, OVERLOADED, RetrievalService,
-                      ServiceConfig, ServiceResult)
+from .service import (DEGRADED, OK, OVERLOADED, TIER_ANN, TIER_EXACT,
+                      TIER_HASH, RetrievalService, ServiceConfig,
+                      ServiceResult)
 from .shards import Shard, ShardSet, merge_topk, shard_for
 
 __all__ = [
@@ -38,6 +40,7 @@ __all__ = [
     "FaultError", "FaultPlan", "FaultSpec", "FaultyShard", "Histogram",
     "MetricsRegistry", "OK", "OVERLOADED", "QueryResultCache",
     "RetrievalService", "ServiceConfig", "ServiceResult", "Shard",
-    "ShardSet", "ShardTimeoutError", "WorkerPool", "merge_topk",
-    "shard_for", "sketch_signature",
+    "ShardSet", "ShardTimeoutError", "TIER_ANN", "TIER_EXACT",
+    "TIER_HASH", "WorkerPool", "merge_topk", "shard_for",
+    "sketch_signature",
 ]

@@ -46,9 +46,13 @@ CORRUPT = "corrupt"
 WRONG_SHARD = "wrong_shard"
 KINDS = (EXCEPTION, LATENCY, CORRUPT, WRONG_SHARD)
 
-#: Operation groups a spec can target.
+#: Operation groups a spec can target.  ``MATCHER_OPS`` covers the
+#: exact envelope tier, ``ANN_OPS`` the LSH-pruned tier; the default
+#: chaos plan targets both (everything except the hash tier, which is
+#: each shard's last-resort fallback).
 MATCHER_OPS = ("query", "query_batch")
-ALL_OPS = MATCHER_OPS + ("hash_query",)
+ANN_OPS = ("ann_query", "ann_query_batch")
+ALL_OPS = MATCHER_OPS + ANN_OPS + ("hash_query",)
 
 #: Shape-id offset used by ``wrong_shard`` faults — far outside any
 #: real id space, so validation always catches the forgery.
@@ -131,13 +135,17 @@ class FaultPlan:
 
         The seed picks the target shard and drives every per-call
         decision; the mix covers all four fault kinds at moderate
-        rates.  With ``matcher_only`` (the default) the hashing tier
-        stays healthy, so the per-shard hash fallback is exercised.
+        rates.  With ``matcher_only`` (the default) both matching
+        tiers — envelope and ANN — are haunted but the hashing tier
+        stays healthy, so the per-shard fallbacks are exercised.
+        (Schedules stay reproducible across this op-set change:
+        :meth:`decide` draws one value per faultable call whether or
+        not any spec's ``ops`` match it.)
         """
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         target = random.Random(seed).randrange(num_shards)
-        ops = MATCHER_OPS if matcher_only else ALL_OPS
+        ops = MATCHER_OPS + ANN_OPS if matcher_only else ALL_OPS
         specs = [
             FaultSpec(target, EXCEPTION, probability=0.15, ops=ops),
             FaultSpec(target, LATENCY, probability=0.15, latency=0.02,
@@ -254,6 +262,23 @@ class FaultyShard:
         spec = self._plan.decide(self._shard.index, "query_batch")
         self._pre(spec, abort)
         results = self._shard.query_batch(sketches, k, abort=abort)
+        if spec is None:
+            return results
+        return [(_mangle_matches(spec, matches), stats)
+                for matches, stats in results]
+
+    def ann_query(self, sketch, k, abort=None):
+        spec = self._plan.decide(self._shard.index, "ann_query")
+        self._pre(spec, abort)
+        matches, stats = self._shard.ann_query(sketch, k, abort=abort)
+        if spec is not None:
+            matches = _mangle_matches(spec, matches)
+        return matches, stats
+
+    def ann_query_batch(self, sketches, k, abort=None):
+        spec = self._plan.decide(self._shard.index, "ann_query_batch")
+        self._pre(spec, abort)
+        results = self._shard.ann_query_batch(sketches, k, abort=abort)
         if spec is None:
             return results
         return [(_mangle_matches(spec, matches), stats)

@@ -194,6 +194,21 @@ class MetricsRegistry:
             return 0.0
         return self.counter(numerator).value / denom
 
+    def counters_with_prefix(self, prefix: str) -> Dict[str, int]:
+        """Values of every counter named ``prefix<suffix>``, by suffix.
+
+        The registry creates counters on first use, so a family like
+        the service's per-tier counters (``queries.tier_exact``,
+        ``queries.tier_ann``, ...) only contains the members that have
+        actually fired; this collects whichever exist without the
+        caller having to enumerate them.
+        """
+        with self._lock:
+            counters = dict(self._counters)
+        return {name[len(prefix):]: counter.value
+                for name, counter in sorted(counters.items())
+                if name.startswith(prefix)}
+
     def reset_window(self) -> dict:
         """Close the current reporting window; returns its snapshot.
 

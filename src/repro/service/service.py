@@ -42,6 +42,7 @@ import time
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
+from ..ann import AnnConfig
 from ..core.matcher import Match, MatchStats
 from ..core.shapebase import ShapeBase
 from ..geometry.polyline import Shape
@@ -58,6 +59,12 @@ from .shards import Shard, ShardSet, merge_topk
 OK = "ok"
 OVERLOADED = "overloaded"
 DEGRADED = "degraded"
+
+#: The degradation ladder's rungs, cheapest last (tier names appear in
+#: metrics counters as ``queries.tier_<name>``).
+TIER_EXACT = "exact"
+TIER_ANN = "ann"
+TIER_HASH = "hash"
 
 
 @dataclass
@@ -106,6 +113,19 @@ class ServiceConfig:
     #: Deterministic fault injection (chaos testing); see
     #: :mod:`repro.service.faults` and ``serve-bench --chaos``.
     fault_plan: Optional[FaultPlan] = None
+    #: -- approximate tier ------------------------------------------------
+    #: Enable the LSH-pruned middle rung of the degradation ladder by
+    #: providing an :class:`repro.ann.AnnConfig`; ``None`` keeps the
+    #: original two-tier behaviour (exact -> hashing).
+    ann: Optional[AnnConfig] = None
+    #: ``"auto"`` picks the tier per query from the deadline's
+    #: remaining budget (exact above ``ann_exact_budget`` seconds, ANN
+    #: above ``ann_hash_budget``, the hash tier below that);
+    #: ``"always"`` routes every query through the ANN tier — the mode
+    #: benchmarks and ``query --ann`` use.
+    ann_mode: str = "auto"
+    ann_exact_budget: float = 0.05
+    ann_hash_budget: float = 0.002
 
 
 @dataclass
@@ -117,10 +137,11 @@ class ServiceResult:
     failed; the answer is exact over the surviving shards, listed-by-
     omission in ``failed_shards``, plus any hash-tier salvage from the
     broken ones).  ``method`` records which tier answered:
-    ``"envelope"`` (exact search), ``"hashing"`` (degraded / fallback)
-    or ``"none"`` (shed or empty corpus).  The ``degraded`` *flag*
-    keeps its original meaning — the deadline forced the hashing tier
-    — independent of shard failures.
+    ``"envelope"`` (exact search), ``"ann"`` (LSH-pruned exact),
+    ``"hashing"`` (degraded / fallback) or ``"none"`` (shed or empty
+    corpus).  The ``degraded`` *flag* keeps its original meaning — the
+    deadline forced a cheaper tier than the config's best — independent
+    of shard failures.
     """
 
     status: str
@@ -187,6 +208,8 @@ class RetrievalService:
                  = None, metrics: Optional[MetricsRegistry] = None,
                  clock: Callable[[], float] = time.monotonic):
         self.config = config or ServiceConfig()
+        if self.config.ann_mode not in ("auto", "always"):
+            raise ValueError("ann_mode must be 'auto' or 'always'")
         self.shards = shards
         self.metrics = metrics or MetricsRegistry()
         self.cache = QueryResultCache(self.config.cache_capacity)
@@ -221,7 +244,7 @@ class RetrievalService:
         shard_set = ShardSet.from_base(
             base, num_shards=config.num_shards, beta=config.beta,
             hash_curves=config.hash_curves,
-            neighbor_radius=config.neighbor_radius)
+            neighbor_radius=config.neighbor_radius, ann=config.ann)
         service = cls(shard_set, config, metrics)
         service.warm()
         return service
@@ -252,7 +275,8 @@ class RetrievalService:
         self.shards = ShardSet.from_base(
             base, num_shards=self.config.num_shards, beta=self.config.beta,
             hash_curves=self.config.hash_curves,
-            neighbor_radius=self.config.neighbor_radius)
+            neighbor_radius=self.config.neighbor_radius,
+            ann=self.config.ann)
         self.cache.invalidate()
         self.warm()
 
@@ -419,6 +443,100 @@ class RetrievalService:
                 salvage.append(matches)
         return salvage
 
+    def _guarded_exact(self, shard: Shard, sketch: Shape, k: int,
+                       budget: Deadline) -> Optional[List[Match]]:
+        """One shard's envelope tier as a salvage path (None on failure).
+
+        Used when the *ANN* tier of a shard fails: the shard's exact
+        matcher is still healthy structure-wise, so degrading the
+        shard to exact scoring keeps its slice in the answer at full
+        quality (just slower) — only if that fails too does the
+        constant-cost hash tier take over.
+        """
+        try:
+            matches, _ = shard.query(sketch, k, abort=budget.expired)
+            self._validate_matches(shard, matches)
+            return matches
+        except Exception:
+            self.metrics.counter("shards.exact_salvage_failures") \
+                .increment()
+            return None
+
+    def _salvage_failed_ann(self, failed: Sequence[_ShardOutcome],
+                            shard_by_index: Dict[int, Shard],
+                            sketch: Shape, k: int, budget: Deadline
+                            ) -> List[List[Match]]:
+        """Failed-ANN shards degrade to exact, then hash-tier, scoring."""
+        if not failed or not self.config.shard_hash_fallback:
+            return []
+        salvage: List[List[Match]] = []
+        for outcome in failed:
+            shard = shard_by_index[outcome.shard_index]
+            matches = self._guarded_exact(shard, sketch, k, budget)
+            if matches is not None:
+                self.metrics.counter("shards.ann_exact_salvage") \
+                    .increment()
+            else:
+                matches = self._guarded_hash(shard, sketch, k)
+                if matches:
+                    self.metrics.counter("shards.hash_salvage") \
+                        .increment()
+            if matches:
+                salvage.append(matches)
+        return salvage
+
+    # ------------------------------------------------------------------
+    # Tier selection (the degradation ladder)
+    # ------------------------------------------------------------------
+    def _select_tier(self, budget: Deadline) -> str:
+        """Pick the ladder rung a query's remaining budget can afford.
+
+        Without an ANN config the ladder has its original two rungs
+        (exact now, hashing on expiry).  With one, ``"always"`` pins
+        the ANN tier (measurement mode) while ``"auto"`` spends the
+        budget greedily: exact when there is comfortably enough time
+        (``>= ann_exact_budget``), the LSH-pruned tier when at least
+        ``ann_hash_budget`` remains, and the constant-cost hash tier
+        for whatever is left.
+        """
+        if self.config.ann is None:
+            return TIER_EXACT
+        if self.config.ann_mode == "always":
+            return TIER_ANN
+        if not budget.bounded:
+            return TIER_EXACT
+        remaining = budget.remaining()
+        if remaining >= self.config.ann_exact_budget:
+            return TIER_EXACT
+        if remaining >= self.config.ann_hash_budget:
+            return TIER_ANN
+        return TIER_HASH
+
+    def _hash_only(self, sketch: Shape, k: int, budget: Deadline,
+                   start: float) -> ServiceResult:
+        """Answer straight from the hash tier (the ladder's last rung).
+
+        Taken when the remaining budget cannot even fund candidate
+        scoring: constant-cost per shard, always approximate, flagged
+        ``degraded`` and never cached (the next, better-funded query
+        should recompute).
+        """
+        shards = self._shard_views()
+        stage = time.perf_counter()
+        fallback = merge_topk(self.pool.map_over(
+            lambda shard: self._guarded_hash(shard, sketch, k),
+            shards), k)
+        self.metrics.histogram("latency.fallback").observe(
+            time.perf_counter() - stage)
+        self.metrics.counter("queries.fallback").increment()
+        self.metrics.counter("queries.served").increment()
+        result = ServiceResult(
+            status=OK, matches=fallback,
+            method="hashing" if fallback else "none",
+            degraded=True, latency=time.perf_counter() - start)
+        self._observe_total(result)
+        return result
+
     # ------------------------------------------------------------------
     # Retrieval
     # ------------------------------------------------------------------
@@ -488,6 +606,17 @@ class RetrievalService:
         budget = Deadline(deadline)
         version = self.shards.version
 
+        # -- tier selection (one rung for the whole batch) --------------
+        tier = self._select_tier(budget)
+        self.metrics.counter(f"queries.tier_{tier}").increment(
+            len(admitted))
+        if tier == TIER_HASH:
+            for position in admitted:
+                results[position] = self._hash_only(
+                    sketches[position], k, budget, start)
+            return
+        cache_kind = "topk" if tier == TIER_EXACT else "topk-ann"
+
         # -- cache probe + intra-batch coalescing -----------------------
         keys: Dict[int, str] = {}
         unique: List[int] = []
@@ -496,8 +625,8 @@ class RetrievalService:
         for position in admitted:
             if self.cache.enabled:
                 stage = time.perf_counter()
-                key = sketch_signature(sketches[position], kind="topk",
-                                       parameter=k)
+                key = sketch_signature(sketches[position],
+                                       kind=cache_kind, parameter=k)
                 hit = self.cache.get(key, version)
                 self.metrics.histogram("latency.cache").observe(
                     time.perf_counter() - stage)
@@ -524,30 +653,47 @@ class RetrievalService:
         miss_sketches = [sketches[position] for position in unique]
         shards = self._shard_views()
         shard_by_index = {shard.index: shard for shard in shards}
+        if tier == TIER_ANN:
+            def shard_op(shard):
+                return lambda abort: shard.ann_query_batch(
+                    miss_sketches, k, abort=abort)
+        else:
+            def shard_op(shard):
+                return lambda abort: shard.query_batch(
+                    miss_sketches, k, abort=abort)
         outcomes = self.pool.map_over(
             lambda shard: self._resilient_call(
-                shard, budget,
-                lambda abort, shard=shard: shard.query_batch(
-                    miss_sketches, k, abort=abort),
+                shard, budget, shard_op(shard),
                 lambda value, shard=shard: [
                     self._validate_matches(shard, matches)
                     for matches, _ in value]),
             shards)
-        self.metrics.histogram("latency.envelope").observe(
-            time.perf_counter() - stage)
+        self.metrics.histogram(
+            "latency.ann" if tier == TIER_ANN else "latency.envelope"
+        ).observe(time.perf_counter() - stage)
         survivors = [o for o in outcomes if not o.failed]
         failed = [o for o in outcomes if o.failed]
         failed_ids = sorted(o.shard_index for o in failed)
         if failed_ids:
             self.metrics.counter("queries.degraded").increment(
                 len(unique))
+        if tier == TIER_ANN:
+            for outcome in survivors:
+                for _, per_stats in outcome.value:
+                    self.metrics.histogram("ann.candidates").observe(
+                        per_stats.candidates_evaluated)
 
         # -- per-sketch merge, degradation, caching ---------------------
         for offset, position in enumerate(unique):
             answers = [o.value[offset] for o in survivors]
             stage = time.perf_counter()
-            salvage = self._salvage_failed(failed, shard_by_index,
-                                           sketches[position], k)
+            if tier == TIER_ANN:
+                salvage = self._salvage_failed_ann(
+                    failed, shard_by_index, sketches[position], k,
+                    budget)
+            else:
+                salvage = self._salvage_failed(failed, shard_by_index,
+                                               sketches[position], k)
             merged = merge_topk([matches for matches, _ in answers]
                                 + salvage, k)
             stats = _merge_stats([s for _, s in answers])
@@ -557,7 +703,7 @@ class RetrievalService:
                 stats.exhausted
             good = [m for m in merged
                     if m.distance <= self.config.match_threshold]
-            method = "envelope"
+            method = "envelope" if tier == TIER_EXACT else "ann"
             if degraded or not good:
                 stage = time.perf_counter()
                 sketch = sketches[position]
@@ -599,13 +745,23 @@ class RetrievalService:
             deadline_seconds = self.config.deadline
         budget = Deadline(deadline_seconds)
 
+        # -- tier selection (degradation ladder) ------------------------
+        tier = self._select_tier(budget)
+        self.metrics.counter(f"queries.tier_{tier}").increment()
+        if tier == TIER_HASH:
+            return self._hash_only(sketch, k, budget, start)
+
         # -- cache probe (with single-flight coalescing) ----------------
+        # ANN answers are cached under their own signature kind: they
+        # are *not* interchangeable with exact answers, so the two
+        # tiers must never alias in the cache.
+        cache_kind = "topk" if tier == TIER_EXACT else "topk-ann"
         key = None
         flight = None
         flight_key = None
         if self.cache.enabled:
             stage = time.perf_counter()
-            key = sketch_signature(sketch, kind="topk", parameter=k)
+            key = sketch_signature(sketch, kind=cache_kind, parameter=k)
             hit = self.cache.get(key, self.shards.version)
             self.metrics.histogram("latency.cache").observe(
                 time.perf_counter() - stage)
@@ -640,7 +796,7 @@ class RetrievalService:
                 # fall through and compute for ourselves.
 
         try:
-            return self._compute(sketch, k, budget, key, start)
+            return self._compute(sketch, k, budget, key, start, tier)
         finally:
             if flight is not None:
                 with self._inflight_lock:
@@ -648,31 +804,47 @@ class RetrievalService:
                 flight.set()
 
     def _compute(self, sketch: Shape, k: int, budget: Deadline,
-                 key: Optional[str], start: float) -> ServiceResult:
-        # -- shard fan-out (envelope tier, isolated per shard) ----------
+                 key: Optional[str], start: float,
+                 tier: str = TIER_EXACT) -> ServiceResult:
+        # -- shard fan-out (selected tier, isolated per shard) ----------
         stage = time.perf_counter()
         version = self.shards.version
         shards = self._shard_views()
         shard_by_index = {shard.index: shard for shard in shards}
+        if tier == TIER_ANN:
+            def shard_op(shard):
+                return lambda abort: shard.ann_query(sketch, k,
+                                                     abort=abort)
+        else:
+            def shard_op(shard):
+                return lambda abort: shard.query(sketch, k, abort=abort)
         outcomes = self.pool.map_over(
             lambda shard: self._resilient_call(
-                shard, budget,
-                lambda abort, shard=shard: shard.query(sketch, k,
-                                                       abort=abort),
+                shard, budget, shard_op(shard),
                 lambda value, shard=shard: self._validate_matches(
                     shard, value[0])),
             shards)
-        self.metrics.histogram("latency.envelope").observe(
-            time.perf_counter() - stage)
+        self.metrics.histogram(
+            "latency.ann" if tier == TIER_ANN else "latency.envelope"
+        ).observe(time.perf_counter() - stage)
         survivors = [o for o in outcomes if not o.failed]
         failed = [o for o in outcomes if o.failed]
         failed_ids = sorted(o.shard_index for o in failed)
         if failed_ids:
             self.metrics.counter("queries.degraded").increment()
+        if tier == TIER_ANN:
+            for outcome in survivors:
+                self.metrics.histogram("ann.candidates").observe(
+                    outcome.value[1].candidates_evaluated)
 
-        # -- merge (plus hash-tier salvage for failed shards) -----------
+        # -- merge (plus salvage for failed shards) ---------------------
         stage = time.perf_counter()
-        salvage = self._salvage_failed(failed, shard_by_index, sketch, k)
+        if tier == TIER_ANN:
+            salvage = self._salvage_failed_ann(failed, shard_by_index,
+                                               sketch, k, budget)
+        else:
+            salvage = self._salvage_failed(failed, shard_by_index,
+                                           sketch, k)
         merged = merge_topk([o.value[0] for o in survivors] + salvage, k)
         stats = _merge_stats([o.value[1] for o in survivors])
         self.metrics.histogram("latency.merge").observe(
@@ -682,7 +854,7 @@ class RetrievalService:
         degraded = budget.bounded and budget.expired() and stats.exhausted
         good = [m for m in merged
                 if m.distance <= self.config.match_threshold]
-        method = "envelope"
+        method = "envelope" if tier == TIER_EXACT else "ann"
         if degraded or not good:
             stage = time.perf_counter()
             fallback = merge_topk(self.pool.map_over(
@@ -727,6 +899,14 @@ class RetrievalService:
                                if total else 0.0),
             "degraded_ratio": (counters.get("queries.degraded", 0) / total
                                if total else 0.0),
+        }
+        # Degradation-ladder accounting: how many queries each rung
+        # answered, plus the ANN tier's candidate-set-size summary.
+        tiers = self.metrics.counters_with_prefix("queries.tier_")
+        snap["tiers"] = {
+            "counts": {tier: tiers.get(tier, 0)
+                       for tier in (TIER_EXACT, TIER_ANN, TIER_HASH)},
+            "ann_candidates": snap["histograms"].get("ann.candidates"),
         }
         snap["corpus"] = {
             "shards": self.shards.num_shards,

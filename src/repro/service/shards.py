@@ -21,6 +21,7 @@ from __future__ import annotations
 import threading
 from typing import Callable, List, Optional, Sequence, Tuple
 
+from ..ann import AnnConfig, AnnPrunedMatcher, compute_entry_sketches
 from ..core.matcher import GeometricSimilarityMatcher, Match, MatchStats
 from ..core.shapebase import ShapeBase, validate_shape
 from ..geometry.polyline import Shape
@@ -63,14 +64,17 @@ class Shard:
     """
 
     def __init__(self, index: int, base: ShapeBase, beta: float = 0.25,
-                 hash_curves: int = 50, neighbor_radius: int = 1):
+                 hash_curves: int = 50, neighbor_radius: int = 1,
+                 ann: Optional[AnnConfig] = None):
         self.index = index
         self.base = base
         self.beta = float(beta)
         self.hash_curves = int(hash_curves)
         self.neighbor_radius = int(neighbor_radius)
+        self.ann_config = ann
         self._matcher: Optional[GeometricSimilarityMatcher] = None
         self._retriever: Optional[ApproximateRetriever] = None
+        self._ann: Optional[AnnPrunedMatcher] = None
         self._build_lock = threading.Lock()
 
     # -- structures -----------------------------------------------------
@@ -93,17 +97,33 @@ class Shard:
                         neighbor_radius=self.neighbor_radius)
         return self._retriever
 
+    @property
+    def ann(self) -> AnnPrunedMatcher:
+        """The approximate tier's pruned matcher (requires config)."""
+        if self.ann_config is None:
+            raise RuntimeError(
+                f"shard {self.index} has no ANN tier configured")
+        if self._ann is None:
+            with self._build_lock:
+                if self._ann is None:
+                    self._ann = AnnPrunedMatcher(self.base,
+                                                 self.ann_config)
+        return self._ann
+
     def warm(self) -> None:
-        """Build every lazy structure now (index, hash table)."""
+        """Build every lazy structure now (index, hash table, ANN)."""
         if self.base.num_entries:
             self.base.index
         self.matcher
         self.retriever
+        if self.ann_config is not None:
+            self.ann
 
     def invalidate(self) -> None:
         """Drop derived structures after a mutation."""
         self._matcher = None
         self._retriever = None
+        self._ann = None
 
     # -- ingest ---------------------------------------------------------
     def add_shape(self, shape: Shape, image_id: Optional[int],
@@ -138,6 +158,18 @@ class Shard:
         order and identical to per-sketch :meth:`query` calls.
         """
         return self.matcher.query_batch(sketches, k=k, abort=abort)
+
+    def ann_query(self, sketch: Shape, k: int,
+                  abort: Optional[Callable[[], bool]] = None
+                  ) -> Tuple[List[Match], MatchStats]:
+        """LSH-pruned exact top-k within this shard (middle tier)."""
+        return self.ann.query(sketch, k=k, abort=abort)
+
+    def ann_query_batch(self, sketches: Sequence[Shape], k: int,
+                        abort: Optional[Callable[[], bool]] = None
+                        ) -> List[Tuple[List[Match], MatchStats]]:
+        """LSH-pruned top-k for many sketches in one call."""
+        return self.ann.query_batch(sketches, k=k, abort=abort)
 
     def hash_query(self, sketch: Shape, k: int) -> List[Match]:
         """Hashing-fallback top-k within this shard."""
@@ -179,13 +211,14 @@ class ShardSet:
 
     def __init__(self, num_shards: int = 4, alpha: float = 0.1,
                  backend: str = "kdtree", beta: float = 0.25,
-                 hash_curves: int = 50, neighbor_radius: int = 1):
+                 hash_curves: int = 50, neighbor_radius: int = 1,
+                 ann: Optional[AnnConfig] = None):
         if num_shards < 1:
             raise ValueError("num_shards must be at least 1")
         self.num_shards = int(num_shards)
         self.shards = [Shard(i, ShapeBase(alpha=alpha, backend=backend),
                              beta=beta, hash_curves=hash_curves,
-                             neighbor_radius=neighbor_radius)
+                             neighbor_radius=neighbor_radius, ann=ann)
                        for i in range(self.num_shards)]
         self.version = 0
         self._next_shape_id = 0
@@ -194,12 +227,19 @@ class ShardSet:
     @classmethod
     def from_base(cls, base: ShapeBase, num_shards: int = 4,
                   beta: float = 0.25, hash_curves: int = 50,
-                  neighbor_radius: int = 1) -> "ShardSet":
+                  neighbor_radius: int = 1,
+                  ann: Optional[AnnConfig] = None) -> "ShardSet":
         """Partition an existing base (shape ids preserved)."""
         shard_set = cls(num_shards=num_shards, alpha=base.alpha,
                         backend=base.backend, beta=beta,
                         hash_curves=hash_curves,
-                        neighbor_radius=neighbor_radius)
+                        neighbor_radius=neighbor_radius, ann=ann)
+        if ann is not None and base.num_entries:
+            # Sketch the whole base once before splitting: subsets
+            # carry the cache rows, so shards (and later re-splits of
+            # the same base) never recompute.  A v4 snapshot arrives
+            # with this cache pre-filled — zero sketching on warm-up.
+            compute_entry_sketches(base, ann.sketch)
         for part_index, part in enumerate(base.split(num_shards)):
             shard = shard_set.shards[part_index]
             shard.base = part

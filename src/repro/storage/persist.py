@@ -12,7 +12,7 @@ Three on-disk versions coexist:
   reconstructs each original via the inverse transform and re-runs the
   whole normalization pipeline — an O(normalize) cold start with
   float32 rounding.
-* **v3** (current) — array-native: the originals, every normalized
+* **v3** (default) — array-native: the originals, every normalized
   copy's float64 vertices, all transforms, pairs and entry metadata as
   flat columnar arrays, plus (optionally) the precomputed hashing
   signatures.  :func:`load_base` materializes the base with **zero
@@ -21,6 +21,12 @@ Three on-disk versions coexist:
   the range index builds lazily (or eagerly with ``warm=True``).  A
   v3-loaded base answers queries bit-for-bit identically to the base
   that was saved.
+* **v4** — v3 plus one trailing section of per-entry ANN MinHash
+  sketches (``repro.ann``) and their family parameters in the header.
+  Loading fills the base's sketch cache, so a service configured with
+  the same :class:`~repro.ann.SketchConfig` warms its LSH tier with
+  zero sketch recompute.  Written only when :func:`save_base` is
+  given ``ann_sketch``; bases without the ANN tier keep writing v3.
 
 Writes are crash-safe: :func:`save_base` writes to a temp file in the
 destination directory, fsyncs it, and publishes with ``os.replace`` —
@@ -54,6 +60,9 @@ _HEADER_V2 = struct.Struct("<fIQI")   # alpha, num entries, body len, CRC32
 # alpha (f8), num shapes, num entries, total original vertices, total
 # copy vertices, signature curve count (0 = none), body len, CRC32
 _HEADER_V3 = struct.Struct("<dIIQQiQI")
+# v3's fields plus the embedded sketch family: num hashes, grid, seed
+# (inserted before body len / CRC32).
+_HEADER_V4 = struct.Struct("<dIIQQiiiqQI")
 
 
 class CorruptSnapshotError(ValueError):
@@ -85,7 +94,8 @@ def _encode_v2(base: ShapeBase) -> bytes:
     return header + body
 
 
-def _encode_v3(base: ShapeBase, hash_curves: Optional[int]) -> bytes:
+def _encode_v3(base: ShapeBase, hash_curves: Optional[int],
+               ann_sketch=None) -> bytes:
     shape_items = list(base.shapes.items())      # insertion order
     sid_to_idx = {sid: i for i, (sid, _) in enumerate(shape_items)}
     shape_ids = np.array([sid for sid, _ in shape_items], dtype="<i8")
@@ -123,37 +133,60 @@ def _encode_v3(base: ShapeBase, hash_curves: Optional[int]) -> bytes:
     else:
         sig_curves, sig_rows = 0, np.zeros((0, 4), dtype="<i2")
 
-    body = b"".join([
+    parts = [
         shape_ids.tobytes(), shape_image.tobytes(), orig_counts.tobytes(),
         orig_closed.tobytes(), entry_shape_idx.tobytes(), pairs.tobytes(),
         transforms.tobytes(), copy_counts.tobytes(), orig_vertices.tobytes(),
         copy_vertices.tobytes(), sig_rows.tobytes(),
-    ])
-    header = _PREFIX.pack(MAGIC, 3) + _HEADER_V3.pack(
+    ]
+    if ann_sketch is None:
+        body = b"".join(parts)
+        header = _PREFIX.pack(MAGIC, 3) + _HEADER_V3.pack(
+            base.alpha, len(shape_items), len(entries), len(orig_vertices),
+            len(copy_vertices), sig_curves, len(body), zlib.crc32(body))
+        return header + body
+    from ..ann.sketch import compute_entry_sketches
+    sketch_rows = compute_entry_sketches(base, ann_sketch).astype("<i8")
+    sk_hashes, sk_grid, sk_seed = ann_sketch.key
+    body = b"".join(parts + [sketch_rows.tobytes()])
+    header = _PREFIX.pack(MAGIC, 4) + _HEADER_V4.pack(
         base.alpha, len(shape_items), len(entries), len(orig_vertices),
-        len(copy_vertices), sig_curves, len(body), zlib.crc32(body))
+        len(copy_vertices), sig_curves, sk_hashes, sk_grid, sk_seed,
+        len(body), zlib.crc32(body))
     return header + body
 
 
 def save_base(base: ShapeBase, path: Union[str, Path], *,
               version: int = VERSION,
-              hash_curves: Optional[int] = None) -> int:
+              hash_curves: Optional[int] = None,
+              ann_sketch=None) -> int:
     """Write the whole base to ``path`` atomically; returns bytes written.
 
     ``version`` selects the on-disk format (3, the array-native
     default, or 2 for compatibility with older readers).  With
-    ``hash_curves`` set, a v3 snapshot additionally embeds the
+    ``hash_curves`` set, a v3/v4 snapshot additionally embeds the
     per-entry characteristic signatures for that curve-family size
     (computing them now if the base has no cache), so a later
     :class:`~repro.hashing.ApproximateRetriever` build costs nothing.
+    With ``ann_sketch`` (a :class:`~repro.ann.SketchConfig`) the
+    snapshot is written as v4 and embeds the per-entry ANN MinHash
+    sketches the same way, so a service's LSH tier warms with zero
+    recompute; passing ``version=4`` without ``ann_sketch`` is an
+    error (a v4 file exists *because* it carries sketches).
 
     The payload lands in a same-directory temp file first (fsynced),
     then ``os.replace`` publishes it — a crash mid-write leaves the
     previous snapshot intact, never a torn file.
     """
     path = Path(path)
-    if version == 3:
-        payload = _encode_v3(base, hash_curves)
+    if ann_sketch is not None and version not in (3, 4):
+        raise ValueError(
+            "embedding ANN sketches requires the v4 format")
+    if version == 4 and ann_sketch is None:
+        raise ValueError(
+            "version 4 embeds ANN sketches; pass ann_sketch")
+    if version in (3, 4):
+        payload = _encode_v3(base, hash_curves, ann_sketch)
     elif version == 2:
         payload = _encode_v2(base)
     else:
@@ -161,10 +194,18 @@ def save_base(base: ShapeBase, path: Union[str, Path], *,
     return _write_atomic(path, payload)
 
 
-def _load_v3(payload: bytes, backend: str) -> ShapeBase:
-    alpha, num_shapes, num_entries, n_orig, n_copy, sig_curves, \
-        body_len, checksum = _HEADER_V3.unpack_from(payload, _PREFIX.size)
-    start = _PREFIX.size + _HEADER_V3.size
+def _load_v3(payload: bytes, backend: str, version: int = 3) -> ShapeBase:
+    if version == 4:
+        alpha, num_shapes, num_entries, n_orig, n_copy, sig_curves, \
+            sk_hashes, sk_grid, sk_seed, body_len, checksum = \
+            _HEADER_V4.unpack_from(payload, _PREFIX.size)
+        start = _PREFIX.size + _HEADER_V4.size
+    else:
+        alpha, num_shapes, num_entries, n_orig, n_copy, sig_curves, \
+            body_len, checksum = _HEADER_V3.unpack_from(payload,
+                                                        _PREFIX.size)
+        sk_hashes = sk_grid = sk_seed = 0
+        start = _PREFIX.size + _HEADER_V3.size
     body = payload[start:]
     if len(body) != body_len:
         raise CorruptSnapshotError(
@@ -186,6 +227,7 @@ def _load_v3(payload: bytes, backend: str) -> ShapeBase:
         ("orig_vertices", "<f8", 2 * n_orig),
         ("copy_vertices", "<f8", 2 * n_copy),
         ("signatures", "<i2", 4 * num_entries if sig_curves else 0),
+        ("sketches", "<i8", sk_hashes * num_entries),
     ]
     expected = sum(np.dtype(d).itemsize * c for _, d, c in sections)
     if expected != body_len:
@@ -250,6 +292,10 @@ def _load_v3(payload: bytes, backend: str) -> ShapeBase:
     if sig_curves:
         base.set_signature_cache(sig_curves,
                                  cols["signatures"].reshape(-1, 4))
+    if sk_hashes:
+        base.set_sketch_cache(
+            (int(sk_hashes), int(sk_grid), int(sk_seed)),
+            cols["sketches"].reshape(-1, sk_hashes))
     base.version = 1 if num_shapes else 0
     return base
 
@@ -259,8 +305,9 @@ def load_base(path: Union[str, Path], backend: str = "kdtree", *,
     """Rebuild a :class:`ShapeBase` from a file written by
     :func:`save_base`.
 
-    v3 snapshots materialize directly from the stored arrays — no
-    re-normalization, exact float64 vertices, cached signatures — with
+    v3/v4 snapshots materialize directly from the stored arrays — no
+    re-normalization, exact float64 vertices, cached signatures (and,
+    for v4, cached ANN sketches) — with
     the range index built lazily on first use, or right away when
     ``warm`` is true.  v1/v2 snapshots reconstruct each original from
     the first of its stored copies via the inverse transform and
@@ -281,13 +328,15 @@ def load_base(path: Union[str, Path], backend: str = "kdtree", *,
         header = _HEADER_V2
     elif version == 3:
         header = _HEADER_V3
+    elif version == 4:
+        header = _HEADER_V4
     else:
         raise CorruptSnapshotError(
             f"unsupported shape-base file version {version}")
     if len(payload) < _PREFIX.size + header.size:
         raise CorruptSnapshotError("truncated shape-base file")
-    if version == 3:
-        base = _load_v3(payload, backend)
+    if version in (3, 4):
+        base = _load_v3(payload, backend, version)
         if warm:
             base._ensure_arrays()
         return base
@@ -332,7 +381,7 @@ def snapshot_info(path: Union[str, Path]) -> Dict[str, object]:
     enough for CLI ``stats`` to call on every invocation.
     """
     with open(path, "rb") as handle:
-        head = handle.read(_PREFIX.size + _HEADER_V3.size)
+        head = handle.read(_PREFIX.size + _HEADER_V4.size)
     if len(head) < _PREFIX.size:
         raise CorruptSnapshotError("truncated shape-base file")
     magic, version = _PREFIX.unpack_from(head, 0)
@@ -351,7 +400,16 @@ def snapshot_info(path: Union[str, Path]) -> Dict[str, object]:
         info.update(alpha=float(alpha), num_shapes=int(num_shapes),
                     num_entries=int(num_entries),
                     signature_curves=int(sig_curves))
-    elif version in (1, 2, 3):
+    elif version == 4 and len(head) >= _PREFIX.size + _HEADER_V4.size:
+        alpha, num_shapes, num_entries, _, _, sig_curves, sk_hashes, \
+            sk_grid, sk_seed, _, _ = _HEADER_V4.unpack_from(
+                head, _PREFIX.size)
+        info.update(alpha=float(alpha), num_shapes=int(num_shapes),
+                    num_entries=int(num_entries),
+                    signature_curves=int(sig_curves),
+                    ann_hashes=int(sk_hashes), ann_grid=int(sk_grid),
+                    ann_seed=int(sk_seed))
+    elif version in (1, 2, 3, 4):
         raise CorruptSnapshotError("truncated shape-base file")
     else:
         raise CorruptSnapshotError(

@@ -1,0 +1,307 @@
+"""Tests for repro.ann — the polygon-LSH approximate retrieval tier.
+
+Covers the contract the degradation ladder leans on: sketches are a
+pure function of (shape, config) under a fixed seed; similarity
+transforms of an indexed shape collide with it and retrieve it; the
+LSH-pruned matcher agrees with the exact top-k at the reference
+configuration (recall >= 0.9); incremental add/remove leaves the index
+equal to a rebuilt one; the service walks exact -> ann -> hash as the
+deadline shrinks; and a v4 snapshot warms the tier with zero sketch
+recompute.
+"""
+
+import numpy as np
+import pytest
+
+from repro import GeometricSimilarityMatcher, ShapeBase
+from repro.ann import (AnnConfig, AnnPrunedMatcher, LshIndex,
+                       SketchConfig, compute_entry_sketches)
+from repro.imaging import generate_workload, make_query_set
+from repro.service import RetrievalService, ServiceConfig
+from repro.storage.persist import load_base, save_base, snapshot_info
+
+
+@pytest.fixture(scope="module")
+def workload():
+    return generate_workload(16, np.random.default_rng(90125),
+                             shapes_per_image=3.0, noise=0.008,
+                             num_prototypes=7)
+
+
+def build_base(workload):
+    base = ShapeBase(alpha=0.05)
+    for image in workload.images:
+        for shape in image.shapes:
+            base.add_shape(shape, image_id=image.image_id)
+    return base
+
+
+@pytest.fixture(scope="module")
+def corpus(workload):
+    base = build_base(workload)
+    queries = [q for q, _ in make_query_set(
+        workload, 5, np.random.default_rng(11), noise=0.008)]
+    return base, queries
+
+
+REFERENCE = AnnConfig(tables=16, band_width=2, candidate_cap=512)
+SMALL = AnnConfig(tables=6, band_width=2, candidate_cap=128)
+
+
+# ----------------------------------------------------------------------
+# Sketches: determinism and shape
+# ----------------------------------------------------------------------
+class TestSketchDeterminism:
+    def test_fixed_seed_is_deterministic(self, workload):
+        config = SketchConfig(num_hashes=12, grid=16, seed=5)
+        rows_a = compute_entry_sketches(build_base(workload), config)
+        rows_b = compute_entry_sketches(build_base(workload), config)
+        assert np.array_equal(rows_a, rows_b)
+
+    def test_shape_and_dtype(self, corpus):
+        base, _ = corpus
+        config = SketchConfig(num_hashes=12, grid=16, seed=5)
+        rows = compute_entry_sketches(base, config)
+        assert rows.shape == (base.num_entries, 12)
+        assert rows.dtype == np.int64
+
+    def test_different_seed_different_sketches(self, workload):
+        base = build_base(workload)
+        rows_a = compute_entry_sketches(
+            base, SketchConfig(num_hashes=12, grid=16, seed=5))
+        rows_b = compute_entry_sketches(
+            base, SketchConfig(num_hashes=12, grid=16, seed=6))
+        assert not np.array_equal(rows_a, rows_b)
+
+
+# ----------------------------------------------------------------------
+# Similarity invariance: transformed copies collide and retrieve
+# ----------------------------------------------------------------------
+class TestSimilarityInvariance:
+    def test_transformed_copy_retrieves_original(self, corpus):
+        base, _ = corpus
+        ann = AnnPrunedMatcher(base, REFERENCE)
+        shape_id = next(iter(base.shapes))
+        original = base.shapes[shape_id]
+        transformed = original.rotated(1.1).scaled(2.3).translated(5, -3)
+        matches, stats = ann.query(transformed, k=1)
+        assert matches and matches[0].shape_id == shape_id
+        assert matches[0].distance < 1e-5
+        assert matches[0].approximate
+        assert stats.candidates_evaluated >= 1
+
+    def test_matches_flagged_approximate_not_guaranteed(self, corpus):
+        base, queries = corpus
+        ann = AnnPrunedMatcher(base, REFERENCE)
+        matches, stats = ann.query(queries[0], k=3)
+        assert matches
+        assert all(m.approximate for m in matches)
+        assert not stats.guaranteed
+
+
+# ----------------------------------------------------------------------
+# LSH index mechanics
+# ----------------------------------------------------------------------
+class TestLshIndex:
+    def sigs(self):
+        return {
+            "a": np.array([1, 1, 2, 2], dtype=np.int64),
+            "b": np.array([1, 1, 3, 3], dtype=np.int64),
+            "c": np.array([9, 9, 9, 9], dtype=np.int64),
+        }
+
+    def make(self):
+        index = LshIndex(tables=2, band_width=2)
+        sigs = self.sigs()
+        index.add(0, sigs["a"])
+        index.add(1, sigs["b"])
+        index.add(2, sigs["c"])
+        return index, sigs
+
+    def test_candidates_ranked_by_votes(self):
+        index, sigs = self.make()
+        ranked, total = index.candidates(sigs["a"], cap=10)
+        assert ranked == [0, 1]         # 0: both bands; 1: band 0 only
+        assert total == 2
+
+    def test_candidate_cap_keeps_the_top_voted(self):
+        index, sigs = self.make()
+        ranked, total = index.candidates(sigs["a"], cap=1)
+        assert ranked == [0]
+        assert total == 2               # pre-cap population still reported
+
+    def test_remove_forgets_the_entry(self):
+        index, sigs = self.make()
+        index.remove(0, sigs["a"])
+        ranked, _ = index.candidates(sigs["a"], cap=10)
+        assert 0 not in ranked
+        with pytest.raises(KeyError):
+            index.remove(0, sigs["a"])
+
+    def test_wrong_signature_length_rejected(self):
+        index = LshIndex(tables=2, band_width=2)
+        with pytest.raises(ValueError):
+            index.add(0, np.array([1, 2, 3], dtype=np.int64))
+
+
+# ----------------------------------------------------------------------
+# Recall against the exact matcher
+# ----------------------------------------------------------------------
+class TestRecall:
+    def test_reference_config_recall_at_10(self, corpus):
+        base, queries = corpus
+        matcher = GeometricSimilarityMatcher(base)
+        ann = AnnPrunedMatcher(base, REFERENCE)
+        k = min(10, base.num_shapes)
+        recalls = []
+        for query in queries:
+            exact = set(m.shape_id for m in matcher.query(query, k=k)[0])
+            approx = set(m.shape_id for m in ann.query(query, k=k)[0])
+            recalls.append(len(approx & exact) / len(exact))
+        assert np.mean(recalls) >= 0.9
+
+
+# ----------------------------------------------------------------------
+# Incremental maintenance == rebuild
+# ----------------------------------------------------------------------
+class TestIncrementalMaintenance:
+    def test_remove_equals_rebuilt_index(self, corpus):
+        base, _ = corpus
+        working = base.subset(list(base.shape_ids()))
+        ann = AnnPrunedMatcher(working, SMALL)
+        victim = list(working.shape_ids())[working.num_shapes // 2]
+        doomed = [i for i, entry in enumerate(working.entries)
+                  if entry.shape_id == victim]
+        assert doomed
+        for entry_id in sorted(doomed, reverse=True):
+            ann.remove_entry(entry_id)
+        working.remove_shape(victim)
+        rebuilt = AnnPrunedMatcher(
+            base.subset([sid for sid in base.shape_ids()
+                         if sid != victim]), SMALL)
+        assert np.array_equal(ann._sketches, rebuilt._sketches)
+        assert ann.index._buckets == rebuilt.index._buckets
+
+    def test_add_equals_rebuilt_index(self, corpus):
+        base, queries = corpus
+        working = base.subset(list(base.shape_ids()))
+        ann = AnnPrunedMatcher(working, SMALL)
+        before = len(working.entries)
+        working.add_shape(queries[0], image_id=999)
+        for entry_id in range(before, len(working.entries)):
+            ann.add_entry(entry_id)
+        rebuilt = AnnPrunedMatcher(working, SMALL)
+        assert np.array_equal(ann._sketches, rebuilt._sketches)
+        assert ann.index._buckets == rebuilt.index._buckets
+
+    def test_removed_shape_never_returned(self, corpus):
+        base, _ = corpus
+        working = base.subset(list(base.shape_ids()))
+        ann = AnnPrunedMatcher(working, REFERENCE)
+        victim = next(iter(working.shapes))
+        sketch = working.shapes[victim]
+        matches, _ = ann.query(sketch, k=1)
+        assert matches[0].shape_id == victim
+        doomed = [i for i, entry in enumerate(working.entries)
+                  if entry.shape_id == victim]
+        for entry_id in sorted(doomed, reverse=True):
+            ann.remove_entry(entry_id)
+        working.remove_shape(victim)
+        matches, _ = ann.query(sketch, k=working.num_shapes)
+        assert all(m.shape_id != victim for m in matches)
+
+
+# ----------------------------------------------------------------------
+# The three-rung degradation ladder
+# ----------------------------------------------------------------------
+class TestDegradationLadder:
+    def test_shrinking_deadlines_walk_the_ladder(self, corpus):
+        base, queries = corpus
+        service = RetrievalService.from_base(base, ServiceConfig(
+            num_shards=2, workers=1, cache_capacity=0,
+            ann=AnnConfig(tables=8, band_width=2), ann_mode="auto"))
+        try:
+            unbounded = service.retrieve(queries[0], k=2)
+            assert unbounded.method == "envelope"
+            mid = service.retrieve(queries[1], k=2, deadline=0.02)
+            assert mid.method == "ann"
+            tight = service.retrieve(queries[2], k=2, deadline=0.0005)
+            assert tight.method in ("hashing", "none")
+            counts = service.snapshot()["tiers"]["counts"]
+            assert counts == {"exact": 1, "ann": 1, "hash": 1}
+        finally:
+            service.close()
+
+    def test_always_mode_routes_everything_through_ann(self, corpus):
+        base, queries = corpus
+        service = RetrievalService.from_base(base, ServiceConfig(
+            num_shards=2, workers=1, cache_capacity=0,
+            ann=AnnConfig(tables=8, band_width=2), ann_mode="always"))
+        try:
+            for query in queries:
+                result = service.retrieve(query, k=3)
+                assert result.method == "ann"
+                assert result.matches
+                assert all(m.approximate for m in result.matches)
+            counts = service.snapshot()["tiers"]["counts"]
+            assert counts["ann"] == len(queries)
+            candidates = service.snapshot()["tiers"]["ann_candidates"]
+            assert candidates and candidates["count"] > 0
+        finally:
+            service.close()
+
+    def test_without_ann_config_the_tier_is_unreachable(self, corpus):
+        base, queries = corpus
+        service = RetrievalService.from_base(base, ServiceConfig(
+            num_shards=2, workers=1, cache_capacity=0))
+        try:
+            result = service.retrieve(queries[0], k=2, deadline=0.02)
+            assert result.method in ("envelope", "hashing", "none")
+            assert service.snapshot()["tiers"]["counts"]["ann"] == 0
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# v4 snapshots warm the tier with zero recompute
+# ----------------------------------------------------------------------
+class TestSnapshotWarmup:
+    def test_v4_round_trip_restores_sketches(self, corpus, tmp_path):
+        base, _ = corpus
+        config = AnnConfig(tables=8, band_width=2)
+        path = tmp_path / "ann.gsb"
+        save_base(base, path, hash_curves=20, ann_sketch=config.sketch)
+        info = snapshot_info(path)
+        assert info["version"] == 4
+        assert info["ann_hashes"] == config.num_hashes
+        loaded = load_base(path)
+        assert np.array_equal(
+            loaded.cached_sketches(config.sketch.key),
+            compute_entry_sketches(base, config.sketch))
+
+    def test_warm_service_never_resketches_entries(self, corpus,
+                                                   tmp_path, monkeypatch):
+        base, queries = corpus
+        config = AnnConfig(tables=8, band_width=2)
+        path = tmp_path / "ann.gsb"
+        save_base(base, path, hash_curves=20, ann_sketch=config.sketch)
+        loaded = load_base(path)
+
+        import repro.ann.sketch as sketch_module
+
+        def explode(*args, **kwargs):
+            raise AssertionError("entry sketches were recomputed")
+
+        monkeypatch.setattr(sketch_module, "sketch_vertex_sets", explode)
+        service = RetrievalService.from_base(loaded, ServiceConfig(
+            num_shards=2, workers=1, cache_capacity=0,
+            ann=config, ann_mode="always"))
+        try:
+            # Query sketching is legitimate work — only the per-entry
+            # recompute is forbidden above; un-patch before retrieving.
+            monkeypatch.undo()
+            result = service.retrieve(queries[0], k=2)
+            assert result.method == "ann"
+            assert result.matches
+        finally:
+            service.close()

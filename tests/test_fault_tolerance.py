@@ -25,8 +25,9 @@ from repro.service import (BreakerConfig, CircuitBreaker,
                            FaultPlan, FaultSpec, FaultyShard,
                            RetrievalService, ServiceConfig, ShardSet,
                            shard_for)
+from repro.ann import AnnConfig
 from repro.service.breaker import CLOSED, HALF_OPEN, OPEN
-from repro.service.faults import ALL_OPS, MATCHER_OPS
+from repro.service.faults import ALL_OPS, ANN_OPS, MATCHER_OPS
 
 
 @pytest.fixture(scope="module")
@@ -410,6 +411,60 @@ class TestChaosInvariant:
                 assert result.status == "ok" and not result.partial
                 expected, _ = reference.query(sketch, k=3)
                 assert ranked(result.matches) == ranked(expected)
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# ANN-tier faults degrade to exact (or hash) scoring, never fail
+# ----------------------------------------------------------------------
+class TestAnnFaultDegradation:
+    def make_service(self, base, plan):
+        return RetrievalService.from_base(base, ServiceConfig(
+            num_shards=NUM_SHARDS, workers=2, cache_capacity=0,
+            retry_attempts=1, retry_seed=0, fault_plan=plan,
+            breaker=None, ann=AnnConfig(tables=8, band_width=2),
+            ann_mode="always"))
+
+    def test_ann_fault_never_fails_the_query(self, corpus):
+        """The ANN index of one shard failing 100%: every query still
+        answers (the broken shard's slice is salvaged from a healthier
+        tier), and the salvage counters show which tier paid."""
+        base, queries = corpus
+        broken = 1
+        plan = total_failure_plan(broken, ops=ANN_OPS)
+        service = self.make_service(base, plan)
+        try:
+            for sketch in queries:
+                result = service.retrieve(sketch, k=3)
+                assert result.status in ("ok", "degraded")
+                assert result.failed_shards == [broken]
+                assert result.matches
+            salvaged = (
+                service.metrics.counter("shards.ann_exact_salvage").value
+                + service.metrics.counter("shards.hash_salvage").value)
+            assert salvaged > 0
+        finally:
+            service.close()
+
+    def test_ann_fault_salvage_prefers_the_exact_tier(self, corpus):
+        """With only the ANN ops haunted, the failed shard's slice is
+        answered by its (healthy) exact matcher: an exact copy of one
+        of that shard's shapes is still found."""
+        base, _ = corpus
+        broken = 1
+        owned = [sid for sid in base.shape_ids()
+                 if shard_for(sid, NUM_SHARDS) == broken]
+        assert owned, "seeded corpus must populate the broken shard"
+        plan = total_failure_plan(broken, ops=ANN_OPS)
+        service = self.make_service(base, plan)
+        try:
+            sketch = base.shapes[owned[0]]
+            result = service.retrieve(sketch, k=base.num_shapes)
+            assert result.status == "degraded"
+            assert any(m.shape_id == owned[0] for m in result.matches)
+            exact = service.metrics.counter("shards.ann_exact_salvage")
+            assert exact.value > 0
         finally:
             service.close()
 
