@@ -1,0 +1,142 @@
+"""Planner-vs-unplanned scaling benchmark for the query algebra.
+
+For each corpus size a base with planted selectivity skew
+(:func:`repro.query.workload.algebra_base`) and a seeded mixed
+composite-query workload run through the three execution modes of
+:func:`repro.query.workload.compare_planner`:
+
+* ``unplanned`` — DNF with every literal materialized in written
+  order, topological operators through strategy 2;
+* ``planned`` — selectivity-ordered seeds, restricted per-image
+  filters, strategy selection;
+* ``planned+cache`` — the planner plus the versioned subplan cache.
+
+Result sets are asserted identical across modes inside
+``compare_planner`` itself.  The run **fails** (exit 1) if at the
+largest size the planner does not beat the unplanned baseline on both
+``sim_checks`` (similarity checks + candidate evaluations) and wall
+time — the acceptance gate the CI ``algebra-smoke`` job enforces.
+
+Rows are appended to ``BENCH_algebra.json`` when ``--label`` is given
+or ``REPRO_BENCH_LABEL`` is set (same trajectory protocol as
+``BENCH_build.json`` / ``BENCH_ann.json``).
+
+Usage::
+
+    PYTHONPATH=src python benchmarks/bench_algebra.py --smoke
+    PYTHONPATH=src python benchmarks/bench_algebra.py \
+        --sizes 60,120,240 --queries 18 --label "my-change"
+"""
+
+import argparse
+import os
+import sys
+from pathlib import Path
+
+import numpy as np
+
+from repro.query.workload import (algebra_base, compare_planner,
+                                  composite_queries, record_trajectory)
+
+BENCH_JSON = Path(__file__).resolve().parent.parent / "BENCH_algebra.json"
+SMOKE_SIZES = (24, 48)
+SMOKE_QUERIES = 6
+
+
+def run(sizes, num_queries, seed=20020604):
+    """One compare_planner sweep; returns all rows (size-annotated)."""
+    rows = []
+    for num_images in sizes:
+        rng = np.random.default_rng(seed)
+        base, protos = algebra_base(num_images, rng)
+        queries = composite_queries(protos, num_queries,
+                                    np.random.default_rng(seed + 1))
+        for row in compare_planner(base, queries):
+            row["images"] = base.num_images
+            row["shapes"] = base.num_shapes
+            rows.append(row)
+    return rows
+
+
+def render(rows):
+    lines = [f"{'images':>7} {'shapes':>7} {'mode':<14} {'ms/query':>9} "
+             f"{'sim_checks':>11} {'thresholdq':>11} {'pairs':>7} "
+             f"{'probes':>7} {'reordered':>10}"]
+    for row in rows:
+        lines.append(
+            f"{row['images']:>7d} {row['shapes']:>7d} {row['mode']:<14} "
+            f"{row['ms_per_query']:>9.2f} {row['sim_checks']:>11d} "
+            f"{row['threshold_queries']:>11d} {row['pairs_checked']:>7d} "
+            f"{row['filter_probes']:>7d} {row['seeds_reordered']:>10d}")
+    print("\n".join(lines))
+
+
+def check_planner_wins(rows):
+    """The acceptance gate: planned beats unplanned at the top size."""
+    largest = max(row["images"] for row in rows)
+    at_top = {row["mode"]: row for row in rows
+              if row["images"] == largest}
+    unplanned, planned = at_top["unplanned"], at_top["planned"]
+    failures = []
+    if planned["sim_checks"] >= unplanned["sim_checks"]:
+        failures.append(
+            f"sim_checks: planned {planned['sim_checks']} >= "
+            f"unplanned {unplanned['sim_checks']}")
+    if planned["wall_s"] >= unplanned["wall_s"]:
+        failures.append(
+            f"wall: planned {planned['wall_s']:.3f}s >= "
+            f"unplanned {unplanned['wall_s']:.3f}s")
+    if not planned["seeds_reordered"]:
+        failures.append("planner never reordered a term")
+    return failures
+
+
+def main(argv=None):
+    parser = argparse.ArgumentParser(description=__doc__.split("\n")[0])
+    parser.add_argument("--sizes", default="60,120",
+                        help="comma-separated image counts "
+                             "(default 60,120)")
+    parser.add_argument("--queries", type=int, default=12,
+                        help="composite queries per size (default 12)")
+    parser.add_argument("--seed", type=int, default=20020604)
+    parser.add_argument("--smoke", action="store_true",
+                        help=f"quick CI sizes {SMOKE_SIZES} with "
+                             f"{SMOKE_QUERIES} queries")
+    parser.add_argument("--label", default=None,
+                        help="append rows to BENCH_algebra.json under "
+                             "this label (default: REPRO_BENCH_LABEL)")
+    args = parser.parse_args(argv)
+
+    if args.smoke:
+        sizes, num_queries = SMOKE_SIZES, SMOKE_QUERIES
+    else:
+        sizes = tuple(int(s) for s in args.sizes.split(","))
+        num_queries = args.queries
+    rows = run(sizes, num_queries, seed=args.seed)
+    render(rows)
+
+    label = args.label or os.environ.get("REPRO_BENCH_LABEL")
+    if label:
+        record_trajectory(rows, label, BENCH_JSON)
+        print(f"\nrecorded trajectory point {label!r} -> {BENCH_JSON}")
+
+    failures = check_planner_wins(rows)
+    if failures:
+        print("\nFAIL: planner does not beat the unplanned baseline "
+              "at the largest size:", file=sys.stderr)
+        for failure in failures:
+            print(f"  {failure}", file=sys.stderr)
+        return 1
+    largest = max(row["images"] for row in rows)
+    at_top = {row["mode"]: row for row in rows if row["images"] == largest}
+    ratio = (at_top["unplanned"]["sim_checks"]
+             / max(1, at_top["planned"]["sim_checks"]))
+    speedup = (at_top["unplanned"]["wall_s"]
+               / max(1e-9, at_top["planned"]["wall_s"]))
+    print(f"\nOK: at {largest} images the planner does "
+          f"{ratio:.2f}x fewer sim checks, {speedup:.2f}x faster wall")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -250,6 +250,81 @@ def _cmd_demo(args: argparse.Namespace) -> int:
     return 0
 
 
+def _serve_bench_algebra(args: argparse.Namespace) -> int:
+    """Mixed algebra workload against the service-tier query engine.
+
+    Builds a base with planted selectivity skew, serves composite
+    algebra queries through ``service.query_engine()`` interleaved with
+    plain top-k retrieves, prints the service's per-operator algebra
+    counters, then runs the planner mode comparison
+    (:func:`repro.query.workload.compare_planner`) over the same
+    workload.  With ``REPRO_BENCH_LABEL`` set the comparison rows are
+    appended to ``BENCH_algebra.json``.
+    """
+    import os
+    import time
+
+    import numpy as np
+
+    from .imaging.synthesis import distort
+    from .query.workload import (ALGEBRA_THRESHOLD, algebra_base,
+                                 compare_planner, composite_queries,
+                                 record_trajectory)
+    from .service import RetrievalService, ServiceConfig
+
+    if args.snapshot is not None:
+        print("error: --algebra builds its own skewed base; "
+              "--snapshot is not supported", file=sys.stderr)
+        return 2
+    rng = np.random.default_rng(args.seed)
+    base, protos = algebra_base(args.images, rng)
+    queries = composite_queries(protos, args.queries,
+                                np.random.default_rng(args.seed + 1))
+    sketches = [distort(proto, 0.008, rng)
+                for name, proto in protos.items() if name != "absent"]
+    print(f"algebra base: {base.num_shapes} shapes over "
+          f"{base.num_images} images; {len(queries)} composite queries "
+          f"+ {len(queries)} plain retrieves, threshold "
+          f"{ALGEBRA_THRESHOLD}")
+
+    config = ServiceConfig(
+        num_shards=args.shards, workers=1,
+        cache_capacity=0 if args.no_cache else args.cache_capacity,
+        match_threshold=ALGEBRA_THRESHOLD)
+    with RetrievalService.from_base(base, config) as service:
+        engine = service.query_engine()
+        engine.graphs                  # warm the shared relation graphs
+        start = time.perf_counter()
+        for index, query in enumerate(queries):
+            service.retrieve(sketches[index % len(sketches)], k=args.k)
+            engine.execute(query)
+        wall = time.perf_counter() - start
+        algebra = service.snapshot()["algebra"]
+        print(f"mixed workload: {2 * len(queries)} requests in "
+              f"{wall * 1e3:.1f} ms")
+        print(json.dumps({"algebra": algebra}, indent=1, sort_keys=True))
+
+    rows = compare_planner(base, queries)
+    for row in rows:
+        row["images"] = base.num_images
+        row["shapes"] = base.num_shapes
+    print()
+    print(f"{'mode':<14} {'ms/query':>9} {'sim_checks':>11} "
+          f"{'thresholdq':>11} {'pairs':>7} {'reordered':>10}")
+    for row in rows:
+        print(f"{row['mode']:<14} {row['ms_per_query']:>9.2f} "
+              f"{row['sim_checks']:>11d} {row['threshold_queries']:>11d} "
+              f"{row['pairs_checked']:>7d} {row['seeds_reordered']:>10d}")
+    if args.json:
+        print()
+        for row in rows:
+            print(json.dumps(row))
+    label = os.environ.get("REPRO_BENCH_LABEL")
+    if label:
+        record_trajectory(rows, label, "BENCH_algebra.json")
+    return 0
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     """Closed-loop load generation against the retrieval service."""
     import threading
@@ -259,6 +334,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     from .imaging.synthesis import generate_workload, make_query_set
     from .service import FaultPlan, RetrievalService, ServiceConfig
+
+    if args.algebra:
+        return _serve_bench_algebra(args)
 
     try:
         worker_counts = [int(w) for w in str(args.workers).split(",")]
@@ -575,6 +653,14 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--profile", action="store_true",
                        help="print the aggregated per-stage wall-time "
                             "breakdown per configuration")
+    serve.add_argument("--algebra", action="store_true",
+                       help="mixed algebra workload: composite queries "
+                            "through the service-tier query engine "
+                            "interleaved with plain retrieves, the "
+                            "service's per-operator algebra counters, "
+                            "and the planner-vs-unplanned comparison "
+                            "(rows appended to BENCH_algebra.json when "
+                            "REPRO_BENCH_LABEL is set)")
     serve.add_argument("--chaos", type=int, default=None, metavar="SEED",
                        help="inject a seeded fault plan (one haunted "
                             "shard: exceptions, latency, corrupted "

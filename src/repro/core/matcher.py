@@ -524,10 +524,49 @@ class GeometricSimilarityMatcher:
         """
         if distance_threshold < 0:
             raise ValueError("distance_threshold must be non-negative")
-        stats = MatchStats()
         if self.base.num_entries == 0:
+            stats = MatchStats()
             stats.exhausted = True
             return [], stats
+        with self._scratch() as scratch:
+            return self._query_threshold_one(query, distance_threshold,
+                                             on_candidate, abort, scratch)
+
+    def query_threshold_batch(self, queries: Sequence[Shape],
+                              distance_threshold: float,
+                              abort: Optional[Callable[[], bool]] = None
+                              ) -> List[Tuple[List[Match], MatchStats]]:
+        """``[query_threshold(q, t) for q in queries]``, one scratch.
+
+        The algebra engine's ``similar`` leaves arrive in groups (every
+        distinct query shape of a composite plan); this amortizes the
+        scratch checkout the same way :meth:`query_batch` does for the
+        service tier's top-k misses.
+        """
+        if distance_threshold < 0:
+            raise ValueError("distance_threshold must be non-negative")
+        if self.base.num_entries == 0:
+            results = []
+            for _ in queries:
+                stats = MatchStats()
+                stats.exhausted = True
+                results.append(([], stats))
+            return results
+        results = []
+        with self._scratch() as scratch:
+            for query in queries:
+                results.append(self._query_threshold_one(
+                    query, distance_threshold, None, abort, scratch))
+                scratch.reset()
+        return results
+
+    def _query_threshold_one(self, query: Shape, distance_threshold: float,
+                             on_candidate: Optional[Callable[[ShapeEntry],
+                                                             None]],
+                             abort: Optional[Callable[[], bool]],
+                             scratch: _QueryScratch
+                             ) -> Tuple[List[Match], MatchStats]:
+        stats = MatchStats()
         started = perf_counter()
         normalized_query = self.normalize_query(query)
         engine = BoundaryDistance(normalized_query)
@@ -544,7 +583,8 @@ class GeometricSimilarityMatcher:
 
         best_by_shape = self._drive(normalized_query, engine, schedule,
                                     stats, on_candidate,
-                                    envelope_wide_enough, abort=abort)
+                                    envelope_wide_enough, abort=abort,
+                                    scratch=scratch)
         qualifying = {sid: bv for sid, bv in best_by_shape.items()
                       if bv[0] <= distance_threshold + EPSILON}
         return self._rank(qualifying, len(qualifying) or 1), stats

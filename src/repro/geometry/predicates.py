@@ -179,6 +179,53 @@ def points_in_polygon(points: np.ndarray, vertices: np.ndarray) -> np.ndarray:
     return inside
 
 
+def boundaries_contact(a_starts: np.ndarray, a_ends: np.ndarray,
+                       b_starts: np.ndarray, b_ends: np.ndarray,
+                       eps: float = EPSILON) -> Tuple[bool, bool]:
+    """``(touching, properly_crossing)`` for two whole edge sets at once.
+
+    Vectorized equivalent of the pairwise ``segments_intersect`` /
+    ``segments_properly_intersect`` double loop over every (edge of A,
+    edge of B) pair: one broadcasted orientation computation for all
+    ``n_a * n_b`` pairs instead of four scalar predicate calls per
+    pair.  The epsilon semantics are identical by construction — the
+    same ``cross > eps`` sign test and the same closed bounding-box
+    collinearity check — so this returns exactly what the scalar loop
+    returns (``tests/test_graph.py`` pins the equivalence on random
+    shape pairs).  The image-graph builder runs all its pair tests
+    through this path.
+    """
+    a0 = as_points(a_starts)[:, None, :]
+    a1 = as_points(a_ends)[:, None, :]
+    b0 = as_points(b_starts)[None, :, :]
+    b1 = as_points(b_ends)[None, :, :]
+
+    def orient(p0: np.ndarray, p1: np.ndarray, q: np.ndarray) -> np.ndarray:
+        value = ((p1[..., 0] - p0[..., 0]) * (q[..., 1] - p0[..., 1]) -
+                 (p1[..., 1] - p0[..., 1]) * (q[..., 0] - p0[..., 0]))
+        return (value > eps).astype(np.int8) - (value < -eps).astype(np.int8)
+
+    o1 = orient(a0, a1, b0)
+    o2 = orient(a0, a1, b1)
+    o3 = orient(b0, b1, a0)
+    o4 = orient(b0, b1, a1)
+    straddle = (o1 != o2) & (o3 != o4)
+    proper = straddle & (o1 != 0) & (o2 != 0) & (o3 != 0) & (o4 != 0)
+
+    def in_box(q: np.ndarray, p0: np.ndarray, p1: np.ndarray) -> np.ndarray:
+        lo = np.minimum(p0, p1) - eps
+        hi = np.maximum(p0, p1) + eps
+        return ((q[..., 0] >= lo[..., 0]) & (q[..., 0] <= hi[..., 0]) &
+                (q[..., 1] >= lo[..., 1]) & (q[..., 1] <= hi[..., 1]))
+
+    touching = straddle.any() or bool(
+        (((o1 == 0) & in_box(b0, a0, a1)) |
+         ((o2 == 0) & in_box(b1, a0, a1)) |
+         ((o3 == 0) & in_box(a0, b0, b1)) |
+         ((o4 == 0) & in_box(a1, b0, b1))).any())
+    return bool(touching), bool(proper.any())
+
+
 def polygon_is_simple(vertices: np.ndarray, closed: bool = True,
                       eps: float = EPSILON) -> bool:
     """True when the polyline/polygon has no self-intersections.

@@ -5,20 +5,27 @@ vertices, and the planning/executing engine.
 
 from .algebra import (ComplementNode, IntersectionNode, Literal, QueryNode,
                       Similar, Topological, UnionNode, contain, disjoint,
-                      overlap, tangent, to_dnf)
-from .executor import EngineCounters, QueryEngine
-from .graph import (ANY_ANGLE, CONTAIN, DISJOINT, OVERLAP, RELATIONS,
-                    TANGENT, ImageGraph, RelationEdge, angle_matches,
-                    diameter_angle, diameter_vector, relation_between)
+                      literal_signature, operator_signature, overlap,
+                      plan_signature, tangent, term_signature, to_dnf)
+from .executor import (EngineCounters, ExecutionReport, QueryEngine,
+                       TermReport)
+from .graph import (ANY_ANGLE, CONTAIN, DISJOINT, GRAPH_BUILD_STATS,
+                    OVERLAP, RELATIONS, TANGENT, ImageGraph, RelationEdge,
+                    angle_matches, build_image_graphs, diameter_angle,
+                    diameter_vector, image_graphs, relation_between)
+from .reference import ReferenceExecutor
 from .selectivity import (SelectivityModel, fit_hyperbola,
                           significant_vertices, vertex_significance)
 
 __all__ = [
     "ANY_ANGLE", "CONTAIN", "ComplementNode", "DISJOINT", "EngineCounters",
-    "ImageGraph", "IntersectionNode", "Literal", "OVERLAP", "QueryEngine",
-    "QueryNode", "RELATIONS", "RelationEdge", "SelectivityModel", "Similar",
-    "TANGENT", "Topological", "UnionNode", "angle_matches", "contain",
-    "diameter_angle", "diameter_vector", "disjoint", "fit_hyperbola",
-    "overlap", "relation_between", "significant_vertices", "tangent",
-    "to_dnf", "vertex_significance",
+    "ExecutionReport", "GRAPH_BUILD_STATS", "ImageGraph",
+    "IntersectionNode", "Literal", "OVERLAP", "QueryEngine", "QueryNode",
+    "RELATIONS", "ReferenceExecutor", "RelationEdge", "SelectivityModel",
+    "Similar", "TANGENT", "TermReport", "Topological", "UnionNode",
+    "angle_matches", "build_image_graphs", "contain", "diameter_angle",
+    "diameter_vector", "disjoint", "fit_hyperbola", "image_graphs",
+    "literal_signature", "operator_signature", "overlap", "plan_signature",
+    "relation_between", "significant_vertices", "tangent",
+    "term_signature", "to_dnf", "vertex_significance",
 ]

@@ -159,3 +159,74 @@ def _dnf(node: QueryNode, negated: bool) -> List[ConjunctiveTerm]:
 def _cross(left: List[ConjunctiveTerm],
            right: List[ConjunctiveTerm]) -> List[ConjunctiveTerm]:
     return [lt + rt for lt in left for rt in right]
+
+
+# ----------------------------------------------------------------------
+# Canonical subplan signatures
+# ----------------------------------------------------------------------
+# The engine's subplan cache is keyed the same way as the service's
+# top-k cache: similarity-invariant digests of the query shapes
+# (repro.service.cache.sketch_signature) composed with the structural
+# parameters.  Signatures are *canonical* over the algebra's
+# equivalences — symmetric relations at the wildcard angle commute,
+# duplicate literals inside a term collapse, terms of a plan are
+# unordered — so `A & B` and `B & A` hit the same cache entry.
+
+#: Relations whose operands commute (the stored edge exists both ways).
+SYMMETRIC_RELATIONS = frozenset({"overlap", "tangent", "disjoint"})
+
+
+def _shape_digest(shape: Shape, threshold: float) -> str:
+    from ..service.cache import sketch_signature
+    return sketch_signature(shape, kind="algebra-leaf",
+                            parameter=f"{threshold:.12g}")
+
+
+def operator_signature(op: QueryNode, *, threshold: float,
+                       angle_tolerance: float) -> str:
+    """Canonical digest of one Similar/Topological operator."""
+    import hashlib
+    if isinstance(op, Similar):
+        text = f"similar|{_shape_digest(op.query_shape, threshold)}"
+    elif isinstance(op, Topological):
+        s1 = _shape_digest(op.q1, threshold)
+        s2 = _shape_digest(op.q2, threshold)
+        if op.theta == ANY_ANGLE:
+            theta = "any"
+            if op.relation in SYMMETRIC_RELATIONS:
+                s1, s2 = sorted((s1, s2))
+        else:
+            theta = f"{float(op.theta):.12g}~{angle_tolerance:.12g}"
+        text = f"{op.relation}|{theta}|{s1}|{s2}"
+    else:
+        raise TypeError(f"not an operator: {type(op).__name__}")
+    return hashlib.blake2b(text.encode(), digest_size=16).hexdigest()
+
+
+def literal_signature(literal: Literal, *, threshold: float,
+                      angle_tolerance: float) -> str:
+    signature = operator_signature(literal.operator, threshold=threshold,
+                                   angle_tolerance=angle_tolerance)
+    return ("~" + signature) if literal.negated else signature
+
+
+def term_signature(term: ConjunctiveTerm, *, threshold: float,
+                   angle_tolerance: float) -> str:
+    """Order-insensitive, duplicate-collapsing digest of one term."""
+    import hashlib
+    parts = sorted({literal_signature(lit, threshold=threshold,
+                                      angle_tolerance=angle_tolerance)
+                    for lit in term})
+    return hashlib.blake2b("&".join(parts).encode(),
+                           digest_size=16).hexdigest()
+
+
+def plan_signature(terms: List[ConjunctiveTerm], *, threshold: float,
+                   angle_tolerance: float) -> str:
+    """Digest of a whole DNF plan (terms unordered, deduplicated)."""
+    import hashlib
+    parts = sorted({term_signature(term, threshold=threshold,
+                                   angle_tolerance=angle_tolerance)
+                    for term in terms})
+    return hashlib.blake2b("|".join(parts).encode(),
+                           digest_size=16).hexdigest()

@@ -1,91 +1,223 @@
 """Query execution and planning (paper Sections 5.3-5.4).
 
-:class:`QueryEngine` ties together the shape base, the matcher, the
-per-image relation graphs and the selectivity model:
+:class:`QueryEngine` ties together a corpus, the similarity backend,
+the per-image relation graphs and the selectivity model:
 
-* ``similar(Q)`` runs the matcher's threshold query and projects shape
-  hits onto their images;
+* ``similar(Q)`` runs a threshold query and projects shape hits onto
+  their images.  Leaves are fetched through the *batched* backend —
+  the matcher's amortized multi-query path locally, or
+  ``RetrievalService.similar_shapes_batch`` when the engine is mounted
+  on the sharded service — and cached in a versioned, similarity-
+  invariant leaf cache (same keying as the service's top-k cache);
 * topological operators run in one of the paper's two strategies —
   strategy 1 starts from the *smaller* similarity side and walks graph
   edges, checking the other side shape-by-shape; strategy 2 computes
   both similarity sets, intersects the image sets, then verifies edges;
-* composite queries are rewritten to DNF and, per conjunctive term, the
-  cheapest (lowest-selectivity) literal is evaluated first with the
-  remaining literals applied as per-image filters.
+* composite queries are rewritten to DNF; per conjunctive term the
+  literals are deduplicated and ordered by estimated selectivity, the
+  cheapest positive literal is evaluated in full, and the remaining
+  literals run only as per-image filters over that seed set
+  (Section 5.4).  Term and whole-plan results live in a subplan cache
+  keyed by the canonical signatures of :mod:`repro.query.algebra`, so
+  algebraically-equal queries (``A & B`` vs ``B & A``) share entries;
+  a corpus mutation bumps the version and orphans every entry.
 
-Work counters are kept for the planner benchmarks.
+Work counters are thread-safe (engines are shared across service
+worker threads) and surface through ``RetrievalService.snapshot()``.
 """
 
 from __future__ import annotations
 
-from dataclasses import dataclass
-from typing import Dict, Optional, Set
+import threading
+from dataclasses import dataclass, field
+from typing import Dict, FrozenSet, List, Optional, Sequence, Set, Tuple
 
 from ..core.matcher import GeometricSimilarityMatcher
 from ..core.shapebase import ShapeBase
 from ..geometry.nearest import BoundaryDistance
 from ..geometry.polyline import Shape
+from ..geometry.primitives import EPSILON
 from ..geometry.transform import normalize_about_diameter
 from .algebra import (ConjunctiveTerm, Literal, QueryNode, Similar,
-                      Topological, to_dnf)
+                      Topological, literal_signature, operator_signature,
+                      plan_signature, term_signature, to_dnf)
 from .graph import (ANY_ANGLE, DISJOINT, ImageGraph, angle_matches,
-                    diameter_angle)
+                    diameter_angle, image_graphs)
 from .selectivity import SelectivityModel
+
+_COUNTER_FIELDS = ("threshold_queries", "similarity_checks",
+                   "candidate_evaluations", "edges_scanned",
+                   "pairs_checked", "filter_probes", "terms_planned",
+                   "seeds_reordered", "plan_cache_hits",
+                   "plan_cache_misses")
+
+
+class EngineCounters:
+    """Work accounting across one engine lifetime (reset manually).
+
+    Updates go through :meth:`add` under a lock — composite queries run
+    concurrently on service worker threads, and the planner benchmarks
+    rely on exact totals.  Plain attribute reads stay lock-free.
+    """
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        for name in _COUNTER_FIELDS:
+            setattr(self, name, 0)
+
+    def add(self, **deltas: int) -> None:
+        with self._lock:
+            for name, delta in deltas.items():
+                if name not in _COUNTER_FIELDS:
+                    raise AttributeError(f"unknown counter {name!r}")
+                setattr(self, name, getattr(self, name) + delta)
+
+    def reset(self) -> None:
+        with self._lock:
+            for name in _COUNTER_FIELDS:
+                setattr(self, name, 0)
+
+    def as_dict(self) -> Dict[str, int]:
+        with self._lock:
+            return {name: getattr(self, name) for name in _COUNTER_FIELDS}
+
+    def __repr__(self) -> str:
+        inner = ", ".join(f"{k}={v}" for k, v in self.as_dict().items())
+        return f"EngineCounters({inner})"
 
 
 @dataclass
-class EngineCounters:
-    """Work accounting across one engine lifetime (reset manually)."""
+class TermReport:
+    """How one conjunctive term was executed."""
 
-    threshold_queries: int = 0
-    similarity_checks: int = 0
-    edges_scanned: int = 0
-    pairs_checked: int = 0
+    signature: str
+    cached: bool = False
+    images: Set[int] = field(default_factory=set)
+    seed_operator: Optional[QueryNode] = None
+    seed_estimate: Optional[float] = None
+    estimates: List[Tuple[str, float]] = field(default_factory=list)
+    reordered: bool = False
 
-    def reset(self) -> None:
-        self.threshold_queries = 0
-        self.similarity_checks = 0
-        self.edges_scanned = 0
-        self.pairs_checked = 0
+
+@dataclass
+class ExecutionReport:
+    """Result plus the planning trace of one composite query."""
+
+    images: Set[int] = field(default_factory=set)
+    cached: bool = False
+    signature: str = ""
+    terms: List[TermReport] = field(default_factory=list)
 
 
 class QueryEngine:
-    """Executes topological queries over a populated :class:`ShapeBase`.
+    """Executes topological queries over a corpus.
+
+    The corpus is either a local :class:`ShapeBase` (``base=``,
+    optionally with a pre-built ``matcher``) or a running
+    :class:`~repro.service.service.RetrievalService` (``service=``),
+    in which case similarity leaves fan out across the shards through
+    the service's resilient batched path.
 
     Parameters
     ----------
     base:
         The shape base; shapes must carry image ids for image-level
-        operators to be meaningful.
+        operators to be meaningful.  Mutually exclusive with
+        ``service``.
     similarity_threshold:
         The distance below which ``g_similar`` holds (average-distance
         measure on normalized copies).
     angle_tolerance:
         Absolute tolerance (radians) for matching a predicate's theta.
+    service:
+        Mount the engine on a sharded retrieval service instead of a
+        local base (usually via ``RetrievalService.query_engine()``).
+    planner:
+        When ``False``, composite queries evaluate every DNF literal
+        in full, in written order, with plain set algebra — the
+        unplanned baseline the algebra benchmark compares against.
+        Subplan caching is part of the planner and is disabled too.
+    cache_capacity:
+        LRU capacity shared by the leaf cache and the subplan cache;
+        0 disables both.
     """
 
-    def __init__(self, base: ShapeBase, similarity_threshold: float = 0.05,
+    def __init__(self, base: Optional[ShapeBase] = None,
+                 similarity_threshold: float = 0.05,
                  angle_tolerance: float = 0.15,
-                 matcher: Optional[GeometricSimilarityMatcher] = None):
+                 matcher: Optional[GeometricSimilarityMatcher] = None,
+                 *, service=None, planner: bool = True,
+                 cache_capacity: int = 256):
+        from ..service.cache import QueryResultCache
         if similarity_threshold < 0:
             raise ValueError("similarity_threshold must be non-negative")
+        if (base is None) == (service is None):
+            raise ValueError("exactly one of base/service is required")
         self.base = base
+        self.service = service
         self.similarity_threshold = float(similarity_threshold)
         self.angle_tolerance = float(angle_tolerance)
-        self.matcher = matcher or GeometricSimilarityMatcher(base)
+        self.matcher = None
+        if base is not None:
+            self.matcher = matcher or GeometricSimilarityMatcher(base)
+        self.planner = bool(planner)
         self.selectivity = SelectivityModel()
         self.counters = EngineCounters()
-        self.graphs: Dict[int, ImageGraph] = {}
-        self._build_graphs()
-        self._similar_cache: Dict[Shape, Set[int]] = {}
+        self._similar_cache = QueryResultCache(cache_capacity)
+        self.plan_cache = QueryResultCache(cache_capacity)
         self._engine_cache: Dict[Shape, BoundaryDistance] = {}
+        self._tls = threading.local()
 
-    def _build_graphs(self) -> None:
-        for image_id in self.base.image_ids():
-            graph = ImageGraph(image_id)
-            for shape_id in self.base.shapes_of_image(image_id):
-                graph.add_shape(shape_id, self.base.shapes[shape_id])
-            self.graphs[image_id] = graph
+    # ------------------------------------------------------------------
+    # Corpus access (local base or sharded service)
+    # ------------------------------------------------------------------
+    def _version(self) -> int:
+        if self.base is not None:
+            return self.base.version
+        return self.service.shards.version
+
+    def _owner(self):
+        return self.base if self.base is not None else self.service.shards
+
+    def _bases(self):
+        if self.base is not None:
+            return [self.base]
+        return [shard.base for shard in self.service.shards]
+
+    def _base_of(self, shape_id: int) -> ShapeBase:
+        if self.base is not None:
+            return self.base
+        return self.service.shards.shard_of(shape_id).base
+
+    def _image_of(self, shape_id: int) -> Optional[int]:
+        return self._base_of(shape_id).image_of_shape(shape_id)
+
+    def _num_shapes(self) -> int:
+        return sum(len(corpus.shapes) for corpus in self._bases())
+
+    def _entry_rows(self):
+        for corpus in self._bases():
+            for shape_id in corpus.shape_ids():
+                yield (shape_id, corpus.shapes[shape_id],
+                       corpus.image_of_shape(shape_id))
+
+    @property
+    def graphs(self) -> Dict[int, ImageGraph]:
+        """Per-image relation graphs, memoized per corpus version.
+
+        Every engine over the same corpus object shares one set of
+        graphs (:func:`repro.query.graph.image_graphs`); a mutation
+        bumps the version and the next access rebuilds once.
+        """
+        return image_graphs(self._owner(), self._version(),
+                            self._entry_rows)
+
+    def all_images(self) -> Set[int]:
+        """The DB universe for complements."""
+        images: Set[int] = set()
+        for corpus in self._bases():
+            images.update(corpus.image_ids())
+        return images
 
     # ------------------------------------------------------------------
     # Similarity primitives
@@ -98,39 +230,110 @@ class QueryEngine:
             self._engine_cache[query] = engine
         return engine
 
-    def shape_similar(self, query: Shape) -> Set[int]:
-        """``shape_similar(Q)``: ids of all similar database shapes.
+    def _leaf_signature(self, query: Shape) -> str:
+        from ..service.cache import sketch_signature
+        return sketch_signature(
+            query, kind="algebra-similar",
+            parameter=f"{self.similarity_threshold:.12g}")
 
-        Runs (and caches) a matcher threshold query; each execution
-        feeds the observed result size back into the selectivity model,
-        as Section 5.2 prescribes.
+    def _ctx(self) -> Optional[Dict[str, Set[int]]]:
+        """Per-execution leaf memo (thread-local, see :meth:`execute`)."""
+        return getattr(self._tls, "ctx", None)
+
+    def _threshold_batch(self, queries: Sequence[Shape]
+                         ) -> List[Tuple[Set[int], int]]:
+        """``(shape_ids, candidates_evaluated)`` per query shape."""
+        if self.service is not None:
+            results = self.service.similar_shapes_batch(
+                queries, threshold=self.similarity_threshold)
+            return [(set(res.shape_ids), int(res.candidates_evaluated))
+                    for res in results]
+        results = self.matcher.query_threshold_batch(
+            queries, self.similarity_threshold)
+        return [({m.shape_id for m in matches}, stats.candidates_evaluated)
+                for matches, stats in results]
+
+    def shape_similar_batch(self, queries: Sequence[Shape]
+                            ) -> List[Set[int]]:
+        """``shape_similar`` for several query shapes at once.
+
+        Cache layers are probed per shape (the per-execution memo, then
+        the versioned leaf cache); the distinct misses go to the
+        backend in a single batched threshold call.  Each miss feeds
+        the selectivity model, as Section 5.2 prescribes.
         """
-        cached = self._similar_cache.get(query)
-        if cached is not None:
-            return set(cached)
-        matches, _ = self.matcher.query_threshold(
-            query, self.similarity_threshold)
-        self.counters.threshold_queries += 1
-        result = {m.shape_id for m in matches}
-        self._similar_cache[query] = set(result)
-        self.selectivity.observe(query, len(result))
-        return result
+        version = self._version()
+        ctx = self._ctx()
+        signatures = [self._leaf_signature(q) for q in queries]
+        resolved: Dict[str, Set[int]] = {}
+        misses: List[Tuple[str, Shape]] = []
+        for signature, query in zip(signatures, queries):
+            if signature in resolved or any(signature == s
+                                            for s, _ in misses):
+                continue
+            hit = ctx.get(signature) if ctx is not None else None
+            if hit is None:
+                hit = self._similar_cache.get(signature, version)
+            if hit is not None:
+                resolved[signature] = hit
+            else:
+                misses.append((signature, query))
+        if misses:
+            fetched = self._threshold_batch([q for _, q in misses])
+            for (signature, query), (ids, candidates) in zip(misses,
+                                                             fetched):
+                self.counters.add(threshold_queries=1,
+                                  candidate_evaluations=candidates)
+                self.selectivity.observe(query, len(ids),
+                                         threshold=self
+                                         .similarity_threshold)
+                self._similar_cache.put(signature, version, frozenset(ids))
+                resolved[signature] = ids
+        out: List[Set[int]] = []
+        for signature in signatures:
+            ids = resolved[signature]
+            if ctx is not None:
+                ctx[signature] = ids
+            out.append(set(ids))
+        return out
+
+    def shape_similar(self, query: Shape) -> Set[int]:
+        """``shape_similar(Q)``: ids of all similar database shapes."""
+        return self.shape_similar_batch([query])[0]
+
+    def _leaf_cached(self, query: Shape) -> Optional[FrozenSet[int]]:
+        """The already-materialized similarity set of ``query``, if any.
+
+        Probes the per-execution memo and the versioned leaf cache
+        only; never issues a threshold query and moves no counters.
+        """
+        signature = self._leaf_signature(query)
+        ctx = self._ctx()
+        cached = ctx.get(signature) if ctx is not None else None
+        if cached is None:
+            cached = self._similar_cache.get(signature, self._version())
+        return cached
 
     def is_similar(self, shape_id: int, query: Shape) -> bool:
         """Direct ``g_similar(S, Q)`` test for one database shape.
 
-        Used by strategy 1, which checks the non-driving side shape by
-        shape instead of materializing its full similarity set.
+        Used by strategy 1 and by restricted term filters, which check
+        candidate shapes one by one instead of materializing the full
+        similarity set.  On a leaf-cache hit the membership test is
+        free; otherwise the shape's entries are measured directly (same
+        qualification rule as the matcher: best average distance
+        ``<= t + EPSILON``).
         """
-        self.counters.similarity_checks += 1
-        cached = self._similar_cache.get(query)
+        self.counters.add(similarity_checks=1)
+        cached = self._leaf_cached(query)
         if cached is not None:
             return shape_id in cached
         engine = self._query_engine(query)
-        for entry_id in self.base.entries_of_shape(shape_id):
-            vertices = self.base.entry_vertices(entry_id)
+        corpus = self._base_of(shape_id)
+        for entry_id in corpus.entries_of_shape(shape_id):
+            vertices = corpus.entry_vertices(entry_id)
             if float(engine.distances(vertices).mean()) <= \
-                    self.similarity_threshold:
+                    self.similarity_threshold + EPSILON:
                 return True
         return False
 
@@ -138,7 +341,7 @@ class QueryEngine:
         """``similar(Q)``: the images containing a similar shape."""
         images = set()
         for shape_id in self.shape_similar(query):
-            image_id = self.base.image_of_shape(shape_id)
+            image_id = self._image_of(shape_id)
             if image_id is not None:
                 images.add(image_id)
         return images
@@ -156,8 +359,8 @@ class QueryEngine:
         small side avoids materializing the big one), else strategy 2.
         """
         if strategy is None:
-            s1 = self.selectivity.estimate(q1)
-            s2 = self.selectivity.estimate(q2)
+            s1 = self.selectivity.estimate(q1, self.similarity_threshold)
+            s2 = self.selectivity.estimate(q2, self.similarity_threshold)
             strategy = 1 if max(s1, s2) > 2.0 * min(s1, s2) else 2
         if strategy == 1:
             return self._topological_strategy1(relation, q1, q2, theta)
@@ -168,7 +371,7 @@ class QueryEngine:
     def _relation_holds(self, graph: ImageGraph, s1: int, s2: int,
                         relation: str, theta) -> bool:
         """Does ``g_relation(S1, S2, theta)`` hold inside one image?"""
-        self.counters.pairs_checked += 1
+        self.counters.add(pairs_checked=1)
         found, angle = graph.relation(s1, s2)
         if relation == DISJOINT:
             if found != DISJOINT or s1 == s2:
@@ -189,16 +392,17 @@ class QueryEngine:
         for each of its shapes walk the image-graph edges and test the
         partner directly against the other query shape.
         """
-        sel1 = self.selectivity.estimate(q1)
-        sel2 = self.selectivity.estimate(q2)
+        sel1 = self.selectivity.estimate(q1, self.similarity_threshold)
+        sel2 = self.selectivity.estimate(q2, self.similarity_threshold)
         drive_q2 = sel2 <= sel1
         driver, other = (q2, q1) if drive_q2 else (q1, q2)
+        graphs = self.graphs
         result: Set[int] = set()
         for s_drive in self.shape_similar(driver):
-            image_id = self.base.image_of_shape(s_drive)
+            image_id = self._image_of(s_drive)
             if image_id is None:
                 continue
-            graph = self.graphs[image_id]
+            graph = graphs[image_id]
             if image_id in result:
                 continue
             if relation == DISJOINT:
@@ -208,15 +412,17 @@ class QueryEngine:
             elif drive_q2:
                 # driver plays the S2 role: follow edges S1 ->r S2.
                 edges = graph.in_edges(s_drive, relation)
-                self.counters.edges_scanned += len(edges)
+                self.counters.add(edges_scanned=len(edges))
                 partners = [e.source for e in edges]
             else:
                 edges = graph.out_edges(s_drive, relation)
-                self.counters.edges_scanned += len(edges)
+                self.counters.add(edges_scanned=len(edges))
                 partners = [e.target for e in edges]
             for partner in partners:
-                s1, s2 = (partner, s_drive) if drive_q2 else (s_drive, partner)
-                if not self._relation_holds(graph, s1, s2, relation, theta):
+                s1, s2 = (partner, s_drive) if drive_q2 else (s_drive,
+                                                              partner)
+                if not self._relation_holds(graph, s1, s2, relation,
+                                            theta):
                     continue
                 if self.is_similar(partner, other):
                     result.add(image_id)
@@ -227,18 +433,18 @@ class QueryEngine:
                                theta) -> Set[int]:
         """Paper Section 5.3, way 2: materialize both similarity sets.
 
-        Compute ``shape_similar`` for both query shapes, intersect their
-        image projections, then verify relations only inside the common
-        images.
+        Compute ``shape_similar`` for both query shapes, intersect
+        their image projections, then verify relations only inside the
+        common images.
         """
-        set1 = self.shape_similar(q1)
-        set2 = self.shape_similar(q2)
-        images1 = {self.base.image_of_shape(s) for s in set1}
-        images2 = {self.base.image_of_shape(s) for s in set2}
+        set1, set2 = self.shape_similar_batch([q1, q2])
+        images1 = {self._image_of(s) for s in set1}
+        images2 = {self._image_of(s) for s in set2}
         common = (images1 & images2) - {None}
+        graphs = self.graphs
         result: Set[int] = set()
         for image_id in common:
-            graph = self.graphs[image_id]
+            graph = graphs[image_id]
             members = set(graph.shapes)
             local1 = set1 & members
             local2 = set2 & members
@@ -247,7 +453,8 @@ class QueryEngine:
                 for s2 in local2:
                     if s1 == s2:
                         continue
-                    if self._relation_holds(graph, s1, s2, relation, theta):
+                    if self._relation_holds(graph, s1, s2, relation,
+                                            theta):
                         result.add(image_id)
                         done = True
                         break
@@ -258,47 +465,85 @@ class QueryEngine:
     # ------------------------------------------------------------------
     # Composite queries
     # ------------------------------------------------------------------
-    def all_images(self) -> Set[int]:
-        """The DB universe for complements."""
-        return set(self.base.image_ids())
-
     def _literal_selectivity(self, literal: Literal) -> float:
         op = literal.operator
+        threshold = self.similarity_threshold
         if isinstance(op, Similar):
-            estimate = self.selectivity.estimate(op.query_shape)
+            estimate = self.selectivity.estimate(op.query_shape, threshold)
         else:
-            estimate = min(self.selectivity.estimate(op.q1),
-                           self.selectivity.estimate(op.q2))
+            estimate = min(self.selectivity.estimate(op.q1, threshold),
+                           self.selectivity.estimate(op.q2, threshold))
         if literal.negated:
             return max(0.0, len(self.all_images()) - estimate)
         return estimate
 
     def _evaluate_operator(self, op: QueryNode) -> Set[int]:
+        """Full evaluation of one operator, through the subplan cache.
+
+        The benchmark suite monkeypatches this method to observe which
+        operator the planner seeds each term with — keep it the single
+        entry point for full operator evaluation.
+        """
+        use_cache = self.planner and self.plan_cache.enabled
+        key = None
+        if use_cache:
+            signature = operator_signature(
+                op, threshold=self.similarity_threshold,
+                angle_tolerance=self.angle_tolerance)
+            key = "op:" + signature
+            cached = self.plan_cache.get(key, self._version())
+            if cached is not None:
+                self.counters.add(plan_cache_hits=1)
+                return set(cached)
+            self.counters.add(plan_cache_misses=1)
         if isinstance(op, Similar):
-            return self.similar(op.query_shape)
-        if isinstance(op, Topological):
-            return self.topological(op.relation, op.q1, op.q2, op.theta)
-        raise TypeError(f"not an operator: {type(op).__name__}")
+            result = self.similar(op.query_shape)
+        elif isinstance(op, Topological):
+            result = self.topological(op.relation, op.q1, op.q2, op.theta)
+        else:
+            raise TypeError(f"not an operator: {type(op).__name__}")
+        if key is not None:
+            self.plan_cache.put(key, self._version(), frozenset(result))
+        return result
 
     def _image_satisfies(self, image_id: int, literal: Literal) -> bool:
-        """Restricted evaluation of one literal on one image."""
+        """Restricted evaluation of one literal on one image.
+
+        Leaf membership comes from the materialized set when one is
+        already cached and from per-shape :meth:`is_similar` checks
+        otherwise; topological literals verify graph edges between the
+        qualifying members — per-image work only, never a scan of the
+        whole corpus.
+        """
+        self.counters.add(filter_probes=1)
         op = literal.operator
         graph = self.graphs[image_id]
+
+        def member_matches(shape_id: int, query: Shape,
+                           leaf: Optional[FrozenSet[int]]) -> bool:
+            if leaf is not None:
+                return shape_id in leaf
+            return self.is_similar(shape_id, query)
+
         if isinstance(op, Similar):
-            value = any(self.is_similar(sid, op.query_shape)
+            leaf = self._leaf_cached(op.query_shape)
+            value = any(member_matches(sid, op.query_shape, leaf)
                         for sid in graph.shapes)
         else:
+            leaf1 = self._leaf_cached(op.q1)
+            leaf2 = self._leaf_cached(op.q2)
+            members = graph.shapes
+            local1 = [sid for sid in members
+                      if member_matches(sid, op.q1, leaf1)]
+            local2 = [sid for sid in members
+                      if member_matches(sid, op.q2, leaf2)]
             value = False
-            members = sorted(graph.shapes)
-            for s1 in members:
-                for s2 in members:
+            for s1 in local1:
+                for s2 in local2:
                     if s1 == s2:
                         continue
-                    if not self._relation_holds(graph, s1, s2, op.relation,
-                                                op.theta):
-                        continue
-                    if self.is_similar(s1, op.q1) and \
-                            self.is_similar(s2, op.q2):
+                    if self._relation_holds(graph, s1, s2, op.relation,
+                                            op.theta):
                         value = True
                         break
                 if value:
@@ -313,23 +558,155 @@ class QueryEngine:
         per-image filters over that seed set (Section 5.4).  Terms
         containing only negated literals seed from the whole DB.
         """
-        result: Set[int] = set()
-        for term in to_dnf(query):
-            result |= self._execute_term(term)
-        return result
+        return self.execute_explained(query).images
+
+    def execute_explained(self, query: QueryNode) -> ExecutionReport:
+        """Like :meth:`execute` but returns the planning trace too."""
+        fresh = self._ctx() is None
+        if fresh:
+            self._tls.ctx = {}
+        try:
+            return self._execute_plan(to_dnf(query))
+        finally:
+            if fresh:
+                self._tls.ctx = None
+
+    def _execute_plan(self, terms: List[ConjunctiveTerm]
+                      ) -> ExecutionReport:
+        threshold = self.similarity_threshold
+        tolerance = self.angle_tolerance
+        use_cache = self.planner and self.plan_cache.enabled
+        report = ExecutionReport()
+        if use_cache:
+            report.signature = "plan:" + plan_signature(
+                terms, threshold=threshold, angle_tolerance=tolerance)
+            cached = self.plan_cache.get(report.signature, self._version())
+            if cached is not None:
+                self.counters.add(plan_cache_hits=1)
+                report.images = set(cached)
+                report.cached = True
+                return report
+            self.counters.add(plan_cache_misses=1)
+        for term in terms:
+            term_report = TermReport(signature="")
+            if use_cache:
+                term_report.signature = "term:" + term_signature(
+                    term, threshold=threshold, angle_tolerance=tolerance)
+                cached = self.plan_cache.get(term_report.signature,
+                                             self._version())
+            else:
+                cached = None
+            if cached is not None:
+                self.counters.add(plan_cache_hits=1)
+                term_report.cached = True
+                term_report.images = set(cached)
+            else:
+                if use_cache:
+                    self.counters.add(plan_cache_misses=1)
+                if self.planner:
+                    self._execute_term_planned(term, term_report)
+                else:
+                    self._execute_term_unplanned(term, term_report)
+                if use_cache:
+                    self.plan_cache.put(term_report.signature,
+                                        self._version(),
+                                        frozenset(term_report.images))
+            report.terms.append(term_report)
+            report.images |= term_report.images
+        if use_cache:
+            self.plan_cache.put(report.signature, self._version(),
+                                frozenset(report.images))
+        return report
 
     def _execute_term(self, term: ConjunctiveTerm) -> Set[int]:
-        ordered = sorted(term, key=self._literal_selectivity)
+        """One conjunctive term (kept as a direct entry point)."""
+        term_report = TermReport(signature="")
+        if self.planner:
+            self._execute_term_planned(term, term_report)
+        else:
+            self._execute_term_unplanned(term, term_report)
+        return term_report.images
+
+    def _execute_term_planned(self, term: ConjunctiveTerm,
+                              report: TermReport) -> None:
+        self.counters.add(terms_planned=1)
+        threshold = self.similarity_threshold
+        tolerance = self.angle_tolerance
+        # Idempotence: duplicate literals inside a term do no extra work.
+        seen: Set[str] = set()
+        deduped: List[Literal] = []
+        for literal in term:
+            signature = literal_signature(literal, threshold=threshold,
+                                          angle_tolerance=tolerance)
+            if signature in seen:
+                continue
+            seen.add(signature)
+            deduped.append(literal)
+        estimates = {id(lit): self._literal_selectivity(lit)
+                     for lit in deduped}
+        ordered = sorted(deduped, key=lambda lit: estimates[id(lit)])
+        report.estimates = [(repr(lit), estimates[id(lit)])
+                            for lit in ordered]
         positives = [lit for lit in ordered if not lit.negated]
         if positives:
             seed_literal = positives[0]
+            written_first = next(lit for lit in deduped
+                                 if not lit.negated)
+            if seed_literal is not written_first:
+                self.counters.add(seeds_reordered=1)
+                report.reordered = True
+            report.seed_operator = seed_literal.operator
+            report.seed_estimate = estimates[id(seed_literal)]
             seed = self._evaluate_operator(seed_literal.operator)
             rest = [lit for lit in ordered if lit is not seed_literal]
         else:
             seed = self.all_images()
             rest = ordered
+        if seed and rest:
+            # Materializing a filter leaf costs roughly one candidate
+            # evaluation per corpus shape; probing it shape by shape
+            # costs one similarity check per seed member.  Issue the
+            # batched backend call only when the seed is wide enough
+            # for materialization to be the cheaper side — tiny seeds
+            # (the planner's whole point) never touch the backend for
+            # their filters.
+            graphs = self.graphs
+            member_count = sum(len(graphs[image_id].shapes)
+                               for image_id in seed if image_id in graphs)
+            if 4 * member_count >= self._num_shapes():
+                leaves: List[Shape] = []
+                for literal in rest:
+                    op = literal.operator
+                    if isinstance(op, Similar):
+                        leaves.append(op.query_shape)
+                    else:
+                        leaves.extend((op.q1, op.q2))
+                if leaves:
+                    self.shape_similar_batch(leaves)
         survivors = set()
         for image_id in seed:
             if all(self._image_satisfies(image_id, lit) for lit in rest):
                 survivors.add(image_id)
-        return survivors
+        report.images = survivors
+
+    def _execute_term_unplanned(self, term: ConjunctiveTerm,
+                                report: TermReport) -> None:
+        """Naive baseline: full evaluation of every literal, in order.
+
+        No deduplication, no selectivity ordering, no restricted
+        filters: each literal materializes its whole image set
+        (topological literals through strategy 2, which uses no
+        selectivity information) and the sets are intersected.
+        """
+        result: Optional[Set[int]] = None
+        for literal in term:
+            op = literal.operator
+            if isinstance(op, Similar):
+                images = self.similar(op.query_shape)
+            else:
+                images = self.topological(op.relation, op.q1, op.q2,
+                                          op.theta, strategy=2)
+            if literal.negated:
+                images = self.all_images() - images
+            result = images if result is None else (result & images)
+        report.images = result if result is not None else set()

@@ -12,12 +12,17 @@ topological predicates compares against.
 from __future__ import annotations
 
 import math
-from typing import Dict, Iterable, List, Optional, Tuple
+import threading
+import weakref
+from typing import Dict, Iterable, List, Optional, Sequence, Tuple
+
+import numpy as np
 
 from ..geometry.diameter import diameter
 from ..geometry.polyline import Shape
-from ..geometry.predicates import points_in_polygon, segments_intersect
-from ..geometry.primitives import signed_angle
+from ..geometry.predicates import (boundaries_contact, points_in_polygon,
+                                   segments_intersect)
+from ..geometry.primitives import EPSILON, signed_angle
 
 CONTAIN = "contain"
 OVERLAP = "overlap"
@@ -51,8 +56,48 @@ def diameter_angle(a: Shape, b: Shape) -> float:
     return signed_angle(diameter_vector(a), diameter_vector(b))
 
 
+class _BuildStats:
+    """Graph-construction accounting (memoization effectiveness)."""
+
+    def __init__(self):
+        self._lock = threading.Lock()
+        self.graphs_built = 0
+        self.pair_tests = 0
+        self.bbox_skips = 0
+
+    def add(self, graphs: int = 0, pairs: int = 0, skips: int = 0) -> None:
+        with self._lock:
+            self.graphs_built += graphs
+            self.pair_tests += pairs
+            self.bbox_skips += skips
+
+    def reset(self) -> None:
+        with self._lock:
+            self.graphs_built = 0
+            self.pair_tests = 0
+            self.bbox_skips = 0
+
+
+#: Process-wide construction counters; tests assert that repeated
+#: engine construction over an unchanged base builds nothing new.
+GRAPH_BUILD_STATS = _BuildStats()
+
+
 def _boundaries_intersect(a: Shape, b: Shape) -> Tuple[bool, bool]:
-    """``(touching, properly_crossing)`` for the two boundaries."""
+    """``(touching, properly_crossing)`` for the two boundaries.
+
+    One broadcasted predicate call over all edge pairs (see
+    :func:`repro.geometry.predicates.boundaries_contact`); equal to the
+    scalar double loop :func:`_boundaries_intersect_scalar` pair for
+    pair.
+    """
+    sa, ea = a.edges()
+    sb, eb = b.edges()
+    return boundaries_contact(sa, ea, sb, eb)
+
+
+def _boundaries_intersect_scalar(a: Shape, b: Shape) -> Tuple[bool, bool]:
+    """Reference implementation: pairwise scalar predicate loops."""
     from ..geometry.predicates import segments_properly_intersect
     sa, ea = a.edges()
     sb, eb = b.edges()
@@ -129,21 +174,65 @@ class ImageGraph:
             raise ValueError(f"shape {shape_id} already in image graph")
         # Relate against all existing members before inserting.
         for other_id, other in self.shapes.items():
-            relation = relation_between(shape, other)
-            if relation == DISJOINT:
-                continue
-            angle = diameter_angle(shape, other)
-            if relation == CONTAIN:
-                self._add_edge(shape_id, other_id, CONTAIN, angle)
-            elif relation == "contained_by":
-                self._add_edge(other_id, shape_id, CONTAIN, -angle)
-            else:
-                # overlap and tangent are symmetric: one edge each way.
-                self._add_edge(shape_id, other_id, relation, angle)
-                self._add_edge(other_id, shape_id, relation, -angle)
+            GRAPH_BUILD_STATS.add(pairs=1)
+            self._relate(shape_id, shape, other_id, other)
         self.shapes[shape_id] = shape
         self._out.setdefault(shape_id, [])
         self._in.setdefault(shape_id, [])
+
+    def _relate(self, shape_id: int, shape: Shape,
+                other_id: int, other: Shape) -> None:
+        """Classify one pair and record its edges (if any)."""
+        relation = relation_between(shape, other)
+        if relation == DISJOINT:
+            return
+        angle = diameter_angle(shape, other)
+        if relation == CONTAIN:
+            self._add_edge(shape_id, other_id, CONTAIN, angle)
+        elif relation == "contained_by":
+            self._add_edge(other_id, shape_id, CONTAIN, -angle)
+        else:
+            # overlap and tangent are symmetric: one edge each way.
+            self._add_edge(shape_id, other_id, relation, angle)
+            self._add_edge(other_id, shape_id, relation, -angle)
+
+    @classmethod
+    def from_shapes(cls, image_id: int,
+                    members: Sequence[Tuple[int, Shape]]) -> "ImageGraph":
+        """Build a whole image's graph in one pass.
+
+        Equivalent to :meth:`add_shape` in member order, but pairs
+        whose bounding boxes are separated by more than the predicate
+        epsilon are classified disjoint without touching the boundary
+        predicates at all — separated boxes can neither touch nor
+        contain each other, so the skip is exact.  The surviving pairs
+        run through the batched boundary predicate.
+        """
+        graph = cls(image_id)
+        members = list(members)
+        if not members:
+            return graph
+        boxes = np.array([m[1].bbox() for m in members], dtype=np.float64)
+        pairs = 0
+        skips = 0
+        for k, (shape_id, shape) in enumerate(members):
+            for j in range(k):
+                other_id, other = members[j]
+                separated = (
+                    boxes[k, 2] < boxes[j, 0] - EPSILON or
+                    boxes[j, 2] < boxes[k, 0] - EPSILON or
+                    boxes[k, 3] < boxes[j, 1] - EPSILON or
+                    boxes[j, 3] < boxes[k, 1] - EPSILON)
+                if separated:
+                    skips += 1
+                    continue
+                pairs += 1
+                graph._relate(shape_id, shape, other_id, other)
+            graph.shapes[shape_id] = shape
+            graph._out.setdefault(shape_id, [])
+            graph._in.setdefault(shape_id, [])
+        GRAPH_BUILD_STATS.add(graphs=1, pairs=pairs, skips=skips)
+        return graph
 
     def _add_edge(self, source: int, target: int, label: str,
                   angle: float) -> None:
@@ -196,6 +285,50 @@ class ImageGraph:
     def __repr__(self) -> str:
         return (f"ImageGraph(image={self.image_id}, shapes={len(self)}, "
                 f"edges={self.num_edges})")
+
+
+def build_image_graphs(entries: Iterable[Tuple[int, Shape, Optional[int]]]
+                       ) -> Dict[int, "ImageGraph"]:
+    """Group ``(shape_id, shape, image_id)`` rows into per-image graphs.
+
+    Rows with ``image_id is None`` are skipped (shapes without an image
+    cannot participate in image-level topology).  Each image's graph is
+    built through the batched :meth:`ImageGraph.from_shapes` path.
+    """
+    members: Dict[int, List[Tuple[int, Shape]]] = {}
+    for shape_id, shape, image_id in entries:
+        if image_id is None:
+            continue
+        members.setdefault(image_id, []).append((shape_id, shape))
+    return {image_id: ImageGraph.from_shapes(image_id, rows)
+            for image_id, rows in members.items()}
+
+
+#: owner object -> (version, graphs).  Weak keys: a dropped base drops
+#: its graphs.  One entry per owner; a version bump (ingest/remove)
+#: replaces the entry on the next request.
+_GRAPH_MEMO: "weakref.WeakKeyDictionary" = weakref.WeakKeyDictionary()
+_GRAPH_MEMO_LOCK = threading.Lock()
+
+
+def image_graphs(owner, version: int,
+                 entries_fn) -> Dict[int, "ImageGraph"]:
+    """Per-owner, per-version memoized image graphs.
+
+    ``owner`` is the object whose mutation counter ``version`` tracks
+    (a :class:`~repro.core.shapebase.ShapeBase` or a shard set);
+    ``entries_fn()`` yields ``(shape_id, shape, image_id)`` rows.  Every
+    engine over the same corpus shares one set of graphs, and graphs
+    are rebuilt exactly once per version — the construction counters in
+    :data:`GRAPH_BUILD_STATS` let tests pin this down.
+    """
+    with _GRAPH_MEMO_LOCK:
+        memo = _GRAPH_MEMO.get(owner)
+        if memo is not None and memo[0] == version:
+            return memo[1]
+        graphs = build_image_graphs(entries_fn())
+        _GRAPH_MEMO[owner] = (version, graphs)
+        return graphs
 
 
 def angle_matches(angle: Optional[float], theta, tolerance: float) -> bool:

@@ -1,0 +1,126 @@
+"""A deliberately naive oracle for the query algebra.
+
+:class:`ReferenceExecutor` answers every algebra query by brute force:
+
+* ``shape_similar`` measures each database shape's entries one by one
+  with scalar :class:`~repro.geometry.nearest.BoundaryDistance` loops
+  (same qualification rule as the matcher: best average distance
+  ``<= threshold + EPSILON``) — no envelope schedule, no index;
+* topological operators re-classify every ordered shape pair of every
+  image with :func:`~repro.query.graph.relation_between` — no relation
+  graphs, no selectivity-driven strategy choice;
+* composite queries evaluate by direct set semantics on the AST —
+  union, intersection, complement against the image universe — with no
+  DNF rewrite, no planning, no caching of any kind.
+
+Slow by design and independent of everything the planner does, it is
+the differential harness's ground truth: any optimization in
+:class:`~repro.query.executor.QueryEngine` (batching, sharding,
+subplan caching, operator reordering) must reproduce these answers
+exactly (``tests/test_algebra_differential.py``).
+"""
+
+from __future__ import annotations
+
+from typing import Dict, Optional, Set
+
+from ..core.shapebase import ShapeBase
+from ..geometry.nearest import BoundaryDistance
+from ..geometry.polyline import Shape
+from ..geometry.primitives import EPSILON
+from ..geometry.transform import normalize_about_diameter
+from .algebra import (ComplementNode, IntersectionNode, QueryNode, Similar,
+                      Topological, UnionNode)
+from .graph import (ANY_ANGLE, CONTAIN, angle_matches, diameter_angle,
+                    relation_between)
+
+
+class ReferenceExecutor:
+    """Brute-force evaluation of algebra queries over one base."""
+
+    def __init__(self, base: ShapeBase, similarity_threshold: float = 0.05,
+                 angle_tolerance: float = 0.15):
+        if similarity_threshold < 0:
+            raise ValueError("similarity_threshold must be non-negative")
+        self.base = base
+        self.similarity_threshold = float(similarity_threshold)
+        self.angle_tolerance = float(angle_tolerance)
+
+    # -- primitives ----------------------------------------------------
+    def all_images(self) -> Set[int]:
+        return set(self.base.image_ids())
+
+    def shape_similar(self, query: Shape) -> Set[int]:
+        normalized = normalize_about_diameter(query).shape
+        engine = BoundaryDistance(normalized)
+        threshold = self.similarity_threshold + EPSILON
+        result: Set[int] = set()
+        for shape_id in self.base.shape_ids():
+            for entry_id in self.base.entries_of_shape(shape_id):
+                vertices = self.base.entry_vertices(entry_id)
+                if float(engine.distances(vertices).mean()) <= threshold:
+                    result.add(shape_id)
+                    break
+        return result
+
+    def similar(self, query: Shape) -> Set[int]:
+        images = set()
+        for shape_id in self.shape_similar(query):
+            image_id = self.base.image_of_shape(shape_id)
+            if image_id is not None:
+                images.add(image_id)
+        return images
+
+    def _pair_holds(self, a: Shape, b: Shape, relation: str,
+                    theta) -> bool:
+        found = relation_between(a, b)
+        if relation == CONTAIN:
+            if found != CONTAIN:
+                return False
+        elif found != relation:
+            return False
+        if theta == ANY_ANGLE:
+            return True
+        return angle_matches(diameter_angle(a, b), theta,
+                             self.angle_tolerance)
+
+    def topological(self, relation: str, q1: Shape, q2: Shape,
+                    theta=ANY_ANGLE) -> Set[int]:
+        set1 = self.shape_similar(q1)
+        set2 = self.shape_similar(q2)
+        result: Set[int] = set()
+        for image_id in self.base.image_ids():
+            members = self.base.shapes_of_image(image_id)
+            found = False
+            for s1 in members:
+                if s1 not in set1:
+                    continue
+                for s2 in members:
+                    if s2 == s1 or s2 not in set2:
+                        continue
+                    if self._pair_holds(self.base.shapes[s1],
+                                        self.base.shapes[s2],
+                                        relation, theta):
+                        found = True
+                        break
+                if found:
+                    break
+            if found:
+                result.add(image_id)
+        return result
+
+    # -- composite queries ---------------------------------------------
+    def execute(self, node: QueryNode) -> Set[int]:
+        """Direct set semantics on the AST — no rewriting, no plan."""
+        if isinstance(node, Similar):
+            return self.similar(node.query_shape)
+        if isinstance(node, Topological):
+            return self.topological(node.relation, node.q1, node.q2,
+                                    node.theta)
+        if isinstance(node, UnionNode):
+            return self.execute(node.left) | self.execute(node.right)
+        if isinstance(node, IntersectionNode):
+            return self.execute(node.left) & self.execute(node.right)
+        if isinstance(node, ComplementNode):
+            return self.all_images() - self.execute(node.operand)
+        raise TypeError(f"unknown query node {type(node).__name__}")

@@ -24,6 +24,7 @@ here, ``1/2 * (angle_term + edge_term)`` per vertex.
 from __future__ import annotations
 
 import math
+import threading
 from typing import Optional
 
 import numpy as np
@@ -85,6 +86,9 @@ class SelectivityModel:
     def __init__(self, initial_c: Optional[float] = None):
         self._log_c_sum = 0.0
         self._count = 0
+        self._log_t_sum = 0.0
+        self._t_count = 0
+        self._lock = threading.Lock()
         if initial_c is not None:
             if initial_c <= 0:
                 raise ValueError("initial_c must be positive")
@@ -94,29 +98,62 @@ class SelectivityModel:
     @property
     def c(self) -> float:
         """Current constant; 1.0 before any observation."""
-        if self._count == 0:
-            return 1.0
-        return math.exp(self._log_c_sum / self._count)
+        with self._lock:
+            if self._count == 0:
+                return 1.0
+            return math.exp(self._log_c_sum / self._count)
 
     @property
     def num_observations(self) -> int:
         return self._count
 
-    def observe(self, shape: Shape, observed_result_size: int) -> None:
-        """Fold one executed query's actual result size into the fit."""
+    def observe(self, shape: Shape, observed_result_size: int,
+                threshold: Optional[float] = None) -> None:
+        """Fold one executed query's actual result size into the fit.
+
+        Thread-safe: the query engine observes from concurrent
+        executions.  ``threshold`` (when given) additionally feeds the
+        reference similarity threshold the threshold-scaled
+        :meth:`estimate` normalizes against.
+        """
         vs = significant_vertices(shape)
         if vs <= 0:
             return
         implied_c = max(observed_result_size, 0.5) * vs
-        self._log_c_sum += math.log(implied_c)
-        self._count += 1
+        with self._lock:
+            self._log_c_sum += math.log(implied_c)
+            self._count += 1
+            if threshold is not None and threshold > 0:
+                self._log_t_sum += math.log(threshold)
+                self._t_count += 1
 
-    def estimate(self, shape: Shape) -> float:
-        """``selectivity_shape_similar(Q)`` — expected result size."""
+    def reference_threshold(self) -> Optional[float]:
+        """Geometric mean of the observed thresholds (None if unseen)."""
+        with self._lock:
+            if self._t_count == 0:
+                return None
+            return math.exp(self._log_t_sum / self._t_count)
+
+    def estimate(self, shape: Shape,
+                 threshold: Optional[float] = None) -> float:
+        """``selectivity_shape_similar(Q)`` — expected result size.
+
+        With a ``threshold``, the base ``c / V_S`` estimate (fit at the
+        observed thresholds) is scaled linearly by the ratio to the
+        reference threshold: a wider similarity ball admits
+        proportionally more shapes.  Monotone non-decreasing in
+        ``threshold`` by construction; without observed thresholds the
+        scaling is a no-op.
+        """
         vs = significant_vertices(shape)
         if vs <= 0:
             return float("inf")
-        return self.c / vs
+        estimate = self.c / vs
+        if threshold is not None:
+            reference = self.reference_threshold()
+            if reference is not None and reference > 0:
+                estimate *= max(0.0, threshold) / reference
+        return estimate
 
     def __repr__(self) -> str:
         return (f"SelectivityModel(c={self.c:.4g}, "

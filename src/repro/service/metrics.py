@@ -14,6 +14,8 @@ from __future__ import annotations
 
 import threading
 from bisect import insort
+from contextlib import contextmanager
+from time import perf_counter
 from typing import Callable, Dict, List, Optional
 
 from ..storage.buffer import BufferPool
@@ -158,6 +160,17 @@ class MetricsRegistry:
         """Register a callback sampled at snapshot time."""
         with self._lock:
             self._gauges[name] = read
+
+    @contextmanager
+    def timer(self, name: str):
+        """Context manager observing the block's wall time (seconds)
+        into ``histogram(name)``."""
+        histogram = self.histogram(name)
+        started = perf_counter()
+        try:
+            yield
+        finally:
+            histogram.observe(perf_counter() - started)
 
     def attach_buffer_pool(self, name: str, pool: BufferPool) -> None:
         """Expose a storage buffer pool's hit ratio in snapshots."""

@@ -39,6 +39,7 @@ import math
 import random
 import threading
 import time
+import weakref
 from dataclasses import dataclass, field, replace
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -172,6 +173,26 @@ class ServiceResult:
 
 
 @dataclass
+class SimilarResult:
+    """Outcome of one ``shape_similar`` leaf served by the service.
+
+    ``shape_ids`` is the union over the surviving shards (exact when
+    ``failed_shards`` is empty, since shards are disjoint); the algebra
+    engine consumes these through
+    :meth:`RetrievalService.similar_shapes_batch`.
+    """
+
+    shape_ids: frozenset = frozenset()
+    candidates_evaluated: int = 0
+    cached: bool = False
+    failed_shards: List[int] = field(default_factory=list)
+
+    @property
+    def partial(self) -> bool:
+        return bool(self.failed_shards)
+
+
+@dataclass
 class _ShardOutcome:
     """What one shard's resilient call produced (never an exception)."""
 
@@ -225,6 +246,9 @@ class RetrievalService:
         self._breakers_lock = threading.Lock()
         self._retry_rng = random.Random(self.config.retry_seed)
         self._retry_lock = threading.Lock()
+        # Algebra engines mounted on this service (weakly held): their
+        # work counters roll up into snapshot()["algebra"].
+        self._engines: "weakref.WeakSet" = weakref.WeakSet()
         self.metrics.gauge("queue.pending", lambda: self.admission.pending)
         self.metrics.gauge("cache.size", lambda: len(self.cache))
 
@@ -288,9 +312,129 @@ class RetrievalService:
         self.metrics.counter("ingest.shapes").increment(len(ids))
         return ids
 
+    def remove(self, shape_id: int) -> None:
+        """Remove one shape from its shard; invalidates the cache."""
+        self.shards.remove_shape(shape_id)
+        self.cache.invalidate()
+        self.metrics.counter("ingest.removed").increment()
+
     def warm(self) -> None:
         """Build all shard structures before admitting traffic."""
         self.pool.map_over(lambda shard: shard.warm(), list(self.shards))
+
+    # ------------------------------------------------------------------
+    # Query algebra (paper Section 5 at the service tier)
+    # ------------------------------------------------------------------
+    def query_engine(self, similarity_threshold: Optional[float] = None,
+                     angle_tolerance: float = 0.15, *,
+                     planner: bool = True,
+                     cache_capacity: Optional[int] = None):
+        """A :class:`~repro.query.executor.QueryEngine` over the shards.
+
+        The engine's similarity leaves run through
+        :meth:`similar_shapes_batch` — resilient, batched, cached —
+        and its work counters appear in ``snapshot()["algebra"]``.
+        ``similarity_threshold`` defaults to the config's
+        ``match_threshold``; ``cache_capacity`` to the config's.
+        """
+        from ..query.executor import QueryEngine
+        if similarity_threshold is None:
+            similarity_threshold = self.config.match_threshold
+        if cache_capacity is None:
+            cache_capacity = self.config.cache_capacity
+        engine = QueryEngine(service=self,
+                             similarity_threshold=similarity_threshold,
+                             angle_tolerance=angle_tolerance,
+                             planner=planner,
+                             cache_capacity=cache_capacity)
+        self._engines.add(engine)
+        return engine
+
+    def similar_shapes_batch(self, sketches: Sequence[Shape],
+                             threshold: Optional[float] = None,
+                             deadline: Optional[float] = None
+                             ) -> List[SimilarResult]:
+        """``shape_similar(Q)`` for many sketches across all shards.
+
+        The algebra engine's leaf primitive: each sketch's similarity
+        set is the union of per-shard threshold queries (exact, shards
+        being disjoint).  Results are cached under the similarity-
+        invariant signature at the current shard version, identical
+        sketches within the batch coalesce, and the remaining misses
+        fan out with one batched resilient call per shard — a failed
+        shard drops out of the union (``failed_shards`` notes it) and
+        the partial answer is *not* cached.
+        """
+        if self._closed:
+            raise RuntimeError(
+                "RetrievalService is closed; create a new service")
+        if threshold is None:
+            threshold = self.config.match_threshold
+        sketches = list(sketches)
+        budget = Deadline(deadline)
+        version = self.shards.version
+        results: List[Optional[SimilarResult]] = [None] * len(sketches)
+        self.metrics.counter("algebra.leaf_queries").increment(
+            len(sketches))
+
+        with self.metrics.timer("latency.algebra_leaf"):
+            keys = [sketch_signature(sketch, kind="similar",
+                                     parameter=f"{threshold:.12g}")
+                    for sketch in sketches]
+            unique: List[int] = []
+            leader_of: Dict[str, int] = {}
+            for position, key in enumerate(keys):
+                if key in leader_of:
+                    continue
+                if self.cache.enabled:
+                    hit = self.cache.get(key, version)
+                    if hit is not None:
+                        self.metrics.counter(
+                            "algebra.leaf_cache_hits").increment()
+                        results[position] = replace(hit, cached=True)
+                        continue
+                leader_of[key] = position
+                unique.append(position)
+
+            if unique:
+                miss_sketches = [sketches[position]
+                                 for position in unique]
+                shards = self._shard_views()
+                outcomes = self.pool.map_over(
+                    lambda shard: self._resilient_call(
+                        shard, budget,
+                        lambda abort, shard=shard:
+                            shard.query_threshold_batch(
+                                miss_sketches, threshold, abort=abort),
+                        lambda value, shard=shard: [
+                            self._validate_matches(shard, matches)
+                            for matches, _ in value]),
+                    shards)
+                survivors = [o for o in outcomes if not o.failed]
+                failed_ids = sorted(o.shard_index for o in outcomes
+                                    if o.failed)
+                if failed_ids:
+                    self.metrics.counter(
+                        "algebra.leaf_degraded").increment(len(unique))
+                for offset, position in enumerate(unique):
+                    ids: set = set()
+                    candidates = 0
+                    for outcome in survivors:
+                        matches, stats = outcome.value[offset]
+                        ids.update(m.shape_id for m in matches)
+                        candidates += stats.candidates_evaluated
+                    leaf = SimilarResult(shape_ids=frozenset(ids),
+                                         candidates_evaluated=candidates,
+                                         failed_shards=list(failed_ids))
+                    if not failed_ids and not budget.expired():
+                        self.cache.put(keys[position], version, leaf)
+                    results[position] = leaf
+
+            for position, key in enumerate(keys):
+                if results[position] is None:
+                    leader = results[leader_of[key]]
+                    results[position] = replace(leader, cached=True)
+        return results
 
     # ------------------------------------------------------------------
     # Fault tolerance: shard views, breakers, resilient execution
@@ -907,6 +1051,20 @@ class RetrievalService:
             "counts": {tier: tiers.get(tier, 0)
                        for tier in (TIER_EXACT, TIER_ANN, TIER_HASH)},
             "ann_candidates": snap["histograms"].get("ann.candidates"),
+        }
+        # Query-algebra accounting: per-operator work counters summed
+        # over every engine mounted via query_engine(), plus the leaf
+        # traffic the service itself served.
+        engines = list(self._engines)
+        algebra: Dict[str, int] = {}
+        for engine in engines:
+            for name, value in engine.counters.as_dict().items():
+                algebra[name] = algebra.get(name, 0) + value
+        snap["algebra"] = {
+            "engines": len(engines),
+            "counters": algebra,
+            "leaf_queries": counters.get("algebra.leaf_queries", 0),
+            "leaf_cache_hits": counters.get("algebra.leaf_cache_hits", 0),
         }
         snap["corpus"] = {
             "shards": self.shards.num_shards,

@@ -159,6 +159,25 @@ class Shard:
         """
         return self.matcher.query_batch(sketches, k=k, abort=abort)
 
+    def query_threshold(self, sketch: Shape, threshold: float,
+                        abort: Optional[Callable[[], bool]] = None
+                        ) -> Tuple[List[Match], MatchStats]:
+        """All shard shapes within ``threshold`` of the sketch."""
+        return self.matcher.query_threshold(sketch, threshold, abort=abort)
+
+    def query_threshold_batch(self, sketches: Sequence[Shape],
+                              threshold: float,
+                              abort: Optional[Callable[[], bool]] = None
+                              ) -> List[Tuple[List[Match], MatchStats]]:
+        """Threshold queries for many sketches in one scratch checkout.
+
+        The algebra engine's ``similar`` leaves arrive through this
+        path; results are in input order and identical to per-sketch
+        :meth:`query_threshold` calls.
+        """
+        return self.matcher.query_threshold_batch(sketches, threshold,
+                                                  abort=abort)
+
     def ann_query(self, sketch: Shape, k: int,
                   abort: Optional[Callable[[], bool]] = None
                   ) -> Tuple[List[Match], MatchStats]:
@@ -309,6 +328,18 @@ class ShardSet:
             self.shards[shard_index].add_shapes(group_shapes, group_images,
                                                 group_ids)
         return ids
+
+    def remove_shape(self, shape_id: int) -> None:
+        """Remove one shape from its shard (version bump included).
+
+        Raises ``KeyError`` (from the shard's base) when the id is
+        unknown; nothing mutates in that case.
+        """
+        shard = self.shard_of(shape_id)
+        shard.base.remove_shape(shape_id)
+        shard.invalidate()
+        with self._lock:
+            self.version += 1
 
     def shard_of(self, shape_id: int) -> Shard:
         return self.shards[shard_for(shape_id, self.num_shards)]

@@ -137,3 +137,72 @@ class TestImageGraph:
         assert len(graph) == 4
         # contain(1->2) + overlap(1<->3): 3 directed edges
         assert graph.num_edges == 3
+
+
+class TestBatchConstruction:
+    """The bulk path must agree with per-shape construction exactly."""
+
+    def _random_members(self, rng, count=6):
+        from repro.imaging.synthesis import (place_randomly,
+                                             prototype_pool)
+        protos = prototype_pool(rng, count=5)
+        return {sid: place_randomly(protos[sid % len(protos)], rng,
+                                    canvas=20.0, scale_range=(1.0, 6.0))
+                for sid in range(count)}
+
+    def _edge_set(self, graph):
+        return {(e.source, e.target, e.label,
+                 None if e.angle is None else round(e.angle, 12))
+                for edges in graph._out.values() for e in edges}
+
+    def test_vectorized_contact_matches_scalar(self):
+        import numpy as np
+        from repro.query.graph import (_boundaries_intersect_scalar,
+                                       boundaries_contact)
+        rng = np.random.default_rng(31)
+        members = list(self._random_members(rng, count=10).values())
+        for i, a in enumerate(members):
+            for b in members[i + 1:]:
+                sa, ea = a.edges()
+                sb, eb = b.edges()
+                assert boundaries_contact(sa, ea, sb, eb) == \
+                    _boundaries_intersect_scalar(a, b)
+
+    def test_from_shapes_equals_incremental(self):
+        import numpy as np
+        from repro.query.graph import ImageGraph
+        rng = np.random.default_rng(32)
+        for trial in range(5):
+            members = self._random_members(rng)
+            bulk = ImageGraph.from_shapes(trial, list(members.items()))
+            incremental = ImageGraph(trial)
+            for sid, shape in members.items():
+                incremental.add_shape(sid, shape)
+            assert self._edge_set(bulk) == self._edge_set(incremental)
+            for s1 in members:
+                for s2 in members:
+                    if s1 != s2:
+                        assert bulk.relation(s1, s2) == \
+                            incremental.relation(s1, s2)
+
+    def test_graphs_memoized_per_version(self):
+        """A second engine over the same base builds zero new graphs."""
+        import numpy as np
+        from repro.query import GRAPH_BUILD_STATS, QueryEngine
+        from repro.query.workload import algebra_base
+        base, _ = algebra_base(8, np.random.default_rng(33))
+        GRAPH_BUILD_STATS.reset()
+        first = QueryEngine(base).graphs
+        built_once = GRAPH_BUILD_STATS.graphs_built
+        assert built_once == len(first) > 0
+        second = QueryEngine(base).graphs
+        assert GRAPH_BUILD_STATS.graphs_built == built_once
+        assert second is first
+        # Mutation bumps the version: graphs rebuild exactly once more.
+        base.add_shapes([Shape.rectangle(0, 0, 1, 1)], image_ids=[999])
+        rebuilt = QueryEngine(base).graphs
+        assert GRAPH_BUILD_STATS.graphs_built > built_once
+        assert {(g.image_id, frozenset(g.shapes))
+                for g in first.values()} <= \
+               {(g.image_id, frozenset(g.shapes))
+                for g in rebuilt.values()}

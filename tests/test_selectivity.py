@@ -110,3 +110,71 @@ class TestFitHyperbola:
             fit_hyperbola(np.array([1.0]), np.array([1.0, 2.0]))
         with pytest.raises(ValueError):
             fit_hyperbola(np.array([]), np.array([]))
+
+
+class TestThresholdAwareEstimates:
+    """Threshold scaling and the planner's use of the estimates."""
+
+    def test_estimate_monotone_in_threshold(self, rng):
+        model = SelectivityModel()
+        shapes = [star_shaped_polygon(rng, int(n)) for n in
+                  rng.integers(6, 24, size=8)]
+        for index, shape in enumerate(shapes):
+            model.observe(shape, 5 + index,
+                          threshold=float(rng.uniform(0.01, 0.2)))
+        probe = star_shaped_polygon(rng, 10)
+        thresholds = np.linspace(0.005, 0.25, 12)
+        estimates = [model.estimate(probe, float(t)) for t in thresholds]
+        assert all(e >= 0 for e in estimates)
+        for lo, hi in zip(estimates, estimates[1:]):
+            assert lo <= hi          # larger threshold, larger estimate
+        # Unobserved thresholds fall back to the plain c/V_S estimate.
+        fresh = SelectivityModel()
+        assert fresh.estimate(probe, 0.01) == \
+            pytest.approx(fresh.estimate(probe))
+
+    def test_threshold_scaling_concurrent_observe(self, rng):
+        import threading
+        model = SelectivityModel()
+        shape = star_shaped_polygon(rng, 12)
+
+        def observer():
+            for _ in range(200):
+                model.observe(shape, 4, threshold=0.05)
+
+        threads = [threading.Thread(target=observer) for _ in range(4)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert model.num_observations == 800
+        assert model.reference_threshold() == pytest.approx(0.05)
+
+    def test_planner_seeds_lowest_estimate_literal(self):
+        """The planned term evaluates the lowest-estimate literal in
+        full and the rest only as filters (asserted via counters)."""
+        from repro.query import QueryEngine, Similar
+        from repro.query.workload import (ALGEBRA_THRESHOLD,
+                                          algebra_base)
+        from repro.imaging.synthesis import distort
+        base, protos = algebra_base(18, np.random.default_rng(21))
+        qrng = np.random.default_rng(22)
+        common = distort(protos["common_a"], 0.008, qrng)
+        rare = distort(protos["rare"], 0.008, qrng)
+        engine = QueryEngine(base,
+                             similarity_threshold=ALGEBRA_THRESHOLD)
+        # V_S alone must rank the spiky rare shape below the common
+        # one — the planner needs no observations to get this right.
+        assert engine.selectivity.estimate(rare, ALGEBRA_THRESHOLD) < \
+            engine.selectivity.estimate(common, ALGEBRA_THRESHOLD)
+        report = engine.execute_explained(Similar(common) &
+                                          Similar(rare))
+        term = report.terms[0]
+        assert term.reordered
+        assert engine.counters.seeds_reordered == 1
+        estimates = dict(term.estimates)
+        assert min(estimates.values()) == term.seed_estimate
+        # The common literal never got its own threshold query: one
+        # for the seed, membership filtered per image.
+        assert engine.counters.threshold_queries == 1
+        assert engine.counters.filter_probes > 0

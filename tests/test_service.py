@@ -516,3 +516,68 @@ class TestGeoSIRDelegation:
             assert result.best.image_id == image_id
         finally:
             geosir.disable_service()
+
+
+# ----------------------------------------------------------------------
+# Algebra leaf queries at the service tier
+# ----------------------------------------------------------------------
+class TestSimilarShapesBatch:
+    def test_matches_unsharded_threshold_union(self, corpus, service):
+        base, _, queries = corpus
+        matcher = GeometricSimilarityMatcher(base)
+        results = service.similar_shapes_batch(queries, threshold=0.05)
+        assert len(results) == len(queries)
+        for query, result in zip(queries, results):
+            matches, _ = matcher.query_threshold(query, 0.05)
+            assert set(result.shape_ids) == {m.shape_id for m in matches}
+            assert not result.failed_shards
+            assert result.candidates_evaluated >= 0
+
+    def test_repeat_batch_hits_cache(self, corpus):
+        base, _, queries = corpus
+        svc = RetrievalService.from_base(
+            base, ServiceConfig(num_shards=2, workers=1,
+                                cache_capacity=64))
+        try:
+            first = svc.similar_shapes_batch(queries[:2])
+            again = svc.similar_shapes_batch(queries[:2])
+            for cold, warm in zip(first, again):
+                assert warm.cached and not cold.cached
+                assert warm.shape_ids == cold.shape_ids
+            snap = svc.snapshot()["algebra"]
+            assert snap["leaf_cache_hits"] >= 2
+        finally:
+            svc.close()
+
+    def test_intra_batch_duplicates_coalesce(self, corpus):
+        base, _, queries = corpus
+        svc = RetrievalService.from_base(
+            base, ServiceConfig(num_shards=2, workers=1,
+                                cache_capacity=0))
+        try:
+            repeated = [queries[0], queries[0], queries[0]]
+            results = svc.similar_shapes_batch(repeated)
+            assert results[1].cached and results[2].cached
+            assert results[0].shape_ids == results[1].shape_ids
+        finally:
+            svc.close()
+
+    def test_remove_shape_updates_answers(self, corpus):
+        base, _, queries = corpus
+        svc = RetrievalService.from_base(
+            base, ServiceConfig(num_shards=2, workers=1,
+                                cache_capacity=16))
+        try:
+            result = svc.similar_shapes_batch([queries[0]],
+                                              threshold=0.1)[0]
+            assert result.shape_ids
+            victim = min(result.shape_ids)
+            svc.remove(victim)
+            after = svc.similar_shapes_batch([queries[0]],
+                                             threshold=0.1)[0]
+            assert victim not in after.shape_ids
+            assert not after.cached
+            with pytest.raises(KeyError):
+                svc.remove(victim)
+        finally:
+            svc.close()
