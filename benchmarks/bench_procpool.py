@@ -1,0 +1,185 @@
+"""Process-tier serving: throughput scaling and thread-parity proof.
+
+The PR 8 headline: N worker processes attached zero-copy to published
+shard snapshots (mmap'd files / shared memory) must (a) answer
+bit-for-bit identically to the thread-mode service and (b) scale
+exact-tier throughput near-linearly in cores — the GIL bound that
+capped every earlier hot path (PR 3 batch engine, PR 6 ANN tier) at
+~2 effective worker threads.
+
+Not a paper figure (the process tier is repo infrastructure), but it
+follows the harness conventions: scaled synthetic workload from
+``conftest``, a persisted table under ``benchmarks/results/``, JSON
+rows per configuration, and labeled trajectory points appended when
+``REPRO_BENCH_LABEL`` is set — the process-tier point goes to
+``BENCH_matcher.json`` (same per-query-ms metric the scaling
+trajectory tracks) and the serve-side per-tier rows to
+``BENCH_ann.json``.
+
+Scaling is asserted only for N up to ``min(4, cpu_count)``: on a
+single-core host (common in CI) N=1 is the whole sweep and the
+assertion degenerates to parity, which is the honest ceiling there.
+"""
+
+import json
+import os
+import threading
+import time
+from pathlib import Path
+
+import numpy as np
+
+from repro.ann import AnnConfig
+from repro.imaging import make_query_set
+from repro.query.workload import record_trajectory
+from repro.service import RetrievalService, ServiceConfig
+
+from .conftest import BENCH_QUERIES, write_table
+
+NUM_SHARDS = 4
+#: Acceptance floor: process-N throughput >= SCALE_TARGET * N * process-1.
+SCALE_TARGET = 0.7
+_ROOT = Path(__file__).resolve().parent.parent
+BENCH_MATCHER_JSON = _ROOT / "BENCH_matcher.json"
+BENCH_ANN_JSON = _ROOT / "BENCH_ann.json"
+
+
+def _process_counts():
+    """1..min(4, cores): the range the acceptance criterion covers."""
+    ceiling = min(4, os.cpu_count() or 1)
+    return list(range(1, ceiling + 1))
+
+
+def _closed_loop(service, sketches, total_queries, clients):
+    position = {"next": 0}
+    lock = threading.Lock()
+
+    def client():
+        while True:
+            with lock:
+                index = position["next"]
+                if index >= total_queries:
+                    return
+                position["next"] = index + 1
+            service.retrieve(sketches[index % len(sketches)], k=1)
+
+    start = time.perf_counter()
+    threads = [threading.Thread(target=client) for _ in range(clients)]
+    for thread in threads:
+        thread.start()
+    for thread in threads:
+        thread.join()
+    return time.perf_counter() - start
+
+
+def _config(execution, parallelism, ann=None, ann_mode="auto"):
+    return ServiceConfig(
+        num_shards=NUM_SHARDS, workers=parallelism, cache_capacity=0,
+        execution=execution, processes=parallelism,
+        ann=ann, ann_mode=ann_mode)
+
+
+def _answers(service, sketches, k=3):
+    return [[(m.shape_id, m.image_id, m.distance, m.approximate)
+             for m in service.retrieve(sketch, k=k).matches]
+            for sketch in sketches]
+
+
+def _measure(base, sketches, total_queries, execution, parallelism,
+             ann=None, ann_mode="auto"):
+    config = _config(execution, parallelism, ann=ann, ann_mode=ann_mode)
+    with RetrievalService.from_base(base, config) as service:
+        wall = _closed_loop(service, sketches, total_queries, parallelism)
+        snapshot = service.snapshot()
+    served = snapshot["counters"].get("queries.served", 0)
+    assert served == total_queries
+    latency = snapshot["histograms"]["latency.total"]
+    return {
+        "mode": f"{execution}-{parallelism}",
+        "execution": execution,
+        "n": parallelism,
+        "shards": NUM_SHARDS,
+        "queries": total_queries,
+        "wall_s": round(wall, 4),
+        "qps": round(served / wall, 2),
+        "per_query_ms": round(wall * 1e3 / served, 3),
+        "p50_ms": round(latency["p50"] * 1e3, 2),
+        "p99_ms": round(latency["p99"] * 1e3, 2),
+        "tiers": dict(snapshot["tiers"]["counts"]),
+    }
+
+
+def test_procpool_throughput_and_parity(base, workload):
+    distinct = max(4, BENCH_QUERIES)
+    total_queries = distinct * 4
+    sketches = [query for query, _ in
+                make_query_set(workload, distinct,
+                               np.random.default_rng(41), noise=0.012)]
+
+    # Priming pass (first-touch numpy/allocator costs, index builds).
+    with RetrievalService.from_base(
+            base, _config("thread", 1)) as primer:
+        for sketch in sketches:
+            primer.retrieve(sketch, k=1)
+
+    # Parity first: the speedup is worthless unless the answers are
+    # the same answers, bit for bit.
+    with RetrievalService.from_base(base, _config("thread", 1)) as svc:
+        expected = _answers(svc, sketches)
+    with RetrievalService.from_base(base, _config("process", 2)) as svc:
+        actual = _answers(svc, sketches)
+    assert actual == expected
+
+    rows = [_measure(base, sketches, total_queries, "thread", 1)]
+    for procs in _process_counts():
+        rows.append(_measure(base, sketches, total_queries,
+                             "process", procs))
+
+    # Serve-side ANN point: the process tier serving the LSH rung.
+    ann = AnnConfig(tables=8, band_width=2, candidate_cap=256)
+    ann_row = _measure(base, sketches, total_queries, "process",
+                       max(_process_counts()), ann=ann,
+                       ann_mode="always")
+    ann_row["mode"] += "-ann"
+    rows.append(ann_row)
+    assert ann_row["tiers"].get("ann", 0) == total_queries
+
+    lines = [
+        "Process-tier throughput: thread baseline vs process sweep",
+        f"(cpus={os.cpu_count()}, shards={NUM_SHARDS}, "
+        f"base={base.num_shapes} shapes, {total_queries} queries, "
+        f"{distinct} distinct sketches; parity asserted bit-for-bit)",
+        "",
+        f"{'mode':>12} {'qps':>9} {'ms/q':>8} {'p50ms':>8} {'p99ms':>8} "
+        f"{'tiers':>24}",
+    ]
+    for row in rows:
+        lines.append(
+            f"{row['mode']:>12} {row['qps']:>9.2f} "
+            f"{row['per_query_ms']:>8.3f} {row['p50_ms']:>8.2f} "
+            f"{row['p99_ms']:>8.2f} {json.dumps(row['tiers']):>24}")
+    lines.append("")
+    lines.append("JSON rows:")
+    lines.extend(json.dumps(row) for row in rows)
+    write_table("procpool_throughput", lines)
+
+    # Scaling floor over the exact-tier process sweep (ann row excluded).
+    process_rows = [row for row in rows
+                    if row["execution"] == "process" and row is not ann_row]
+    baseline = next(row for row in process_rows if row["n"] == 1)
+    for row in process_rows:
+        assert row["qps"] >= SCALE_TARGET * row["n"] * baseline["qps"], (
+            f"process-{row['n']} throughput {row['qps']} qps below "
+            f"{SCALE_TARGET} * {row['n']} * {baseline['qps']} qps")
+
+    label = os.environ.get("REPRO_BENCH_LABEL")
+    if label:
+        record_trajectory(
+            [{"n": row["n"], "per_query_ms": row["per_query_ms"],
+              "qps": row["qps"], "mode": row["mode"]}
+             for row in rows if row is not ann_row],
+            f"{label} (process tier, cpus={os.cpu_count()})",
+            BENCH_MATCHER_JSON)
+        record_trajectory(
+            rows, f"{label} (serve: process tier, cpus={os.cpu_count()})",
+            BENCH_ANN_JSON)

@@ -8,8 +8,9 @@ Usage (``python -m repro ...``)::
     repro stats  --base b.gsir
     repro query  --base b.gsir --sketch sk.json [-k 3] [--threshold T]
                  [--json] [--profile] [--ann]
-    repro serve-bench [--workers 1,2,4] [--shards 4] [--no-cache]
-                      [--batch N] [--profile] [--snapshot b.gsb]
+    repro serve-bench [--workers 1,2,4] [--processes 2,4] [--shards 4]
+                      [--no-cache] [--batch N] [--profile]
+                      [--snapshot b.gsb] [--mmap]
                       [--ann] [--ann-mode auto|always]
 
 ``--ann`` flags select the polygon-LSH approximate tier
@@ -23,6 +24,11 @@ per-tier counters.
 one shape (extra shapes are ignored with a warning).  ``serve-bench``
 drives the :mod:`repro.service` tier with a closed-loop load generator
 and reports throughput, latency percentiles and the service metrics.
+``--processes N[,N...]`` adds process-execution sweeps: shard workers
+run as separate processes attached zero-copy to published snapshots
+(mmap'd files or shared memory), sidestepping the GIL; the run ends
+with a thread-vs-process answer verification pass, and ``--chaos``
+SIGKILLs one worker mid-bench to prove degraded-not-failed service.
 """
 
 from __future__ import annotations
@@ -348,11 +354,25 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         print("error: --workers values must be at least 1",
               file=sys.stderr)
         return 2
+    try:
+        process_counts = [int(p) for p in str(args.processes).split(",")
+                          if p.strip()]
+    except ValueError:
+        print(f"error: --processes expects comma-separated integers, "
+              f"got {args.processes!r}", file=sys.stderr)
+        return 2
+    if any(procs < 1 for procs in process_counts):
+        print("error: --processes values must be at least 1",
+              file=sys.stderr)
+        return 2
+    if args.mmap and args.snapshot is None:
+        print("error: --mmap needs --snapshot", file=sys.stderr)
+        return 2
 
     if args.snapshot is not None:
         start = time.perf_counter()
         try:
-            base = load_base(args.snapshot)
+            base = load_base(args.snapshot, mmap=args.mmap)
         except (OSError, ValueError) as exc:
             print(f"error: cannot load snapshot {args.snapshot!r}: {exc}",
                   file=sys.stderr)
@@ -366,7 +386,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         sketches = [base.shapes[sid]
                     for sid in list(base.shapes)[:args.distinct]]
         print(f"snapshot {args.snapshot}: {base.num_shapes} shapes, "
-              f"{base.num_entries} copies loaded in {load_s * 1e3:.1f} ms")
+              f"{base.num_entries} copies loaded in {load_s * 1e3:.1f} ms "
+              f"({base.snapshot_backing} backing)")
     else:
         rng = np.random.default_rng(args.seed)
         workload = generate_workload(args.images, rng,
@@ -394,6 +415,15 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         chaos_plan = FaultPlan.default(args.chaos, args.shards)
         print(f"chaos: seed {args.chaos} -> {chaos_plan!r} "
               f"(replayable: same seed, same schedule)")
+        if process_counts:
+            print(f"chaos (process mode): SIGKILL worker "
+                  f"{args.chaos} % nprocs at query {args.queries // 2}")
+
+    # One sweep point per (execution, parallelism) pair: every --workers
+    # value in thread mode, then every --processes value with as many
+    # closed-loop clients as worker processes.
+    modes = [("thread", workers) for workers in worker_counts]
+    modes += [("process", procs) for procs in process_counts]
 
     # Priming pass: first-touch numpy/allocator costs land here instead
     # of biasing whichever configuration happens to run first.  Its
@@ -411,15 +441,20 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     rows = []
     escaped: list = []
-    for workers in worker_counts:
-        config_plan = chaos_plan.replay() if chaos_plan is not None \
-            else None
+    for execution, workers in modes:
+        # Thread-mode chaos replays the seeded fault plan; process-mode
+        # chaos kills a real worker process instead (the failure the
+        # process tier exists to survive).
+        config_plan = (chaos_plan.replay()
+                       if chaos_plan is not None and execution == "thread"
+                       else None)
         config = ServiceConfig(
             num_shards=args.shards, workers=workers,
             cache_capacity=0 if args.no_cache else args.cache_capacity,
             max_pending=args.max_pending, deadline=args.deadline,
             fault_plan=config_plan, retry_seed=args.seed,
-            ann=ann_config, ann_mode=args.ann_mode)
+            ann=ann_config, ann_mode=args.ann_mode,
+            execution=execution, processes=workers)
         service = RetrievalService.from_base(base, config)
 
         # Closed loop: one client per worker; each client issues its
@@ -430,6 +465,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         profile_totals: dict = {}
         degraded_count = {"n": 0}
         batch_size = max(0, args.batch)
+        kill_at = (args.queries // 2
+                   if args.chaos is not None and execution == "process"
+                   else None)
+        victim = (args.chaos % workers) if kill_at is not None else None
+        kill_state: dict = {"pid": None}
 
         def _record_profile(results) -> None:
             with lock:
@@ -447,6 +487,11 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                     take = (min(batch_size, args.queries - index)
                             if batch_size else 1)
                     position["next"] = index + take
+                if kill_at is not None and index >= kill_at:
+                    with lock:
+                        if kill_state["pid"] is None:
+                            kill_state["pid"] = \
+                                service.procpool.kill_worker(victim)
                 chunk = [sketches[(index + j) % len(sketches)]
                          for j in range(take)]
                 try:
@@ -479,7 +524,18 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
         snapshot = service.snapshot()
         latency = snapshot["histograms"]["latency.total"]
         served = snapshot["counters"].get("queries.served", 0)
+        tier_latency = {}
+        for tier, name in (("exact", "latency.envelope"),
+                           ("ann", "latency.ann"),
+                           ("hash", "latency.fallback")):
+            hist = snapshot["histograms"].get(name)
+            if hist is not None:
+                tier_latency[tier] = {
+                    "p50_ms": round(hist["p50"] * 1e3, 2),
+                    "p99_ms": round(hist["p99"] * 1e3, 2)}
         row = {
+            "mode": f"{execution}-{workers}",
+            "execution": execution,
             "workers": workers,
             "shards": args.shards,
             "cache": not args.no_cache,
@@ -495,56 +551,101 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                                      4),
             "fallback_ratio": round(snapshot["rates"]["fallback_ratio"], 4),
             "tiers": dict(snapshot["tiers"]["counts"]),
+            "tier_latency": tier_latency,
         }
         candidates = snapshot["tiers"].get("ann_candidates")
         if candidates:
             row["ann_candidates_p50"] = round(candidates["p50"], 1)
             row["ann_candidates_p90"] = round(candidates["p90"], 1)
-        if chaos_plan is not None:
+        if args.chaos is not None:
             row["degraded"] = degraded_count["n"]
             row["shard_failures"] = snapshot["counters"].get(
                 "shards.failures", 0)
             row["retries"] = snapshot["counters"].get("shards.retries", 0)
             row["breaker_skipped"] = snapshot["counters"].get(
                 "shards.breaker_skipped", 0)
-            row["faults_injected"] = dict(config_plan.counts())
+            if config_plan is not None:
+                row["faults_injected"] = dict(config_plan.counts())
+            if kill_at is not None:
+                row["killed_worker"] = victim
+                row["killed_pid"] = kill_state["pid"]
+                row["alive_workers"] = service.procpool.alive_workers()
+        if execution == "process":
+            row["procpool"] = service.procpool.info()
         rows.append(row)
         if args.profile:
-            print(f"\n--- profile (workers={workers}) ---")
+            print(f"\n--- profile ({row['mode']}) ---")
             _print_profile(profile_totals)
         if args.metrics:
-            print(f"\n--- metrics (workers={workers}) ---")
+            print(f"\n--- metrics ({row['mode']}) ---")
             print(json.dumps(snapshot, indent=1))
         service.close()
 
-    header = ("workers  qps      p50ms    p90ms    p99ms    "
+    header = ("mode         qps      p50ms    p90ms    p99ms    "
               "cache    fallback shed")
     print()
     print(header)
     for row in rows:
-        print(f"{row['workers']:<8d} {row['throughput_qps']:<8.2f} "
+        print(f"{row['mode']:<12} {row['throughput_qps']:<8.2f} "
               f"{row['latency_p50_ms']:<8.2f} {row['latency_p90_ms']:<8.2f} "
               f"{row['latency_p99_ms']:<8.2f} {row['cache_hit_ratio']:<8.4f} "
               f"{row['fallback_ratio']:<8.4f} {row['shed']}")
+
+    # Per-tier, per-mode throughput: which rung answered, how fast.
     print()
+    print("mode         tier   answers  qps      p50ms    p99ms")
     for row in rows:
-        tiers = row["tiers"]
-        line = (f"tiers workers={row['workers']}: "
-                f"exact {tiers['exact']}, ann {tiers['ann']}, "
-                f"hash {tiers['hash']}")
-        if "ann_candidates_p50" in row:
-            line += (f"; ann candidates p50 {row['ann_candidates_p50']} "
-                     f"p90 {row['ann_candidates_p90']}")
-        print(line)
-    if chaos_plan is not None:
+        for tier in ("exact", "ann", "hash"):
+            count = row["tiers"].get(tier, 0)
+            if not count:
+                continue
+            tier_qps = (round(count / row["wall_s"], 2)
+                        if row["wall_s"] else 0.0)
+            stats = row["tier_latency"].get(tier)
+            p50 = f"{stats['p50_ms']:<8.2f}" if stats else "-       "
+            p99 = f"{stats['p99_ms']:<8.2f}" if stats else "-       "
+            line = (f"{row['mode']:<12} {tier:<6} {count:<8d} "
+                    f"{tier_qps:<8.2f} {p50} {p99}")
+            if tier == "ann" and "ann_candidates_p50" in row:
+                line += (f"  candidates p50 {row['ann_candidates_p50']} "
+                         f"p90 {row['ann_candidates_p90']}")
+            print(line)
+
+    if args.chaos is not None:
         print()
         for row in rows:
-            print(f"chaos workers={row['workers']}: "
-                  f"{row['degraded']} degraded answers, "
-                  f"{row['shard_failures']} shard failures, "
-                  f"{row['retries']} retries, "
-                  f"{row['breaker_skipped']} breaker skips, "
-                  f"faults {row['faults_injected']}")
+            line = (f"chaos {row['mode']}: "
+                    f"{row['degraded']} degraded answers, "
+                    f"{row['shard_failures']} shard failures, "
+                    f"{row['retries']} retries, "
+                    f"{row['breaker_skipped']} breaker skips")
+            if "faults_injected" in row:
+                line += f", faults {row['faults_injected']}"
+            if "killed_worker" in row:
+                line += (f", killed worker {row['killed_worker']} "
+                         f"(pid {row['killed_pid']}), alive "
+                         f"{row['alive_workers']}")
+            print(line)
+        for row in rows:
+            if "killed_worker" in row and not row["degraded"]:
+                print(f"error: {row['mode']} survived a worker kill with "
+                      f"no degraded answers — the kill never landed",
+                      file=sys.stderr)
+                return 1
+    elif process_counts:
+        # Answer-equality pass: every distinct sketch must resolve to
+        # the same ranked matches in thread and process mode.
+        mismatches = _verify_process_mode(
+            base, sketches, args, ann_config, process_counts[0])
+        print()
+        if mismatches:
+            print(f"error: thread/process answers diverge on "
+                  f"{mismatches} of {len(sketches)} sketches",
+                  file=sys.stderr)
+            return 1
+        print(f"verified: {len(sketches)} sketches answer identically "
+              f"in thread and process mode")
+
     if args.json:
         print()
         for row in rows:
@@ -556,6 +657,34 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             print(f"  {message}", file=sys.stderr)
         return 1
     return 0
+
+
+def _verify_process_mode(base, sketches, args, ann_config,
+                         processes: int) -> int:
+    """Mismatch count between thread- and process-mode answers.
+
+    Fresh single-worker services on both sides (no cache, no chaos):
+    any divergence is a wire-marshalling or attach bug, not load noise.
+    """
+    from .service import RetrievalService, ServiceConfig
+
+    def _config(execution: str) -> "ServiceConfig":
+        return ServiceConfig(
+            num_shards=args.shards, workers=processes, cache_capacity=0,
+            ann=ann_config, ann_mode=args.ann_mode, execution=execution,
+            processes=processes)
+
+    def _answers(service) -> list:
+        return [[(m.shape_id, m.image_id, m.distance,
+                  m.approximate) for m in
+                 service.retrieve(sketch, k=args.k).matches]
+                for sketch in sketches]
+
+    with RetrievalService.from_base(base, _config("thread")) as threaded:
+        expected = _answers(threaded)
+    with RetrievalService.from_base(base, _config("process")) as proc:
+        actual = _answers(proc)
+    return sum(1 for a, b in zip(expected, actual) if a != b)
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -625,6 +754,18 @@ def build_parser() -> argparse.ArgumentParser:
     serve.add_argument("--workers", default="1,2,4",
                        help="comma-separated worker counts to sweep "
                             "(default 1,2,4)")
+    serve.add_argument("--processes", default="",
+                       help="also sweep process execution with these "
+                            "comma-separated worker-process counts: "
+                            "shards are served from separate processes "
+                            "attached zero-copy to published snapshots, "
+                            "and the run ends with a thread-vs-process "
+                            "answer verification pass (default: thread "
+                            "mode only)")
+    serve.add_argument("--mmap", action="store_true",
+                       help="map the --snapshot file read-only instead "
+                            "of copying it into the heap (v3/v4 "
+                            "snapshots)")
     serve.add_argument("--shards", type=int, default=4,
                        help="number of shards (default 4)")
     serve.add_argument("--cache-capacity", type=int, default=256,
@@ -666,7 +807,9 @@ def build_parser() -> argparse.ArgumentParser:
                             "shard: exceptions, latency, corrupted "
                             "answers); the run fails if any exception "
                             "escapes the service — same seed, same "
-                            "fault schedule")
+                            "fault schedule.  In process mode (with "
+                            "--processes) the chaos is a SIGKILL of "
+                            "worker SEED %% nprocs mid-bench instead")
     _add_ann_args(serve,
                   "enable the LSH-pruned tier on every shard and route "
                   "queries per --ann-mode")

@@ -26,6 +26,7 @@ Given a query shape Q the matcher:
 from __future__ import annotations
 
 import heapq
+import os
 import threading
 from contextlib import contextmanager
 from dataclasses import dataclass, field
@@ -213,20 +214,34 @@ class GeometricSimilarityMatcher:
         # Scratch pool: shards are queried from several worker threads
         # at once, so buffers are checked out under a lock rather than
         # living on the matcher; keyed on the base version so mutations
-        # invalidate them.
+        # invalidate them.  The pool is additionally keyed on the
+        # owning pid: a matcher inherited across ``fork`` (process
+        # workers, chaos harnesses) must rebuild its pool in the child
+        # instead of sharing checked-out buffers with the parent.
         self._scratch_lock = threading.Lock()
         self._scratch_pool: List[_QueryScratch] = []
         self._scratch_key: Optional[Tuple[int, int, int]] = None
+        self._scratch_pid = os.getpid()
         self._thresholds: Optional[np.ndarray] = None
 
     # ------------------------------------------------------------------
     @contextmanager
     def _scratch(self) -> Iterator[_QueryScratch]:
-        """Check a clean scratch object out of the pool (thread-safe)."""
+        """Check a clean scratch object out of the pool (thread-safe).
+
+        Safe across ``fork``: a child process detects the inherited
+        pool via the pid stamp and starts from an empty pool, so two
+        processes never hand out (or mutate) the same scratch buffers
+        even though they began life as the same object.
+        """
         num_points = len(self.base.vertex_points)
         num_entries = self.base.num_entries
         key = (self.base.version, num_points, num_entries)
         with self._scratch_lock:
+            if self._scratch_pid != os.getpid():
+                self._scratch_pool = []
+                self._scratch_key = None
+                self._scratch_pid = os.getpid()
             if self._scratch_key != key:
                 self._scratch_pool = []
                 # ceil((1 - beta) * size): the step-3 candidate

@@ -125,6 +125,13 @@ class ShapeBase:
         # maintained under mutation exactly like the signature cache.
         self._sketch_cache: Optional[
             Tuple[Tuple[int, int, int], np.ndarray]] = None
+        # How this base's arrays are backed: "memory" (built in
+        # process), "eager" (snapshot read into memory), "mmap"
+        # (zero-copy views over a file mapping) or "shm" (views over a
+        # shared-memory segment).  ``_backing_buffer`` pins the
+        # mapping/segment for the life of the base.
+        self.snapshot_backing = "memory"
+        self._backing_buffer = None
 
     # ------------------------------------------------------------------
     # Population

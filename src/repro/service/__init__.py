@@ -29,6 +29,8 @@ from .faults import (CorruptShardAnswer, FaultError, FaultPlan,
                      FaultSpec, FaultyShard, ShardTimeoutError)
 from .metrics import Counter, Histogram, MetricsRegistry
 from .pool import AdmissionQueue, WorkerPool
+from .procpool import (ProcessShardView, ProcessWorkerPool,
+                       WorkerOperationError, WorkerUnavailableError)
 from .service import (DEGRADED, OK, OVERLOADED, TIER_ANN, TIER_EXACT,
                       TIER_HASH, RetrievalService, ServiceConfig,
                       ServiceResult)
@@ -38,9 +40,10 @@ __all__ = [
     "AdmissionQueue", "BreakerConfig", "CircuitBreaker",
     "CorruptShardAnswer", "Counter", "DEGRADED", "Deadline",
     "FaultError", "FaultPlan", "FaultSpec", "FaultyShard", "Histogram",
-    "MetricsRegistry", "OK", "OVERLOADED", "QueryResultCache",
-    "RetrievalService", "ServiceConfig", "ServiceResult", "Shard",
-    "ShardSet", "ShardTimeoutError", "TIER_ANN", "TIER_EXACT",
-    "TIER_HASH", "WorkerPool", "merge_topk", "shard_for",
-    "sketch_signature",
+    "MetricsRegistry", "OK", "OVERLOADED", "ProcessShardView",
+    "ProcessWorkerPool", "QueryResultCache", "RetrievalService",
+    "ServiceConfig", "ServiceResult", "Shard", "ShardSet",
+    "ShardTimeoutError", "TIER_ANN", "TIER_EXACT", "TIER_HASH",
+    "WorkerOperationError", "WorkerPool", "WorkerUnavailableError",
+    "merge_topk", "shard_for", "sketch_signature",
 ]

@@ -1,0 +1,701 @@
+"""Process-level execution tier: shard workers over zero-copy snapshots.
+
+The thread-mode service tops out once the exact matcher's Python-side
+bookkeeping saturates the GIL; this module moves shard *query
+execution* into worker processes while leaving every serving-layer
+decision (admission, cache, retries, breakers, merge, degradation
+ladder) in the parent.  The design follows the one-writer /
+many-searcher model of production retrieval engines:
+
+* **Publish.**  The parent serializes each shard's base to the v3/v4
+  columnar snapshot format — to per-shard files under ``publish_dir``
+  when one is configured, otherwise into
+  :mod:`multiprocessing.shared_memory` segments — and hands workers
+  nothing but small *attach specs* (a path or a segment name plus a
+  byte count).
+* **Attach.**  Every worker maps every shard zero-copy:
+  :func:`~repro.storage.persist.load_base` with ``mmap=True`` for
+  files (the kernel page cache backs all workers with one physical
+  copy) or :func:`~repro.storage.persist.load_base_buffer` over the
+  shared segment.  A mutation in the parent bumps the shard-set
+  version; :meth:`ProcessWorkerPool.sync` republishes and workers
+  re-attach, so serving state converges without restarts.
+* **Dispatch.**  :class:`ProcessShardView` is a shard-shaped proxy:
+  matcher/ANN operations become pickle-light task envelopes (query
+  vertex arrays + parameters in, top-k id/score arrays out) sent over
+  a per-worker pipe; the constant-cost ``hash_query`` tier stays in
+  the parent so a dead worker's shard can still contribute fallback
+  answers.  Shards map to workers by fixed affinity
+  (``shard_index % processes``): failure domains are deterministic —
+  killing a worker degrades exactly its shard slice, which the
+  PR 4 breaker/degradation ladder already knows how to route around —
+  and each worker's hot set stays page-local.
+
+Deadlines stay cooperative across the process boundary: the parent
+sends the attempt's *remaining seconds* with each envelope and the
+worker rebuilds a local :class:`~repro.service.deadline.Deadline` as
+the matcher's abort hook.  Dead workers are detected both in-band
+(broken pipe on send/recv) and by liveness checks while awaiting a
+reply; either way the shard call raises
+:class:`WorkerUnavailableError`, which the service's resilient-call
+boundary converts into a degraded (never failed) answer.
+"""
+
+from __future__ import annotations
+
+import multiprocessing
+import os
+import sys
+import threading
+import time
+from pathlib import Path
+from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
+
+import numpy as np
+
+from ..core.matcher import Match, MatchStats
+from ..geometry.polyline import Shape
+from .deadline import Deadline
+from .faults import ShardTimeoutError
+from .pool import WorkerPool
+from .shards import Shard, ShardSet
+
+#: Pipe poll granularity while awaiting a reply: liveness of the
+#: worker process is re-checked every slice, so a SIGKILLed worker is
+#: detected within one slice instead of hanging until the timeout.
+_POLL_SLICE = 0.05
+
+#: Grace added on top of a cooperative deadline before the parent
+#: declares the attempt timed out (covers serialization + pipe hops).
+_DEADLINE_GRACE = 0.5
+
+#: Upper bound for calls with no deadline at all — a liveness
+#: backstop, not a latency target.
+_DEFAULT_CALL_TIMEOUT = 120.0
+
+#: Attach (publish + load + warm) budget per worker.
+_ATTACH_TIMEOUT = 300.0
+
+
+class WorkerUnavailableError(RuntimeError):
+    """The shard's worker process is dead or unreachable."""
+
+
+class WorkerOperationError(RuntimeError):
+    """The worker executed the op and reported an exception."""
+
+
+# ----------------------------------------------------------------------
+# Wire formats: pickle-light envelopes
+# ----------------------------------------------------------------------
+def _shape_to_wire(shape: Shape) -> Tuple[np.ndarray, bool]:
+    """A sketch as ``(float64 (n,2) array, closed)`` — no Shape pickle."""
+    return (np.ascontiguousarray(shape.vertices, dtype=np.float64),
+            bool(shape.closed))
+
+
+def _shape_from_wire(wire: Tuple[np.ndarray, bool]) -> Shape:
+    vertices, closed = wire
+    array = np.asarray(vertices, dtype=np.float64)
+    array.setflags(write=False)
+    # The parent serialized an already-constructed Shape, so the
+    # constructor's invariants hold; _trusted skips re-validation.
+    return Shape._trusted(array, closed)
+
+
+def _matches_to_wire(matches: Sequence[Match]) -> Tuple[np.ndarray, ...]:
+    """Top-k lists as parallel columns (ids/images/scores/entries/flags)."""
+    n = len(matches)
+    ids = np.fromiter((m.shape_id for m in matches),
+                      dtype=np.int64, count=n)
+    images = np.fromiter(
+        (-1 if m.image_id is None else m.image_id for m in matches),
+        dtype=np.int64, count=n)
+    distances = np.fromiter((m.distance for m in matches),
+                            dtype=np.float64, count=n)
+    entries = np.fromiter((m.entry_id for m in matches),
+                          dtype=np.int64, count=n)
+    approx = np.fromiter((m.approximate for m in matches),
+                         dtype=np.bool_, count=n)
+    return (ids, images, distances, entries, approx)
+
+
+def _matches_from_wire(wire: Tuple[np.ndarray, ...]) -> List[Match]:
+    ids, images, distances, entries, approx = wire
+    return [Match(shape_id=int(ids[i]),
+                  image_id=None if images[i] < 0 else int(images[i]),
+                  distance=float(distances[i]),
+                  entry_id=int(entries[i]),
+                  approximate=bool(approx[i]))
+            for i in range(len(ids))]
+
+
+def _stats_to_wire(stats: MatchStats) -> Dict[str, Any]:
+    return {"iterations": stats.iterations,
+            "epsilons": list(stats.epsilons),
+            "triangles_queried": stats.triangles_queried,
+            "vertices_reported": stats.vertices_reported,
+            "vertices_processed": stats.vertices_processed,
+            "candidates_evaluated": stats.candidates_evaluated,
+            "guaranteed": stats.guaranteed,
+            "exhausted": stats.exhausted,
+            "timings": dict(stats.timings)}
+
+
+def _stats_from_wire(wire: Dict[str, Any]) -> MatchStats:
+    return MatchStats(**wire)
+
+
+# ----------------------------------------------------------------------
+# Worker process
+# ----------------------------------------------------------------------
+def _attach_base(spec: Dict[str, Any]):
+    """Load one shard base zero-copy from its attach spec.
+
+    Returns ``(base, keepalive)`` — ``keepalive`` holds whatever must
+    outlive the base's array views (the shared-memory segment).
+    """
+    from ..storage.persist import load_base, load_base_buffer
+    backend = spec.get("backend", "kdtree")
+    if spec["kind"] == "file":
+        base = load_base(spec["path"], backend=backend, mmap=True)
+        return base, None
+    if spec["kind"] == "shm":
+        from multiprocessing import resource_tracker, shared_memory
+        # Attaching would register the segment with the resource
+        # tracker (track=False lands only in 3.13+): the tracker would
+        # then unlink a segment the parent still owns when this worker
+        # exits, while an unregister-after-attach erases the *parent's*
+        # registration instead (one shared tracker, set semantics).
+        # Suppress registration around the attach; the parent is the
+        # single owner.
+        original_register = resource_tracker.register
+        resource_tracker.register = lambda name, rtype: None
+        try:
+            segment = shared_memory.SharedMemory(name=spec["name"])
+        finally:
+            resource_tracker.register = original_register
+        # Segments are page-rounded: slice to the payload size or the
+        # snapshot's body-length check sees trailing garbage.
+        view = memoryview(segment.buf)[:spec["size"]]
+        base = load_base_buffer(view, backend=backend, backing="shm")
+        return base, (segment, view)
+    raise ValueError(f"unknown attach spec kind {spec['kind']!r}")
+
+
+def _release_attachments(shards: Dict[int, Shard],
+                         keepalive: Dict[int, Any]) -> None:
+    """Tear down attached bases in dependency order.
+
+    The base's arrays are views over the segment buffer; they must be
+    collected before the memoryview is released and the segment
+    closed, or ``SharedMemory.__del__`` trips over exported pointers
+    at an arbitrary later GC point (noisy, though harmless).
+    """
+    import gc
+    shards.clear()
+    gc.collect()
+    for keep in keepalive.values():
+        if keep is None:
+            continue
+        segment, view = keep
+        try:
+            view.release()
+            segment.close()
+        except BufferError:     # a view is still referenced somewhere
+            pass
+    keepalive.clear()
+
+
+def _build_attachments(specs: Sequence[Dict[str, Any]],
+                       params: Dict[str, Any]
+                       ) -> Tuple[Dict[int, Shard], Dict[int, Any]]:
+    """Attach + warm every published shard (runs inside the worker).
+
+    A separate function so no local reference to a shard or its base
+    outlives the attach round — :func:`_release_attachments` relies on
+    the bases being collectable before it releases the buffers their
+    arrays view.
+    """
+    fresh: Dict[int, Shard] = {}
+    fresh_keep: Dict[int, Any] = {}
+    for spec in specs:
+        index = spec["index"]
+        base, keep = _attach_base(spec)
+        shard = Shard(index, base, beta=params["beta"],
+                      hash_curves=params["hash_curves"],
+                      neighbor_radius=params["neighbor_radius"],
+                      ann=params["ann"])
+        # Warm the tiers this worker serves (index, matcher, ANN);
+        # the hash tier stays parent-side.
+        if base.num_entries:
+            base.index
+        shard.matcher
+        if params["ann"] is not None:
+            shard.ann
+        fresh[index] = shard
+        fresh_keep[index] = keep
+    return fresh, fresh_keep
+
+
+def _worker_main(conn, worker_index: int, params: Dict[str, Any]) -> None:
+    """One shard worker: attach to published shards, serve query ops.
+
+    The loop is strictly request/reply over one pipe; every reply
+    echoes the request id so the parent can discard replies to
+    requests it already abandoned (timed-out attempts).
+    """
+    shards: Dict[int, Shard] = {}
+    keepalive: Dict[int, Any] = {}
+    while True:
+        try:
+            message = conn.recv()
+        except (EOFError, OSError):
+            _release_attachments(shards, keepalive)
+            return
+        kind = message[0]
+        if kind == "stop":
+            _release_attachments(shards, keepalive)
+            return
+        req_id = message[1]
+        try:
+            if kind == "attach":
+                fresh, fresh_keep = _build_attachments(message[2],
+                                                       params)
+                stale, stale_keep = shards, keepalive
+                shards, keepalive = fresh, fresh_keep
+                del fresh, fresh_keep
+                _release_attachments(stale, stale_keep)
+                conn.send((req_id, "ok", {
+                    "worker": worker_index,
+                    "pid": os.getpid(),
+                    "shards": sorted(shards),
+                    "shapes": {i: s.num_shapes
+                               for i, s in shards.items()}}))
+            elif kind == "run":
+                conn.send((req_id, "ok",
+                           _serve_run(shards, worker_index, message)))
+            elif kind == "ping":
+                conn.send((req_id, "ok", os.getpid()))
+            else:
+                raise ValueError(f"unknown message kind {kind!r}")
+        except Exception as exc:   # isolation boundary: report, don't die
+            try:
+                conn.send((req_id, "err", type(exc).__name__, str(exc)))
+            except (OSError, ValueError):
+                return
+
+
+def _serve_run(shards: Dict[int, Shard], worker_index: int,
+               message: tuple) -> list:
+    """Dispatch one run envelope (keeps shard refs out of the loop)."""
+    shard_index, op, payload = message[2:5]
+    shard = shards.get(shard_index)
+    if shard is None:
+        raise RuntimeError(f"worker {worker_index} has no shard "
+                           f"{shard_index} attached")
+    return _run_op(shard, op, payload)
+
+
+def _run_op(shard: Shard, op: str, payload: Dict[str, Any]) -> list:
+    """Execute one query op; results as wire pairs (matches, stats)."""
+    sketches = [_shape_from_wire(w) for w in payload["sketches"]]
+    remaining = payload.get("remaining")
+    abort = None
+    if remaining is not None:
+        abort = Deadline(max(0.0, remaining)).expired
+    k = payload.get("k")
+    threshold = payload.get("threshold")
+    if op == "query":
+        pairs = [shard.query(sketches[0], k, abort=abort)]
+    elif op == "query_batch":
+        pairs = shard.query_batch(sketches, k, abort=abort)
+    elif op == "query_threshold":
+        pairs = [shard.query_threshold(sketches[0], threshold,
+                                       abort=abort)]
+    elif op == "query_threshold_batch":
+        pairs = shard.query_threshold_batch(sketches, threshold,
+                                            abort=abort)
+    elif op == "ann_query":
+        pairs = [shard.ann_query(sketches[0], k, abort=abort)]
+    elif op == "ann_query_batch":
+        pairs = shard.ann_query_batch(sketches, k, abort=abort)
+    else:
+        raise ValueError(f"unknown op {op!r}")
+    return [(_matches_to_wire(matches), _stats_to_wire(stats))
+            for matches, stats in pairs]
+
+
+# ----------------------------------------------------------------------
+# Parent side
+# ----------------------------------------------------------------------
+class _Worker:
+    """Parent-side handle on one worker process (pipe + liveness)."""
+
+    __slots__ = ("index", "process", "conn", "lock", "alive")
+
+    def __init__(self, index, process, conn):
+        self.index = index
+        self.process = process
+        self.conn = conn
+        self.lock = threading.Lock()
+        self.alive = True
+
+    def is_alive(self) -> bool:
+        return self.alive and self.process.is_alive()
+
+
+class _Publication:
+    """One published shard snapshot (file or shared-memory segment)."""
+
+    __slots__ = ("spec", "_segment", "_path")
+
+    def __init__(self, spec, segment=None, path=None):
+        self.spec = spec
+        self._segment = segment
+        self._path = path
+
+    def release(self) -> None:
+        if self._segment is not None:
+            try:
+                self._segment.close()
+                self._segment.unlink()
+            except Exception:
+                pass
+            self._segment = None
+        if self._path is not None:
+            try:
+                os.unlink(self._path)
+            except OSError:
+                pass
+            self._path = None
+
+
+class ProcessWorkerPool(WorkerPool):
+    """A :class:`WorkerPool` whose shard work runs in worker processes.
+
+    Presents the same ``map_over``/``submit``/``shutdown`` surface —
+    the inherited *thread* pool still drives per-shard fan-out in the
+    parent, but each shard callable now crosses a pipe into the
+    worker process that owns the shard (``shard_index % processes``)
+    instead of running the matcher under the parent's GIL.
+
+    ``publish_dir`` selects the publish transport: a directory means
+    per-shard snapshot *files* that workers mmap (zero-copy through
+    the kernel page cache, survives for post-mortem inspection);
+    ``None`` means anonymous :mod:`multiprocessing.shared_memory`
+    segments (snapshotless bases, nothing touches the filesystem).
+    """
+
+    def __init__(self, processes: int = 2, workers: Optional[int] = None,
+                 publish_dir: Optional[str] = None,
+                 start_method: Optional[str] = None,
+                 backend: str = "kdtree", beta: float = 0.25,
+                 hash_curves: int = 50, neighbor_radius: int = 1,
+                 ann=None):
+        if processes < 1:
+            raise ValueError("processes must be at least 1")
+        # Parent threads must be able to occupy every worker process
+        # at once, or fan-out serializes behind the thread pool.
+        super().__init__(workers=max(processes,
+                                     workers if workers else 1))
+        self.processes = int(processes)
+        self.publish_dir = publish_dir
+        if start_method is None:
+            start_method = os.environ.get("REPRO_PROCPOOL_START") or \
+                ("fork" if sys.platform.startswith("linux") else "spawn")
+        self.start_method = start_method
+        self._params = {"backend": backend, "beta": beta,
+                        "hash_curves": hash_curves,
+                        "neighbor_radius": neighbor_radius, "ann": ann}
+        self._ctx = multiprocessing.get_context(self.start_method)
+        self._proc_workers: List[_Worker] = []
+        self._req_counter = 0
+        self._req_lock = threading.Lock()
+        self._sync_lock = threading.Lock()
+        self._synced_version: Optional[int] = None
+        self._publications: List[_Publication] = []
+        self._start_workers()
+
+    # -- lifecycle ------------------------------------------------------
+    def _start_workers(self) -> None:
+        for index in range(self.processes):
+            parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+            process = self._ctx.Process(
+                target=_worker_main,
+                args=(child_conn, index, self._params),
+                name=f"repro-shard-worker-{index}", daemon=True)
+            process.start()
+            child_conn.close()
+            self._proc_workers.append(
+                _Worker(index, process, parent_conn))
+
+    def _next_req_id(self) -> int:
+        with self._req_lock:
+            self._req_counter += 1
+            return self._req_counter
+
+    # -- publishing -----------------------------------------------------
+    def _publish_shard(self, shard: Shard, version: int) -> _Publication:
+        from ..storage.persist import encode_base, save_base
+        ann = self._params["ann"]
+        sketch = ann.sketch if ann is not None else None
+        spec: Dict[str, Any] = {"index": shard.index,
+                                "backend": shard.base.backend}
+        if self.publish_dir is not None:
+            directory = Path(self.publish_dir)
+            directory.mkdir(parents=True, exist_ok=True)
+            path = directory / (f"shard-{shard.index:02d}"
+                                f"-v{version:08d}.gsb")
+            save_base(shard.base, path,
+                      version=4 if sketch is not None else 3,
+                      ann_sketch=sketch)
+            spec.update(kind="file", path=str(path))
+            return _Publication(spec, path=str(path))
+        from multiprocessing import shared_memory
+        payload = encode_base(shard.base, ann_sketch=sketch)
+        segment = shared_memory.SharedMemory(create=True,
+                                             size=len(payload))
+        segment.buf[:len(payload)] = payload
+        spec.update(kind="shm", name=segment.name, size=len(payload))
+        return _Publication(spec, segment=segment)
+
+    def sync(self, shard_set: ShardSet, force: bool = False) -> bool:
+        """Publish the shard set and (re-)attach every live worker.
+
+        No-op when the workers already hold the shard set's current
+        version; a version bump (ingest/remove) republishes every
+        shard and broadcasts new attach specs, after which the stale
+        publications are released.  Returns True when an attach round
+        actually ran.
+        """
+        with self._sync_lock:
+            version = shard_set.version
+            if not force and version == self._synced_version:
+                return False
+            publications = [self._publish_shard(shard, version)
+                            for shard in shard_set]
+            specs = [pub.spec for pub in publications]
+            for worker in self._proc_workers:
+                if not worker.is_alive():
+                    continue
+                try:
+                    self._call_worker(worker, ("attach", None, specs),
+                                      timeout=_ATTACH_TIMEOUT)
+                except (WorkerUnavailableError, ShardTimeoutError):
+                    worker.alive = False
+            stale, self._publications = (self._publications,
+                                         publications)
+            for publication in stale:
+                publication.release()
+            self._synced_version = version
+            return True
+
+    # -- dispatch -------------------------------------------------------
+    def _worker_for(self, shard_index: int) -> _Worker:
+        return self._proc_workers[shard_index % len(self._proc_workers)]
+
+    def _call_worker(self, worker: _Worker, message: tuple,
+                     timeout: Optional[float]) -> Any:
+        """One request/reply on a worker's pipe (serialized per worker).
+
+        Replies carrying a stale request id (a previous attempt the
+        parent abandoned on timeout) are drained and discarded, so
+        one slow call cannot desynchronize the pipe for the next.
+        """
+        if not worker.is_alive():
+            worker.alive = False
+            raise WorkerUnavailableError(
+                f"worker {worker.index} (pid "
+                f"{worker.process.pid}) is dead")
+        req_id = self._next_req_id()
+        message = (message[0], req_id) + message[2:]
+        deadline = Deadline(timeout if timeout is not None
+                            else _DEFAULT_CALL_TIMEOUT)
+        with worker.lock:
+            try:
+                while worker.conn.poll(0):       # drain stale replies
+                    worker.conn.recv()
+                worker.conn.send(message)
+                while True:
+                    if worker.conn.poll(_POLL_SLICE):
+                        reply = worker.conn.recv()
+                        if reply[0] != req_id:
+                            continue             # stale; keep waiting
+                        if reply[1] == "ok":
+                            return reply[2]
+                        raise WorkerOperationError(
+                            f"worker {worker.index}: "
+                            f"{reply[2]}: {reply[3]}")
+                    if not worker.process.is_alive():
+                        worker.alive = False
+                        raise WorkerUnavailableError(
+                            f"worker {worker.index} died mid-call")
+                    if deadline.expired():
+                        raise ShardTimeoutError(
+                            f"worker {worker.index} reply exceeded "
+                            f"{timeout if timeout is not None else _DEFAULT_CALL_TIMEOUT}s")
+            except (BrokenPipeError, EOFError, OSError) as exc:
+                worker.alive = False
+                raise WorkerUnavailableError(
+                    f"worker {worker.index} pipe failed: {exc}") \
+                    from exc
+
+    def call(self, shard_index: int, op: str, payload: Dict[str, Any],
+             timeout: Optional[float] = None) -> list:
+        """Run one shard op on its affinity worker; wire pairs back."""
+        worker = self._worker_for(shard_index)
+        return self._call_worker(
+            worker, ("run", None, shard_index, op, payload), timeout)
+
+    # -- chaos / introspection ------------------------------------------
+    def kill_worker(self, index: int) -> int:
+        """SIGKILL one worker (chaos hook); returns its pid.
+
+        Deliberately does *not* mark the worker dead — detection is
+        the service's job (liveness checks, broken pipes, breakers).
+        """
+        worker = self._proc_workers[index % len(self._proc_workers)]
+        pid = worker.process.pid
+        worker.process.kill()
+        return pid
+
+    def alive_workers(self) -> List[int]:
+        return [w.index for w in self._proc_workers if w.is_alive()]
+
+    def worker_pids(self) -> List[Optional[int]]:
+        return [w.process.pid for w in self._proc_workers]
+
+    def info(self) -> Dict[str, Any]:
+        return {"processes": self.processes,
+                "alive": self.alive_workers(),
+                "start_method": self.start_method,
+                "publish": ("file" if self.publish_dir is not None
+                            else "shm"),
+                "synced_version": self._synced_version}
+
+    def shutdown(self) -> None:
+        """Stop workers, release publications, then the thread pool."""
+        if self.closed:
+            return
+        for worker in self._proc_workers:
+            try:
+                worker.conn.send(("stop",))
+            except (BrokenPipeError, OSError, ValueError):
+                pass
+        for worker in self._proc_workers:
+            worker.process.join(timeout=1.0)
+            if worker.process.is_alive():
+                worker.process.kill()
+                worker.process.join(timeout=1.0)
+            try:
+                worker.conn.close()
+            except OSError:
+                pass
+            worker.alive = False
+        for publication in self._publications:
+            publication.release()
+        self._publications = []
+        super().shutdown()
+
+    def __repr__(self) -> str:
+        return (f"ProcessWorkerPool(processes={self.processes}, "
+                f"alive={len(self.alive_workers())}, "
+                f"publish={'file' if self.publish_dir else 'shm'})")
+
+
+# ----------------------------------------------------------------------
+# Shard proxy
+# ----------------------------------------------------------------------
+def _abort_remaining(abort: Optional[Callable[[], bool]]
+                     ) -> Optional[float]:
+    """Extract the cooperative budget (seconds) from an abort callback.
+
+    The service's resilient-call wrapper annotates its abort closure
+    with a ``remaining`` thunk; a bare ``Deadline.expired`` bound
+    method is also understood.  ``None`` means unbounded.
+    """
+    if abort is None:
+        return None
+    remaining = getattr(abort, "remaining", None)
+    if callable(remaining):
+        value = remaining()
+    else:
+        owner = getattr(abort, "__self__", None)
+        if isinstance(owner, Deadline):
+            value = owner.remaining()
+        else:
+            return None
+    if value is None or value == float("inf"):
+        return None
+    return max(0.0, float(value))
+
+
+class ProcessShardView:
+    """A shard-shaped proxy that executes query ops in a worker process.
+
+    Drops into every code path a real :class:`Shard` serves (the
+    resilient call, answer validation via ``.base``, fault-injection
+    wrappers): matcher and ANN operations cross the pipe to the
+    shard's affinity worker, while ``hash_query`` — the constant-cost
+    last rung of the degradation ladder — runs on the parent's copy,
+    so a shard whose worker died still contributes salvage answers.
+    """
+
+    def __init__(self, pool: ProcessWorkerPool, shard: Shard):
+        self._pool = pool
+        self._shard = shard
+        self.index = shard.index
+
+    # -- parent-side surface -------------------------------------------
+    @property
+    def base(self):
+        return self._shard.base
+
+    @property
+    def num_shapes(self) -> int:
+        return self._shard.num_shapes
+
+    def warm(self) -> None:
+        self._shard.warm()
+
+    def hash_query(self, sketch: Shape, k: int) -> List[Match]:
+        return self._shard.hash_query(sketch, k)
+
+    # -- remote ops -----------------------------------------------------
+    def _remote(self, op: str, sketches: Sequence[Shape],
+                abort: Optional[Callable[[], bool]],
+                **parameters) -> List[Tuple[List[Match], MatchStats]]:
+        remaining = _abort_remaining(abort)
+        payload = {"sketches": [_shape_to_wire(s) for s in sketches],
+                   "remaining": remaining, **parameters}
+        timeout = None if remaining is None \
+            else remaining + _DEADLINE_GRACE
+        pairs = self._pool.call(self.index, op, payload,
+                                timeout=timeout)
+        return [(_matches_from_wire(matches), _stats_from_wire(stats))
+                for matches, stats in pairs]
+
+    def query(self, sketch, k, abort=None):
+        return self._remote("query", [sketch], abort, k=k)[0]
+
+    def query_batch(self, sketches, k, abort=None):
+        return self._remote("query_batch", sketches, abort, k=k)
+
+    def query_threshold(self, sketch, threshold, abort=None):
+        return self._remote("query_threshold", [sketch], abort,
+                            threshold=threshold)[0]
+
+    def query_threshold_batch(self, sketches, threshold, abort=None):
+        return self._remote("query_threshold_batch", sketches, abort,
+                            threshold=threshold)
+
+    def ann_query(self, sketch, k, abort=None):
+        return self._remote("ann_query", [sketch], abort, k=k)[0]
+
+    def ann_query_batch(self, sketches, k, abort=None):
+        return self._remote("ann_query_batch", sketches, abort, k=k)
+
+    def __repr__(self) -> str:
+        return (f"ProcessShardView({self.index}, "
+                f"worker={self.index % self._pool.processes})")

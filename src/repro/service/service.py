@@ -54,6 +54,7 @@ from .faults import (CorruptShardAnswer, FaultPlan, FaultyShard,
                      ShardTimeoutError)
 from .metrics import MetricsRegistry
 from .pool import AdmissionQueue, WorkerPool
+from .procpool import ProcessShardView, ProcessWorkerPool
 from .shards import Shard, ShardSet, merge_topk
 
 #: ``ServiceResult.status`` values.
@@ -127,6 +128,22 @@ class ServiceConfig:
     ann_mode: str = "auto"
     ann_exact_budget: float = 0.05
     ann_hash_budget: float = 0.002
+    #: -- execution tier ---------------------------------------------------
+    #: ``"thread"`` runs shard fan-out on the worker thread pool (the
+    #: original mode — fine until the exact matcher saturates the
+    #: GIL); ``"process"`` serves matcher/ANN ops from ``processes``
+    #: worker processes attached zero-copy to published shard
+    #: snapshots (see :mod:`repro.service.procpool`).
+    execution: str = "thread"
+    processes: int = 2
+    #: Directory for published per-shard snapshot files in process
+    #: mode; ``None`` publishes through anonymous shared-memory
+    #: segments instead (no filesystem traffic).
+    snapshot_dir: Optional[str] = None
+    #: ``multiprocessing`` start method for the worker processes;
+    #: ``None`` = ``REPRO_PROCPOOL_START`` env or the platform default
+    #: (``fork`` on linux).
+    start_method: Optional[str] = None
 
 
 @dataclass
@@ -231,11 +248,26 @@ class RetrievalService:
         self.config = config or ServiceConfig()
         if self.config.ann_mode not in ("auto", "always"):
             raise ValueError("ann_mode must be 'auto' or 'always'")
+        if self.config.execution not in ("thread", "process"):
+            raise ValueError("execution must be 'thread' or 'process'")
         self.shards = shards
         self.metrics = metrics or MetricsRegistry()
         self.cache = QueryResultCache(self.config.cache_capacity)
         self.admission = AdmissionQueue(self.config.max_pending)
-        self.pool = WorkerPool(self.config.workers)
+        self._procpool: Optional[ProcessWorkerPool] = None
+        if self.config.execution == "process":
+            self._procpool = ProcessWorkerPool(
+                processes=self.config.processes,
+                workers=self.config.workers,
+                publish_dir=self.config.snapshot_dir,
+                start_method=self.config.start_method,
+                backend=self.config.backend, beta=self.config.beta,
+                hash_curves=self.config.hash_curves,
+                neighbor_radius=self.config.neighbor_radius,
+                ann=self.config.ann)
+            self.pool: WorkerPool = self._procpool
+        else:
+            self.pool = WorkerPool(self.config.workers)
         # Single-flight: concurrent identical queries coalesce onto one
         # computation (thundering-herd protection for hot sketches).
         self._inflight: Dict[Tuple[str, int], threading.Event] = {}
@@ -275,18 +307,22 @@ class RetrievalService:
 
     @classmethod
     def from_snapshot(cls, path, config: Optional[ServiceConfig] = None,
-                      metrics: Optional[MetricsRegistry] = None
-                      ) -> "RetrievalService":
+                      metrics: Optional[MetricsRegistry] = None, *,
+                      mmap: bool = False) -> "RetrievalService":
         """Cold-start a service straight from a snapshot file.
 
         Loads the base (a v3 snapshot materializes with zero
         re-normalization), shards it, and warms every shard's kd-tree
         and hash table in parallel on the service's worker pool — the
-        whole path from file to first answered query.
+        whole path from file to first answered query.  ``mmap=True``
+        maps the snapshot read-only instead of copying it into the
+        heap (v3/v4 files); with ``execution="process"`` the workers
+        attach zero-copy regardless, through the pool's own
+        publications.
         """
         from ..storage.persist import load_base
         config = config or ServiceConfig()
-        base = load_base(path, backend=config.backend)
+        base = load_base(path, backend=config.backend, mmap=mmap)
         return cls.from_base(base, config, metrics)
 
     def reload(self, base: ShapeBase) -> None:
@@ -319,8 +355,14 @@ class RetrievalService:
         self.metrics.counter("ingest.removed").increment()
 
     def warm(self) -> None:
-        """Build all shard structures before admitting traffic."""
-        self.pool.map_over(lambda shard: shard.warm(), list(self.shards))
+        """Build all shard structures before admitting traffic.
+
+        In process mode this additionally publishes the shards and
+        attaches every worker (their own warm-up), so the first query
+        pays no snapshot-encode or index-build latency.
+        """
+        self.shards.warm(pool=self.pool,
+                         execution=self.config.execution)
 
     # ------------------------------------------------------------------
     # Query algebra (paper Section 5 at the service tier)
@@ -370,6 +412,7 @@ class RetrievalService:
                 "RetrievalService is closed; create a new service")
         if threshold is None:
             threshold = self.config.match_threshold
+        self._ensure_processes()
         sketches = list(sketches)
         budget = Deadline(deadline)
         version = self.shards.version
@@ -440,12 +483,41 @@ class RetrievalService:
     # Fault tolerance: shard views, breakers, resilient execution
     # ------------------------------------------------------------------
     def _shard_views(self) -> List[Shard]:
-        """The shards as served — wrapped for fault injection if any."""
+        """The shards as served — process proxies and fault wrappers.
+
+        In process mode each shard becomes a
+        :class:`~repro.service.procpool.ProcessShardView` forwarding
+        matcher/ANN ops to its worker process; fault injection wraps
+        *outside* the proxy so chaos plans haunt the same surface in
+        both execution modes.
+        """
         shards = list(self.shards)
+        if self._procpool is not None:
+            shards = [ProcessShardView(self._procpool, shard)
+                      for shard in shards]
         if self.config.fault_plan is None:
             return shards
         return [FaultyShard(shard, self.config.fault_plan)
                 for shard in shards]
+
+    @property
+    def procpool(self) -> Optional[ProcessWorkerPool]:
+        """The process worker pool (``execution="process"`` only).
+
+        ``None`` in thread mode.  Chaos hooks (``kill_worker``) and
+        introspection (``alive_workers``, ``info``) live here.
+        """
+        return self._procpool
+
+    def _ensure_processes(self) -> None:
+        """Converge worker processes onto the current shard version.
+
+        Publish + re-attach happens lazily before fan-out (not on
+        every ingest) so a burst of mutations costs one republish;
+        a no-op version check when already in sync.
+        """
+        if self._procpool is not None:
+            self._procpool.sync(self.shards)
 
     def _breaker_for(self, index: int) -> Optional[CircuitBreaker]:
         if self.config.breaker is None:
@@ -525,6 +597,12 @@ class RetrievalService:
 
             def aborted() -> bool:
                 return budget.expired() or attempt.expired()
+
+            # Process-mode shard proxies read the remaining budget off
+            # the abort callback to ship a cooperative deadline across
+            # the pipe (inf = unbounded; the proxy maps it to None).
+            aborted.remaining = lambda: min(budget.remaining(),
+                                            attempt.remaining())
 
             try:
                 value = op(aborted)
@@ -690,6 +768,7 @@ class RetrievalService:
         if self._closed:
             raise RuntimeError(
                 "RetrievalService is closed; create a new service")
+        self._ensure_processes()
         self.metrics.counter("queries.total").increment()
         if not self.admission.try_admit():
             self.metrics.counter("queries.shed").increment()
@@ -719,6 +798,7 @@ class RetrievalService:
         if self._closed:
             raise RuntimeError(
                 "RetrievalService is closed; create a new service")
+        self._ensure_processes()
         sketches = list(sketches)
         results: List[Optional[ServiceResult]] = [None] * len(sketches)
         admitted: List[int] = []
@@ -1076,6 +1156,9 @@ class RetrievalService:
             snap["breakers"] = {str(index): breaker.snapshot()
                                 for index, breaker
                                 in sorted(self._breakers.items())}
+        snap["execution"] = self.config.execution
+        if self._procpool is not None:
+            snap["procpool"] = self._procpool.info()
         return snap
 
     def close(self) -> None:

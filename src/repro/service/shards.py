@@ -344,14 +344,23 @@ class ShardSet:
     def shard_of(self, shape_id: int) -> Shard:
         return self.shards[shard_for(shape_id, self.num_shards)]
 
-    def warm(self, pool=None) -> None:
+    def warm(self, pool=None, execution: str = "thread") -> None:
         """Build every shard's structures; in parallel when given a
-        :class:`~repro.service.pool.WorkerPool`."""
+        :class:`~repro.service.pool.WorkerPool`.
+
+        With ``execution="process"`` and a
+        :class:`~repro.service.procpool.ProcessWorkerPool`, the warm
+        additionally publishes the shards and attaches every worker
+        process (their own index/matcher/ANN builds), so the set is
+        fully query-ready in both tiers when this returns.
+        """
         if pool is not None:
             pool.map_over(lambda shard: shard.warm(), list(self.shards))
         else:
             for shard in self.shards:
                 shard.warm()
+        if execution == "process" and hasattr(pool, "sync"):
+            pool.sync(self)
 
     # -- statistics -----------------------------------------------------
     @property

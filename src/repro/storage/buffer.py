@@ -8,6 +8,8 @@ the pool first; only misses reach the device and count as I/O.
 
 from __future__ import annotations
 
+import os
+
 from collections import OrderedDict
 from dataclasses import dataclass
 
@@ -47,9 +49,19 @@ class BufferPool:
         self.capacity = int(capacity)
         self._frames: "OrderedDict[int, bytes]" = OrderedDict()
         self.stats = BufferStats()
+        # Pools inherited across fork must not keep counting into the
+        # parent's window: each process gets its own frames and stats.
+        self._owner_pid = os.getpid()
+
+    def _check_owner(self) -> None:
+        if self._owner_pid != os.getpid():
+            self._frames = OrderedDict()
+            self.stats = BufferStats()
+            self._owner_pid = os.getpid()
 
     def read_block(self, block_id: int) -> bytes:
         """Read through the pool; misses hit the device."""
+        self._check_owner()
         frame = self._frames.get(block_id)
         if frame is not None:
             self.stats.hits += 1

@@ -35,10 +35,26 @@ one, never a torn mix.  v2/v3 headers carry the body length and a
 CRC32 of the body; :func:`load_base` verifies both and raises
 :class:`CorruptSnapshotError` (a :class:`ValueError`) on truncation or
 bit rot instead of loading garbage.
+
+**Backing modes.**  v3/v4 bases can load three ways, all bit-for-bit
+identical at query time and all recorded in ``base.snapshot_backing``:
+
+* ``"eager"`` — the file is read into process memory (the default);
+* ``"mmap"`` — ``load_base(path, mmap=True)`` memory-maps the file
+  read-only and wraps every column as a zero-copy ``np.frombuffer``
+  view over the mapping.  N processes mapping the same snapshot share
+  one set of physical pages (the kernel page cache), which is what the
+  :mod:`repro.service.procpool` worker processes rely on: attaching a
+  shard costs page-table entries, not a per-process copy of the
+  corpus.  The views are read-only — writing through them raises.
+* ``"shm"`` — :func:`load_base_buffer` over a
+  ``multiprocessing.shared_memory`` segment (the snapshotless service
+  path); same zero-copy property, the segment is the shared backing.
 """
 
 from __future__ import annotations
 
+import mmap as _mmap
 import os
 import struct
 import zlib
@@ -194,7 +210,27 @@ def save_base(base: ShapeBase, path: Union[str, Path], *,
     return _write_atomic(path, payload)
 
 
-def _load_v3(payload: bytes, backend: str, version: int = 3) -> ShapeBase:
+def encode_base(base: ShapeBase, *, hash_curves: Optional[int] = None,
+                ann_sketch=None) -> bytes:
+    """The v3/v4 snapshot payload for ``base`` as one bytes object.
+
+    Exactly what :func:`save_base` would write (v4 when ``ann_sketch``
+    is given, v3 otherwise), without touching the filesystem.  The
+    process-worker tier publishes shard bases through shared-memory
+    segments with this; :func:`load_base_buffer` is the inverse.
+    """
+    return _encode_v3(base, hash_curves, ann_sketch)
+
+
+def _load_v3(payload, backend: str, version: int = 3) -> ShapeBase:
+    """Materialize a base from a v3/v4 payload buffer.
+
+    ``payload`` may be ``bytes``, an ``mmap.mmap`` mapping or a
+    ``memoryview`` — every column array is a zero-copy
+    ``np.frombuffer`` view over it, so the caller decides the backing
+    (heap, file mapping, shared memory).  The returned arrays are
+    read-only whenever the buffer is.
+    """
     if version == 4:
         alpha, num_shapes, num_entries, n_orig, n_copy, sig_curves, \
             sk_hashes, sk_grid, sk_seed, body_len, checksum = \
@@ -206,7 +242,9 @@ def _load_v3(payload: bytes, backend: str, version: int = 3) -> ShapeBase:
                                                         _PREFIX.size)
         sk_hashes = sk_grid = sk_seed = 0
         start = _PREFIX.size + _HEADER_V3.size
-    body = payload[start:]
+    # memoryview: no copy of the body for the length/CRC checks even
+    # when the payload is a large file mapping.
+    body = memoryview(payload)[start:]
     if len(body) != body_len:
         raise CorruptSnapshotError(
             f"truncated shape-base file: body holds {len(body)} "
@@ -301,7 +339,7 @@ def _load_v3(payload: bytes, backend: str, version: int = 3) -> ShapeBase:
 
 
 def load_base(path: Union[str, Path], backend: str = "kdtree", *,
-              warm: bool = False) -> ShapeBase:
+              warm: bool = False, mmap: bool = False) -> ShapeBase:
     """Rebuild a :class:`ShapeBase` from a file written by
     :func:`save_base`.
 
@@ -315,8 +353,38 @@ def load_base(path: Union[str, Path], backend: str = "kdtree", *,
     a fresh build, up to the old formats' float32 vertex rounding).
     The stored body length and CRC32 (v2/v3) are verified before any
     array or record is decoded.
+
+    With ``mmap=True`` a v3/v4 file is memory-mapped read-only and the
+    vertex/transform/signature/sketch columns become zero-copy views
+    over the mapping: no per-process copy of the corpus, physical
+    pages shared with every other process mapping the same file, and
+    ``base.snapshot_backing == "mmap"``.  The answers are bit-for-bit
+    identical to an eager load.  v1/v2 files cannot be served from a
+    mapping (their load path re-normalizes every shape), so the flag
+    silently falls back to the eager decode for them.
     """
-    payload = Path(path).read_bytes()
+    path = Path(path)
+    if mmap:
+        with open(path, "rb") as handle:
+            head = handle.read(_PREFIX.size)
+            if len(head) >= _PREFIX.size:
+                magic, version = _PREFIX.unpack_from(head, 0)
+                if magic == MAGIC and version in (3, 4):
+                    mapping = _mmap.mmap(handle.fileno(), 0,
+                                         access=_mmap.ACCESS_READ)
+                    if len(mapping) < _PREFIX.size + (
+                            _HEADER_V3 if version == 3
+                            else _HEADER_V4).size:
+                        raise CorruptSnapshotError(
+                            "truncated shape-base file")
+                    base = _load_v3(mapping, backend, version)
+                    base.snapshot_backing = "mmap"
+                    base._backing_buffer = mapping
+                    if warm:
+                        base._ensure_arrays()
+                    return base
+        # v1/v2 (or not-ours, reported below): eager fallback.
+    payload = path.read_bytes()
     if len(payload) < _PREFIX.size:
         raise CorruptSnapshotError("truncated shape-base file")
     magic, version = _PREFIX.unpack_from(payload, 0)
@@ -337,6 +405,7 @@ def load_base(path: Union[str, Path], backend: str = "kdtree", *,
         raise CorruptSnapshotError("truncated shape-base file")
     if version in (3, 4):
         base = _load_v3(payload, backend, version)
+        base.snapshot_backing = "eager"
         if warm:
             base._ensure_arrays()
         return base
@@ -369,6 +438,44 @@ def load_base(path: Union[str, Path], backend: str = "kdtree", *,
         image_ids.append(record.image_id)
     if originals:
         base.add_shapes(originals, image_ids=image_ids, shape_ids=shape_ids)
+    base.snapshot_backing = "eager"
+    if warm:
+        base._ensure_arrays()
+    return base
+
+
+def load_base_buffer(buffer, backend: str = "kdtree", *,
+                     warm: bool = False,
+                     backing: str = "buffer") -> ShapeBase:
+    """Materialize a v3/v4 snapshot payload straight from a buffer.
+
+    ``buffer`` is any object exposing the buffer protocol — a
+    ``bytes`` payload, a ``memoryview`` over a
+    ``multiprocessing.shared_memory`` segment, an ``mmap`` mapping.
+    The column arrays view the buffer zero-copy, so the caller must
+    keep it alive for the base's lifetime (the base pins it via
+    ``_backing_buffer``); pass a read-only view (e.g.
+    ``memoryview(shm.buf).toreadonly()``) to guarantee the immutable-
+    snapshot contract.  ``backing`` labels ``base.snapshot_backing``
+    (the process tier uses ``"shm"``).  Only array-native v3/v4
+    payloads are supported — the whole point is zero-copy attach.
+    """
+    view = memoryview(buffer)
+    if len(view) < _PREFIX.size:
+        raise CorruptSnapshotError("truncated shape-base payload")
+    magic, version = _PREFIX.unpack_from(view, 0)
+    if magic != MAGIC:
+        raise CorruptSnapshotError("not a GeoSIR shape-base payload")
+    if version not in (3, 4):
+        raise CorruptSnapshotError(
+            f"buffer loads need an array-native v3/v4 payload, "
+            f"got version {version}")
+    header = _HEADER_V3 if version == 3 else _HEADER_V4
+    if len(view) < _PREFIX.size + header.size:
+        raise CorruptSnapshotError("truncated shape-base payload")
+    base = _load_v3(view, backend, version)
+    base.snapshot_backing = backing
+    base._backing_buffer = buffer
     if warm:
         base._ensure_arrays()
     return base
@@ -379,15 +486,23 @@ def snapshot_info(path: Union[str, Path]) -> Dict[str, object]:
 
     Reads just the fixed-size header (no body verification) — cheap
     enough for CLI ``stats`` to call on every invocation.
+    ``mmap_capable`` reports whether the file's format supports the
+    zero-copy backing modes (``load_base(mmap=True)`` / worker-process
+    attach): true for the array-native v3/v4 formats, false for the
+    re-normalizing v1/v2 loaders.
     """
     with open(path, "rb") as handle:
         head = handle.read(_PREFIX.size + _HEADER_V4.size)
+        handle.seek(0, os.SEEK_END)
+        size_bytes = handle.tell()
     if len(head) < _PREFIX.size:
         raise CorruptSnapshotError("truncated shape-base file")
     magic, version = _PREFIX.unpack_from(head, 0)
     if magic != MAGIC:
         raise CorruptSnapshotError("not a GeoSIR shape-base file")
-    info: Dict[str, object] = {"version": int(version)}
+    info: Dict[str, object] = {"version": int(version),
+                               "size_bytes": int(size_bytes),
+                               "mmap_capable": version in (3, 4)}
     if version == 1 and len(head) >= _PREFIX.size + _HEADER_V1.size:
         alpha, count = _HEADER_V1.unpack_from(head, _PREFIX.size)
         info.update(alpha=float(alpha), num_entries=int(count))

@@ -182,8 +182,11 @@ class TestServeBench:
                      "--seed", "3"])
         assert code == 0
         output = capsys.readouterr().out
-        assert "workers" in output
+        assert "mode" in output
+        assert "thread-1" in output
         assert "qps" in output
+        # The per-tier table: every answer landed on the exact rung.
+        assert "exact" in output
 
     def test_bad_workers_exits_cleanly(self, capsys):
         code = main(["serve-bench", "--workers", "abc"])
@@ -192,6 +195,17 @@ class TestServeBench:
         code = main(["serve-bench", "--workers", "0"])
         assert code == 2
         assert "at least 1" in capsys.readouterr().err
+
+    def test_bad_processes_exits_cleanly(self, capsys):
+        code = main(["serve-bench", "--processes", "abc"])
+        assert code == 2
+        assert "comma-separated integers" in capsys.readouterr().err
+        code = main(["serve-bench", "--processes", "0"])
+        assert code == 2
+        assert "at least 1" in capsys.readouterr().err
+        code = main(["serve-bench", "--mmap"])
+        assert code == 2
+        assert "--mmap needs --snapshot" in capsys.readouterr().err
 
     def test_json_rows(self, capsys):
         code = main(["serve-bench", "--images", "6", "--queries", "8",

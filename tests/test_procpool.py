@@ -1,0 +1,368 @@
+"""Process-tier tests (PR 8): zero-copy shard workers.
+
+Two headline invariants:
+
+* **Bit-for-bit equality** — a process-mode service answers exactly
+  like the thread-mode service (and stays equal across ingest-driven
+  republish/re-attach rounds), over both publish transports
+  (shared-memory segments and mmapped snapshot files);
+* **Degraded, never failed** — SIGKILLing a worker process turns its
+  shards' slices into degraded answers equal to the unsharded matcher
+  restricted to the surviving shards, while the service keeps serving.
+
+Around those: pool lifecycle (shutdown idempotence, publication
+cleanup), cooperative deadlines across the pipe, and the fork-safety
+regressions for the matcher scratch pool and the storage BufferPool
+(satellite: two processes must never observe each other's scratch).
+"""
+
+import os
+import time
+import multiprocessing
+
+import numpy as np
+import pytest
+
+from repro import GeometricSimilarityMatcher, ShapeBase
+from repro.imaging import generate_workload, make_query_set
+from repro.service import (ProcessWorkerPool, RetrievalService,
+                           ServiceConfig, shard_for)
+from repro.service.procpool import ProcessShardView
+
+NUM_SHARDS = 3
+PROCESSES = 2
+
+
+@pytest.fixture(scope="module")
+def corpus():
+    """Seeded workload + query set shared by the module."""
+    rng = np.random.default_rng(424242)
+    workload = generate_workload(10, rng, shapes_per_image=3.0,
+                                 noise=0.008, num_prototypes=6)
+    queries = [q for q, _ in make_query_set(
+        workload, 5, np.random.default_rng(17), noise=0.008)]
+    return workload, queries
+
+
+def build_base(workload):
+    base = ShapeBase(alpha=0.05)
+    for image in workload.images:
+        for shape in image.shapes:
+            base.add_shape(shape, image_id=image.image_id)
+    return base
+
+
+def service_config(**overrides):
+    defaults = dict(num_shards=NUM_SHARDS, workers=2, alpha=0.05,
+                    cache_capacity=0)
+    defaults.update(overrides)
+    return ServiceConfig(**defaults)
+
+
+def process_config(**overrides):
+    return service_config(execution="process", processes=PROCESSES,
+                          **overrides)
+
+
+def ranked(matches):
+    """Deterministic comparison form: (shape id, rounded distance)."""
+    return sorted((m.shape_id, round(m.distance, 9)) for m in matches)
+
+
+def exact(matches):
+    """Bit-for-bit comparison form (no rounding)."""
+    return [(m.shape_id, m.image_id, m.distance, m.entry_id,
+             m.approximate) for m in matches]
+
+
+# ----------------------------------------------------------------------
+# Equality: process mode answers bit-for-bit like thread mode
+# ----------------------------------------------------------------------
+class TestProcessEqualsThread:
+    def test_scalar_batch_and_threshold_paths(self, corpus):
+        workload, queries = corpus
+        with RetrievalService.from_base(build_base(workload),
+                                        service_config()) as threads, \
+             RetrievalService.from_base(build_base(workload),
+                                        process_config()) as procs:
+            for query in queries:
+                a = threads.retrieve(query, k=5)
+                b = procs.retrieve(query, k=5)
+                assert exact(a.matches) == exact(b.matches)
+                assert (a.status, a.method) == (b.status, b.method)
+            for a, b in zip(threads.retrieve_batch(queries, k=5),
+                            procs.retrieve_batch(queries, k=5)):
+                assert exact(a.matches) == exact(b.matches)
+            for a, b in zip(
+                    threads.similar_shapes_batch(queries, 0.05),
+                    procs.similar_shapes_batch(queries, 0.05)):
+                assert a.shape_ids == b.shape_ids
+                assert not b.failed_shards
+
+    def test_equality_survives_republish_after_ingest(self, corpus):
+        workload, queries = corpus
+        extra = [s.translated(0.4, 0.2)
+                 for img in workload.images[:2] for s in img.shapes]
+        with RetrievalService.from_base(build_base(workload),
+                                        service_config()) as threads, \
+             RetrievalService.from_base(build_base(workload),
+                                        process_config()) as procs:
+            before = procs.snapshot()["procpool"]["synced_version"]
+            threads.ingest(extra)
+            procs.ingest(extra)
+            for query in queries:
+                a = threads.retrieve(query, k=5)
+                b = procs.retrieve(query, k=5)
+                assert exact(a.matches) == exact(b.matches)
+            after = procs.snapshot()["procpool"]["synced_version"]
+            assert after > before        # workers re-attached
+
+    def test_file_publish_mode(self, corpus, tmp_path):
+        workload, queries = corpus
+        snapdir = tmp_path / "pub"
+        with RetrievalService.from_base(build_base(workload),
+                                        service_config()) as threads, \
+             RetrievalService.from_base(
+                 build_base(workload),
+                 process_config(snapshot_dir=str(snapdir))) as procs:
+            published = sorted(os.listdir(snapdir))
+            assert len(published) == NUM_SHARDS
+            assert procs.snapshot()["procpool"]["publish"] == "file"
+            for query in queries[:3]:
+                a = threads.retrieve(query, k=5)
+                b = procs.retrieve(query, k=5)
+                assert exact(a.matches) == exact(b.matches)
+        assert sorted(os.listdir(snapdir)) == []   # cleaned on close
+
+    def test_ann_tier_equality(self, corpus):
+        from repro.ann import AnnConfig
+        workload, queries = corpus
+        ann = AnnConfig(tables=8, band_width=2, grid=24, seed=3)
+        with RetrievalService.from_base(
+                build_base(workload),
+                service_config(ann=ann, ann_mode="always")) as threads, \
+             RetrievalService.from_base(
+                 build_base(workload),
+                 process_config(ann=ann, ann_mode="always")) as procs:
+            for query in queries[:3]:
+                a = threads.retrieve(query, k=5)
+                b = procs.retrieve(query, k=5)
+                assert a.method == b.method == "ann"
+                assert exact(a.matches) == exact(b.matches)
+
+
+# ----------------------------------------------------------------------
+# Dead workers: degraded, never failed
+# ----------------------------------------------------------------------
+class TestDeadWorkerDegradation:
+    def test_killed_worker_degrades_to_surviving_shards(self, corpus):
+        workload, queries = corpus
+        base = build_base(workload)
+        config = process_config(shard_hash_fallback=False,
+                                retry_attempts=1, breaker=None)
+        with RetrievalService.from_base(build_base(workload),
+                                        config) as service:
+            service.pool.kill_worker(0)
+            dead_shards = {i for i in range(NUM_SHARDS)
+                           if i % PROCESSES == 0}
+            surviving_ids = [sid for sid in base.shape_ids()
+                             if shard_for(sid, NUM_SHARDS)
+                             not in dead_shards]
+            reference = GeometricSimilarityMatcher(
+                base.subset(surviving_ids), beta=config.beta)
+            for query in queries:
+                result = service.retrieve(query, k=5)
+                assert result.status == "degraded"
+                assert result.failed_shards == sorted(dead_shards)
+                expected, _ = reference.query(query, k=5)
+                good = [m for m in expected
+                        if m.distance <= config.match_threshold]
+                if good:
+                    assert ranked(result.matches) == ranked(expected)
+                else:          # below threshold -> hashing fallback ran
+                    assert result.method in ("hashing", "none",
+                                             "envelope")
+
+    def test_killed_worker_salvaged_by_hash_tier(self, corpus):
+        workload, queries = corpus
+        config = process_config(retry_attempts=1, breaker=None)
+        with RetrievalService.from_base(build_base(workload),
+                                        config) as service:
+            service.pool.kill_worker(0)
+            result = service.retrieve(queries[0], k=5)
+            assert result.status == "degraded"
+            # hash_query runs parent-side, so the dead worker's shards
+            # can still contribute approximate salvage answers.
+            assert result.matches
+
+    def test_breaker_stops_paying_for_a_dead_worker(self, corpus):
+        from repro.service import BreakerConfig
+        workload, queries = corpus
+        config = process_config(
+            retry_attempts=1,
+            breaker=BreakerConfig(window=4, failure_threshold=0.5,
+                                  min_volume=2, cooldown=60.0))
+        with RetrievalService.from_base(build_base(workload),
+                                        config) as service:
+            service.pool.kill_worker(0)
+            for query in queries:
+                service.retrieve(query, k=3)
+            counters = service.snapshot()["counters"]
+            assert counters.get("shards.breaker_skipped", 0) > 0
+
+    def test_alive_workers_reflects_the_kill(self, corpus):
+        workload, queries = corpus
+        with RetrievalService.from_base(build_base(workload),
+                                        process_config()) as service:
+            assert service.pool.alive_workers() == list(range(PROCESSES))
+            service.pool.kill_worker(0)
+            service.retrieve(queries[0], k=3)   # detection is lazy
+            assert service.pool.alive_workers() == [1]
+
+
+# ----------------------------------------------------------------------
+# Pool lifecycle and deadlines
+# ----------------------------------------------------------------------
+class TestPoolLifecycle:
+    def test_same_surface_as_workerpool(self, corpus):
+        pool = ProcessWorkerPool(processes=2, workers=2)
+        try:
+            assert pool.map_over(lambda x: x * 2, [1, 2, 3]) == [2, 4, 6]
+            assert pool.submit(lambda: 7).result() == 7
+            assert not pool.closed
+        finally:
+            pool.shutdown()
+        assert pool.closed
+        pool.shutdown()                      # idempotent
+
+    def test_shutdown_reaps_worker_processes(self, corpus):
+        workload, _ = corpus
+        service = RetrievalService.from_base(build_base(workload),
+                                            process_config())
+        pids = [p for p in service.pool.worker_pids() if p]
+        assert pids
+        service.close()
+        deadline = time.monotonic() + 5.0
+        while time.monotonic() < deadline:
+            alive = [pid for pid in pids
+                     if _process_exists(pid)]
+            if not alive:
+                break
+            time.sleep(0.05)
+        assert not alive
+
+    def test_zero_deadline_degrades_without_hanging(self, corpus):
+        workload, queries = corpus
+        with RetrievalService.from_base(build_base(workload),
+                                        process_config()) as service:
+            start = time.monotonic()
+            result = service.retrieve(queries[0], k=3, deadline=0.0)
+            assert time.monotonic() - start < 5.0
+            assert result.status == "ok"
+            assert result.degraded
+
+    def test_view_exposes_parent_surface(self, corpus):
+        workload, queries = corpus
+        with RetrievalService.from_base(build_base(workload),
+                                        process_config()) as service:
+            view = ProcessShardView(service.pool,
+                                    service.shards.shards[0])
+            assert view.index == 0
+            assert view.base is service.shards.shards[0].base
+            assert view.num_shapes == service.shards.shards[0].num_shapes
+            matches, stats = view.query(queries[0], 3)
+            direct, _ = service.shards.shards[0].query(queries[0], 3)
+            assert exact(matches) == exact(direct)
+
+
+def _process_exists(pid: int) -> bool:
+    try:
+        os.kill(pid, 0)
+    except ProcessLookupError:
+        return False
+    except PermissionError:
+        return True
+    return True
+
+
+# ----------------------------------------------------------------------
+# Fork safety: scratch pools must be per-process (satellite)
+# ----------------------------------------------------------------------
+def _child_scratch_probe(conn, matcher, query):
+    """Run one query in the child; report the scratch pool identities.
+
+    The inherited (pre-fork) scratch objects are kept alive for the
+    whole probe: if they were freed, the allocator could hand their
+    addresses to the rebuilt pool and ``id()`` comparisons against the
+    parent would collide spuriously.
+    """
+    with matcher._scratch_lock:
+        inherited = list(matcher._scratch_pool)       # pin: no id reuse
+        inherited_ids = [id(s) for s in inherited]
+    matches, _ = matcher.query(query, k=3)
+    with matcher._scratch_lock:
+        pool_ids = [id(s) for s in matcher._scratch_pool]
+    conn.send((os.getpid(), inherited_ids, pool_ids,
+               [(m.shape_id, m.distance) for m in matches]))
+    conn.close()
+    del inherited
+
+
+def _child_buffer_probe(conn, pool):
+    pool.read_block(0)
+    conn.send((pool.stats.hits, pool.stats.misses))
+    conn.close()
+
+
+class TestForkSafety:
+    def test_matcher_scratch_not_shared_across_fork(self, corpus):
+        workload, queries = corpus
+        base = build_base(workload)
+        matcher = GeometricSimilarityMatcher(base)
+        matcher.query(queries[0], k=3)       # populate the scratch pool
+        with matcher._scratch_lock:
+            parent_ids = {id(s) for s in matcher._scratch_pool}
+        assert parent_ids
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        child = ctx.Process(target=_child_scratch_probe,
+                            args=(child_conn, matcher, queries[0]))
+        child.start()
+        child_conn.close()
+        child_pid, inherited_ids, child_ids, child_answer = \
+            parent_conn.recv()
+        child.join(timeout=10)
+        assert child_pid != os.getpid()
+        # The child saw the parent's pool arrive through fork...
+        assert set(inherited_ids) == parent_ids
+        # ...and rebuilt it on first use: no inherited buffer survives
+        # into the child's pool, so concurrent queries in parent and
+        # child can never clobber each other's scratch.
+        assert parent_ids.isdisjoint(child_ids)
+        parent_matches, _ = matcher.query(queries[0], k=3)
+        assert [(m.shape_id, m.distance)
+                for m in parent_matches] == child_answer
+        with matcher._scratch_lock:
+            assert {id(s) for s in matcher._scratch_pool} == parent_ids
+
+    def test_buffer_pool_stats_reset_in_child(self):
+        from repro.storage.buffer import BufferPool
+        from repro.storage.disk import BlockDevice
+        device = BlockDevice()
+        device.allocate(b"block zero")
+        pool = BufferPool(device, capacity=2)
+        pool.read_block(0)
+        pool.read_block(0)
+        assert (pool.stats.hits, pool.stats.misses) == (1, 1)
+        ctx = multiprocessing.get_context("fork")
+        parent_conn, child_conn = ctx.Pipe()
+        child = ctx.Process(target=_child_buffer_probe,
+                            args=(child_conn, pool))
+        child.start()
+        child_conn.close()
+        child_stats = parent_conn.recv()
+        child.join(timeout=10)
+        # Child starts a fresh window (cold frames, zero stats) instead
+        # of inheriting — and counting into — the parent's.
+        assert child_stats == (0, 1)
+        assert (pool.stats.hits, pool.stats.misses) == (1, 1)
