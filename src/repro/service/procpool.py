@@ -48,6 +48,7 @@ import os
 import sys
 import threading
 import time
+import weakref
 from pathlib import Path
 from typing import Any, Callable, Dict, List, Optional, Sequence, Tuple
 
@@ -413,7 +414,15 @@ class ProcessWorkerPool(WorkerPool):
         self._req_counter = 0
         self._req_lock = threading.Lock()
         self._sync_lock = threading.Lock()
+        # Synced state is the *pair* (shard set identity, version):
+        # versions restart at 1 for every fresh ShardSet (reload swaps
+        # in a new set via from_base), so the version alone cannot
+        # distinguish "already attached" from "different corpus at the
+        # same count".  A weakref keeps the pool from pinning a
+        # replaced shard set alive; a dead ref simply forces a resync.
+        self._synced_set: Optional["weakref.ref"] = None
         self._synced_version: Optional[int] = None
+        self._publish_round = 0
         self._publications: List[_Publication] = []
         self._start_workers()
 
@@ -436,7 +445,8 @@ class ProcessWorkerPool(WorkerPool):
             return self._req_counter
 
     # -- publishing -----------------------------------------------------
-    def _publish_shard(self, shard: Shard, version: int) -> _Publication:
+    def _publish_shard(self, shard: Shard, version: int,
+                       round_id: int) -> _Publication:
         from ..storage.persist import encode_base, save_base
         ann = self._params["ann"]
         sketch = ann.sketch if ann is not None else None
@@ -445,8 +455,13 @@ class ProcessWorkerPool(WorkerPool):
         if self.publish_dir is not None:
             directory = Path(self.publish_dir)
             directory.mkdir(parents=True, exist_ok=True)
+            # The round id keeps paths unique across shard-set swaps:
+            # a reloaded set restarts its version counter, and reusing
+            # a live publication's path would let the stale-release
+            # below unlink the file just published.
             path = directory / (f"shard-{shard.index:02d}"
-                                f"-v{version:08d}.gsb")
+                                f"-v{version:08d}"
+                                f"-r{round_id:04d}.gsb")
             save_base(shard.base, path,
                       version=4 if sketch is not None else 3,
                       ann_sketch=sketch)
@@ -463,33 +478,60 @@ class ProcessWorkerPool(WorkerPool):
     def sync(self, shard_set: ShardSet, force: bool = False) -> bool:
         """Publish the shard set and (re-)attach every live worker.
 
-        No-op when the workers already hold the shard set's current
-        version; a version bump (ingest/remove) republishes every
-        shard and broadcasts new attach specs, after which the stale
-        publications are released.  Returns True when an attach round
-        actually ran.
+        No-op when the workers already hold *this* shard set at its
+        current version; a version bump (ingest/remove) or a swapped
+        shard set (service reload — fresh sets restart their version
+        counter) republishes every shard and broadcasts new attach
+        specs, after which the stale publications are released.  A
+        worker that fails its attach is taken out of rotation rather
+        than left serving the previous corpus; on any error the new
+        publications are released, never leaked.  Returns True when an
+        attach round actually ran.
         """
         with self._sync_lock:
             version = shard_set.version
-            if not force and version == self._synced_version:
+            synced = (self._synced_set()
+                      if self._synced_set is not None else None)
+            if not force and synced is shard_set \
+                    and version == self._synced_version:
                 return False
-            publications = [self._publish_shard(shard, version)
-                            for shard in shard_set]
-            specs = [pub.spec for pub in publications]
-            for worker in self._proc_workers:
-                if not worker.is_alive():
-                    continue
-                try:
-                    self._call_worker(worker, ("attach", None, specs),
-                                      timeout=_ATTACH_TIMEOUT)
-                except (WorkerUnavailableError, ShardTimeoutError):
-                    worker.alive = False
-            stale, self._publications = (self._publications,
-                                         publications)
-            for publication in stale:
-                publication.release()
-            self._synced_version = version
-            return True
+            publications: List[_Publication] = []
+            installed = False
+            self._publish_round += 1
+            try:
+                for shard in shard_set:
+                    publications.append(
+                        self._publish_shard(shard, version,
+                                            self._publish_round))
+                specs = [pub.spec for pub in publications]
+                for worker in self._proc_workers:
+                    if not worker.is_alive():
+                        continue
+                    try:
+                        self._call_worker(worker,
+                                          ("attach", None, specs),
+                                          timeout=_ATTACH_TIMEOUT)
+                    except (WorkerUnavailableError, ShardTimeoutError):
+                        worker.alive = False
+                    except WorkerOperationError:
+                        # The worker survived but could not attach
+                        # (missing snapshot file, shm attach failure):
+                        # it still holds the previous corpus and would
+                        # silently serve stale answers — take it out
+                        # of rotation so its shards degrade instead.
+                        worker.alive = False
+                stale, self._publications = (self._publications,
+                                             publications)
+                installed = True
+                self._synced_set = weakref.ref(shard_set)
+                self._synced_version = version
+                for publication in stale:
+                    publication.release()
+                return True
+            finally:
+                if not installed:
+                    for publication in publications:
+                        publication.release()
 
     # -- dispatch -------------------------------------------------------
     def _worker_for(self, shard_index: int) -> _Worker:
@@ -579,10 +621,20 @@ class ProcessWorkerPool(WorkerPool):
         if self.closed:
             return
         for worker in self._proc_workers:
-            try:
-                worker.conn.send(("stop",))
-            except (BrokenPipeError, OSError, ValueError):
-                pass
+            # Fail-fast any new query dispatch, then take the pipe
+            # lock so the stop message never interleaves with an
+            # in-flight _call_worker send (Connection is not
+            # thread-safe for concurrent sends).  A worker wedged in
+            # a long call keeps the lock past the timeout; skip the
+            # polite stop — the join/kill below reaps it regardless.
+            worker.alive = False
+            if worker.lock.acquire(timeout=2.0):
+                try:
+                    worker.conn.send(("stop",))
+                except (BrokenPipeError, OSError, ValueError):
+                    pass
+                finally:
+                    worker.lock.release()
         for worker in self._proc_workers:
             worker.process.join(timeout=1.0)
             if worker.process.is_alive():

@@ -350,17 +350,29 @@ class ShardSet:
 
         With ``execution="process"`` and a
         :class:`~repro.service.procpool.ProcessWorkerPool`, the warm
-        additionally publishes the shards and attaches every worker
-        process (their own index/matcher/ANN builds), so the set is
-        fully query-ready in both tiers when this returns.
+        publishes the shards and attaches every worker process, which
+        build their own index/matcher/ANN structures; the parent only
+        builds the constant-cost hash tier it actually serves (the
+        degradation ladder's salvage rung) — duplicating the full
+        builds parent-side would roughly double warm-up CPU time and
+        resident memory for structures the parent never queries.
         """
+        if execution == "process" and hasattr(pool, "sync"):
+            build = self._warm_hash_tier
+        else:
+            build = lambda shard: shard.warm()
         if pool is not None:
-            pool.map_over(lambda shard: shard.warm(), list(self.shards))
+            pool.map_over(build, list(self.shards))
         else:
             for shard in self.shards:
-                shard.warm()
+                build(shard)
         if execution == "process" and hasattr(pool, "sync"):
             pool.sync(self)
+
+    @staticmethod
+    def _warm_hash_tier(shard: Shard) -> None:
+        """Parent-side warm for process mode: hash tables only."""
+        shard.retriever
 
     # -- statistics -----------------------------------------------------
     @property

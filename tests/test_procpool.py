@@ -27,7 +27,7 @@ from repro import GeometricSimilarityMatcher, ShapeBase
 from repro.imaging import generate_workload, make_query_set
 from repro.service import (ProcessWorkerPool, RetrievalService,
                            ServiceConfig, shard_for)
-from repro.service.procpool import ProcessShardView
+from repro.service.procpool import ProcessShardView, WorkerOperationError
 
 NUM_SHARDS = 3
 PROCESSES = 2
@@ -117,6 +117,29 @@ class TestProcessEqualsThread:
             after = procs.snapshot()["procpool"]["synced_version"]
             assert after > before        # workers re-attached
 
+    def test_reload_resyncs_worker_processes(self, corpus):
+        """reload() swaps in a fresh ShardSet whose version counter
+        restarts at 1 — the same number the old set was synced at, so
+        a version-only check would skip the re-attach and leave the
+        workers serving the old corpus (regression)."""
+        workload, queries = corpus
+        small = ShapeBase(alpha=0.05)
+        for image in workload.images[:4]:
+            for shape in image.shapes:
+                small.add_shape(shape, image_id=image.image_id)
+        with RetrievalService.from_base(small.subset(
+                small.shape_ids()), service_config()) as threads, \
+             RetrievalService.from_base(small.subset(
+                 small.shape_ids()), process_config()) as procs:
+            full = build_base(workload)
+            threads.reload(full)
+            procs.reload(full)
+            for query in queries:
+                a = threads.retrieve(query, k=5)
+                b = procs.retrieve(query, k=5)
+                assert exact(a.matches) == exact(b.matches)
+                assert not b.failed_shards
+
     def test_file_publish_mode(self, corpus, tmp_path):
         workload, queries = corpus
         snapdir = tmp_path / "pub"
@@ -149,6 +172,87 @@ class TestProcessEqualsThread:
                 b = procs.retrieve(query, k=5)
                 assert a.method == b.method == "ann"
                 assert exact(a.matches) == exact(b.matches)
+
+
+# ----------------------------------------------------------------------
+# Sync robustness: attach failures degrade, publications never leak
+# ----------------------------------------------------------------------
+class TestSyncRobustness:
+    def test_attach_failure_takes_worker_out_of_rotation(self, corpus,
+                                                         monkeypatch):
+        """A live worker whose attach errors (missing snapshot, shm
+        failure) must be retired — not left serving the old corpus,
+        and the error must not surface out of query paths
+        (regression)."""
+        workload, queries = corpus
+        config = process_config(retry_attempts=1, breaker=None)
+        with RetrievalService.from_base(build_base(workload),
+                                        config) as service:
+            pool = service.procpool
+            original = ProcessWorkerPool._call_worker
+
+            def failing(self, worker, message, timeout):
+                if message[0] == "attach" and worker.index == 0:
+                    raise WorkerOperationError(
+                        "worker 0: FileNotFoundError: snapshot gone")
+                return original(self, worker, message, timeout)
+
+            monkeypatch.setattr(ProcessWorkerPool, "_call_worker",
+                                failing)
+            extra = workload.images[0].shapes[0].translated(0.2, 0.2)
+            service.ingest([extra])     # bump version -> lazy resync
+            result = service.retrieve(queries[0], k=3)
+            assert result.status == "degraded"    # not an exception
+            assert pool.alive_workers() == [1]
+            # The sync round still completed: publications swapped and
+            # the synced version advanced past the attach failure.
+            assert pool.info()["synced_version"] == \
+                service.shards.version
+
+    def test_failed_publish_releases_partial_publications(
+            self, corpus, tmp_path, monkeypatch):
+        """A publish that dies midway must release the publications it
+        already made (no leaked snapshot files or shm segments) and
+        leave the installed generation serving (regression)."""
+        workload, queries = corpus
+        snapdir = tmp_path / "pub"
+        config = process_config(snapshot_dir=str(snapdir))
+        with RetrievalService.from_base(build_base(workload),
+                                        config) as service:
+            pool = service.procpool
+            before = sorted(os.listdir(snapdir))
+            original = ProcessWorkerPool._publish_shard
+            published = []
+
+            def failing(self, shard, version, round_id):
+                if published:
+                    raise RuntimeError("disk full")
+                published.append(shard.index)
+                return original(self, shard, version, round_id)
+
+            monkeypatch.setattr(ProcessWorkerPool, "_publish_shard",
+                                failing)
+            with pytest.raises(RuntimeError):
+                pool.sync(service.shards, force=True)
+            monkeypatch.undo()
+            assert sorted(os.listdir(snapdir)) == before
+            result = service.retrieve(queries[0], k=3)
+            assert not result.failed_shards
+
+    def test_process_warm_builds_only_hash_tier_in_parent(self, corpus):
+        """Workers build index/matcher/ANN during attach; the parent
+        serves only the hash salvage tier, so warming the full
+        structures parent-side would double warm-up cost."""
+        workload, queries = corpus
+        with RetrievalService.from_base(build_base(workload),
+                                        process_config()) as service:
+            for shard in service.shards.shards:
+                assert shard._matcher is None
+                assert shard._ann is None
+                assert shard._retriever is not None
+            # The exact tier still answers (from the workers).
+            result = service.retrieve(queries[0], k=3)
+            assert result.status == "ok"
 
 
 # ----------------------------------------------------------------------
