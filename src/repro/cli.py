@@ -12,6 +12,9 @@ Usage (``python -m repro ...``)::
                       [--no-cache] [--batch N] [--profile]
                       [--snapshot b.gsb] [--mmap]
                       [--ann] [--ann-mode auto|always]
+                      [--http] [--replicas N] [--chaos SEED]
+    repro serve  --http [--port 8787] [--replicas 2]
+                 [--snapshot b.gsb | --images N]
 
 ``--ann`` flags select the polygon-LSH approximate tier
 (:mod:`repro.ann`): ``build --ann`` embeds MinHash sketches in a v4
@@ -29,6 +32,15 @@ run as separate processes attached zero-copy to published snapshots
 (mmap'd files or shared memory), sidestepping the GIL; the run ends
 with a thread-vs-process answer verification pass, and ``--chaos``
 SIGKILLs one worker mid-bench to prove degraded-not-failed service.
+
+``serve`` mounts the HTTP/JSON network tier
+(:mod:`repro.service.http`): N replica processes warmed from one
+snapshot behind a health-checking balancer on a single port.
+``serve-bench --http`` drives the same fleet with a closed-loop
+client fleet over the wire; ``--chaos`` there SIGKILLs a whole
+replica (and, with ``--processes``, one worker inside a surviving
+replica) mid-bench and fails unless every client response completes
+``ok`` or ``degraded``.
 """
 
 from __future__ import annotations
@@ -331,6 +343,317 @@ def _serve_bench_algebra(args: argparse.Namespace) -> int:
     return 0
 
 
+def _bench_exit(escaped: list, failures: list) -> int:
+    """The shared serve-bench verdict across thread/process/http modes.
+
+    Degraded answers under chaos are the mechanism working — they
+    exit 0.  An escaped exception or a failed invariant (a kill that
+    never landed, an errored client response, diverging answers)
+    exits 1.  Every mode routes through here so the exit-code contract
+    cannot drift between transports.
+    """
+    if escaped:
+        print(f"error: {len(escaped)} exception(s) escaped the service "
+              f"under load:", file=sys.stderr)
+        for message in escaped[:5]:
+            print(f"  {message}", file=sys.stderr)
+    for reason in failures:
+        print(f"error: {reason}", file=sys.stderr)
+    return 1 if (escaped or failures) else 0
+
+
+def _pctl(sorted_values: list, q: float) -> float:
+    """Interpolated percentile of an already-sorted list."""
+    if not sorted_values:
+        return 0.0
+    position = (len(sorted_values) - 1) * (q / 100.0)
+    lo = int(position)
+    hi = min(lo + 1, len(sorted_values) - 1)
+    frac = position - lo
+    return sorted_values[lo] * (1 - frac) + sorted_values[hi] * frac
+
+
+def _kill_worker_over_http(endpoint, index: int = 0):
+    """Ask a replica's admin surface to SIGKILL one of its workers."""
+    import http.client
+
+    host, port = endpoint
+    conn = http.client.HTTPConnection(host, port, timeout=10)
+    try:
+        conn.request("POST", "/admin/kill_worker",
+                     body=json.dumps({"index": index}).encode(),
+                     headers={"Content-Type": "application/json"})
+        response = conn.getresponse()
+        payload = json.loads(response.read().decode("utf-8"))
+        return payload.get("killed_worker")
+    finally:
+        conn.close()
+
+
+def _serve_bench_http(args: argparse.Namespace, base, sketches,
+                      ann_config, worker_counts: list,
+                      process_counts: list) -> int:
+    """Closed-loop clients against the replicated HTTP front door.
+
+    The chaos mode here is fleet-level: at the half-way query one
+    whole replica is SIGKILLed (and, in process mode, one worker
+    inside a *surviving* replica — composing both failure domains over
+    the wire).  The invariant is the PR's acceptance bar: every client
+    response completes ``ok`` or ``degraded``, never errored, while
+    the balancer evicts the corpse within its health-check interval;
+    the bench then restarts the replica from the same published
+    snapshot and proves it serves again.
+    """
+    import os
+    import tempfile
+    import threading
+    import time
+
+    from .service import ServiceConfig
+    from .service.http import Balancer, NoHealthyReplicas, ReplicaSet
+
+    if args.replicas < 2 and args.chaos is not None:
+        print("error: --http --chaos needs --replicas >= 2 (someone "
+              "must survive the kill)", file=sys.stderr)
+        return 2
+    clients = worker_counts[-1]
+    execution = "process" if process_counts else "thread"
+    processes = process_counts[0] if process_counts else 0
+    replica_workers = processes if process_counts else max(2, clients)
+
+    tempdir = None
+    snapshot_path = args.snapshot
+    if snapshot_path is None:
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-http-bench-")
+        snapshot_path = os.path.join(tempdir.name, "bench.gsb")
+        written = save_base(
+            base, snapshot_path,
+            ann_sketch=ann_config.sketch if ann_config else None)
+        print(f"published fleet snapshot: {written} bytes "
+              f"at {snapshot_path}")
+
+    config = ServiceConfig(
+        num_shards=args.shards, workers=replica_workers,
+        cache_capacity=0 if args.no_cache else args.cache_capacity,
+        max_pending=args.max_pending, deadline=args.deadline,
+        ann=ann_config, ann_mode=args.ann_mode,
+        execution=execution, processes=processes)
+
+    kill_at = args.queries // 2 if args.chaos is not None else None
+    victim = (args.chaos % args.replicas) if kill_at is not None else None
+    during_until = (kill_at + max(args.queries // 6, 5)
+                    if kill_at is not None else None)
+    deadline_ms = args.deadline * 1000.0 if args.deadline else None
+
+    outcomes: list = []          # (index, phase, class, seconds, attempts)
+    escaped: list = []
+    failures: list = []
+    position = {"next": 0}
+    kill_state: dict = {"replica_pid": None, "worker": None}
+    lock = threading.Lock()
+
+    def phase_of(index: int) -> str:
+        if kill_at is None or index < kill_at:
+            return "before"
+        return "during" if index < during_until else "after"
+
+    try:
+        with ReplicaSet(snapshot_path, replicas=args.replicas,
+                        config=config,
+                        allow_admin=execution == "process") as fleet, \
+                Balancer(fleet.endpoints(), health_interval=0.1,
+                         retry_budget=3) as balancer:
+            print(f"fleet: {args.replicas} replicas ({execution} "
+                  f"execution, {replica_workers} workers each) at "
+                  + ", ".join(f"{h}:{p}" for h, p in fleet.endpoints())
+                  + f"; {clients} closed-loop clients")
+            if kill_at is not None:
+                note = f"chaos: SIGKILL replica {victim} at query {kill_at}"
+                if execution == "process":
+                    note += (f" + SIGKILL one worker inside replica "
+                             f"{(victim + 1) % args.replicas}")
+                print(note)
+
+            def client() -> None:
+                while True:
+                    with lock:
+                        index = position["next"]
+                        if index >= args.queries:
+                            return
+                        position["next"] = index + 1
+                    if kill_at is not None and index >= kill_at:
+                        with lock:
+                            claim = kill_state["replica_pid"] is None
+                            if claim:
+                                kill_state["replica_pid"] = -1
+                        if claim:
+                            kill_state["replica_pid"] = fleet.kill(victim)
+                            if execution == "process":
+                                sibling = (victim + 1) % args.replicas
+                                try:
+                                    kill_state["worker"] = \
+                                        _kill_worker_over_http(
+                                            fleet.endpoints()[sibling])
+                                except OSError as exc:
+                                    with lock:
+                                        escaped.append(
+                                            f"admin kill failed: {exc}")
+                    sketch = sketches[index % len(sketches)]
+                    started = time.perf_counter()
+                    try:
+                        response = balancer.query(
+                            sketch, k=args.k, deadline_ms=deadline_ms)
+                    except NoHealthyReplicas as exc:
+                        with lock:
+                            escaped.append(f"NoHealthyReplicas: {exc}")
+                        return
+                    except Exception as exc:
+                        with lock:
+                            escaped.append(f"{type(exc).__name__}: {exc}")
+                        return
+                    elapsed = time.perf_counter() - started
+                    payload = response.payload
+                    if response.status_code == 200 and \
+                            payload.get("degraded"):
+                        klass = "degraded"
+                    elif response.status_code == 200 and \
+                            payload.get("status") == "ok":
+                        klass = "ok"
+                    elif response.status_code == 503:
+                        klass = "overloaded"
+                    else:
+                        klass = "errored"
+                    with lock:
+                        outcomes.append((index, phase_of(index), klass,
+                                         elapsed, response.attempts))
+
+            start = time.perf_counter()
+            threads = [threading.Thread(target=client,
+                                        name=f"http-client-{i}")
+                       for i in range(clients)]
+            for thread in threads:
+                thread.start()
+            for thread in threads:
+                thread.join()
+            wall = time.perf_counter() - start
+
+            counts = {"ok": 0, "degraded": 0, "overloaded": 0,
+                      "errored": 0}
+            for _, _, klass, _, _ in outcomes:
+                counts[klass] += 1
+            retries = sum(attempts - 1
+                          for _, _, _, _, attempts in outcomes)
+            phases = {}
+            for phase in ("before", "during", "after"):
+                lat = sorted(seconds for _, ph, _, seconds, _ in outcomes
+                             if ph == phase)
+                if lat:
+                    phases[phase] = {
+                        "queries": len(lat),
+                        "p50_ms": round(_pctl(lat, 50.0) * 1e3, 2),
+                        "p99_ms": round(_pctl(lat, 99.0) * 1e3, 2)}
+            all_lat = sorted(seconds
+                             for _, _, _, seconds, _ in outcomes)
+
+            restart_checks: dict = {}
+            if kill_at is not None:
+                if kill_state["replica_pid"] in (None, -1):
+                    failures.append("the replica kill never landed")
+                # Eviction: the health checker must notice the corpse.
+                evict_deadline = time.monotonic() + 5.0
+                while victim in balancer.healthy() and \
+                        time.monotonic() < evict_deadline:
+                    time.sleep(0.05)
+                evicted = victim not in balancer.healthy()
+                if not evicted:
+                    failures.append(f"balancer never evicted killed "
+                                    f"replica {victim}")
+                # Warm standby: restart from the same snapshot and
+                # prove it serves again.
+                address = fleet.restart(victim)
+                balancer.replace_endpoint(victim, address)
+                balancer.check_health()
+                readmitted = victim in balancer.healthy()
+                probe = balancer.query(sketches[0], k=args.k)
+                resumed = probe.ok
+                restart_checks = {"evicted": evicted,
+                                  "readmitted": readmitted,
+                                  "resumed": resumed}
+                if not (readmitted and resumed):
+                    failures.append(
+                        f"restarted replica {victim} did not resume "
+                        f"serving (readmitted={readmitted}, "
+                        f"probe ok={resumed})")
+                if counts["errored"]:
+                    failures.append(
+                        f"{counts['errored']} client responses errored "
+                        f"under the replica kill (every response must "
+                        f"be ok or degraded)")
+            elif counts["errored"]:
+                failures.append(f"{counts['errored']} client responses "
+                                f"errored")
+            completed = len(outcomes)
+            if not escaped and completed < args.queries:
+                failures.append(f"only {completed} of {args.queries} "
+                                f"queries completed")
+
+            row = {
+                "mode": f"http-{execution}-{args.replicas}r{clients}c",
+                "transport": "http",
+                "execution": execution,
+                "replicas": args.replicas,
+                "clients": clients,
+                "shards": args.shards,
+                "queries": args.queries,
+                "completed": completed,
+                "outcomes": counts,
+                "balancer_retries": retries,
+                "wall_s": round(wall, 4),
+                "throughput_qps": (round(completed / wall, 2)
+                                   if wall else 0.0),
+                "latency_p50_ms": round(_pctl(all_lat, 50.0) * 1e3, 2),
+                "latency_p99_ms": round(_pctl(all_lat, 99.0) * 1e3, 2),
+                "phases": phases,
+            }
+            if kill_at is not None:
+                row["killed_replica"] = victim
+                row["killed_pid"] = kill_state["replica_pid"]
+                if kill_state["worker"] is not None:
+                    row["killed_worker_in_replica"] = kill_state["worker"]
+                row.update(restart_checks)
+
+            print()
+            print(f"{'phase':<8} {'queries':>8} {'p50ms':>9} {'p99ms':>9}")
+            for phase in ("before", "during", "after"):
+                stats = phases.get(phase)
+                if stats:
+                    print(f"{phase:<8} {stats['queries']:>8d} "
+                          f"{stats['p50_ms']:>9.2f} "
+                          f"{stats['p99_ms']:>9.2f}")
+            print(f"outcomes: {counts['ok']} ok, "
+                  f"{counts['degraded']} degraded, "
+                  f"{counts['overloaded']} overloaded, "
+                  f"{counts['errored']} errored; "
+                  f"{retries} balancer retries; "
+                  f"{row['throughput_qps']} qps overall")
+            if restart_checks:
+                print(f"failover: evicted={restart_checks['evicted']}, "
+                      f"restarted replica readmitted="
+                      f"{restart_checks['readmitted']}, "
+                      f"serving again={restart_checks['resumed']}")
+            if args.json:
+                print()
+                print(json.dumps(row))
+            label = os.environ.get("REPRO_BENCH_LABEL")
+            if label:
+                from .query.workload import record_trajectory
+                record_trajectory([row], label, "BENCH_matcher.json")
+    finally:
+        if tempdir is not None:
+            tempdir.cleanup()
+    return _bench_exit(escaped, failures)
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     """Closed-loop load generation against the retrieval service."""
     import threading
@@ -409,6 +732,10 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
               f"{ann_config.tables} tables x {ann_config.band_width} "
               f"rows, grid {ann_config.grid}, cap "
               f"{ann_config.candidate_cap}")
+
+    if args.http:
+        return _serve_bench_http(args, base, sketches, ann_config,
+                                 worker_counts, process_counts)
 
     chaos_plan = None
     if args.chaos is not None:
@@ -611,6 +938,7 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
                          f"p90 {row['ann_candidates_p90']}")
             print(line)
 
+    failures: list = []
     if args.chaos is not None:
         print()
         for row in rows:
@@ -628,10 +956,9 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             print(line)
         for row in rows:
             if "killed_worker" in row and not row["degraded"]:
-                print(f"error: {row['mode']} survived a worker kill with "
-                      f"no degraded answers — the kill never landed",
-                      file=sys.stderr)
-                return 1
+                failures.append(
+                    f"{row['mode']} survived a worker kill with no "
+                    f"degraded answers — the kill never landed")
     elif process_counts:
         # Answer-equality pass: every distinct sketch must resolve to
         # the same ranked matches in thread and process mode.
@@ -639,24 +966,17 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
             base, sketches, args, ann_config, process_counts[0])
         print()
         if mismatches:
-            print(f"error: thread/process answers diverge on "
-                  f"{mismatches} of {len(sketches)} sketches",
-                  file=sys.stderr)
-            return 1
-        print(f"verified: {len(sketches)} sketches answer identically "
-              f"in thread and process mode")
+            failures.append(f"thread/process answers diverge on "
+                            f"{mismatches} of {len(sketches)} sketches")
+        else:
+            print(f"verified: {len(sketches)} sketches answer "
+                  f"identically in thread and process mode")
 
     if args.json:
         print()
         for row in rows:
             print(json.dumps(row))
-    if escaped:
-        print(f"error: {len(escaped)} exception(s) escaped the service "
-              f"under chaos:", file=sys.stderr)
-        for message in escaped[:5]:
-            print(f"  {message}", file=sys.stderr)
-        return 1
-    return 0
+    return _bench_exit(escaped, failures)
 
 
 def _verify_process_mode(base, sketches, args, ann_config,
@@ -685,6 +1005,79 @@ def _verify_process_mode(base, sketches, args, ann_config,
     with RetrievalService.from_base(base, _config("process")) as proc:
         actual = _answers(proc)
     return sum(1 for a, b in zip(expected, actual) if a != b)
+
+
+def _cmd_serve(args: argparse.Namespace) -> int:
+    """Run the replicated HTTP front door until interrupted."""
+    import os
+    import tempfile
+    import time
+
+    from .service import ServiceConfig
+    from .service.http import Balancer, BalancerServer, ReplicaSet
+
+    if not args.http:
+        print("error: only the HTTP front door is implemented; "
+              "pass --http", file=sys.stderr)
+        return 2
+    if args.replicas < 1:
+        print("error: --replicas must be at least 1", file=sys.stderr)
+        return 2
+
+    ann_config = _ann_config(args) if args.ann else None
+    tempdir = None
+    snapshot_path = args.snapshot
+    if snapshot_path is None:
+        # No corpus given: publish a synthetic one so the quickstart
+        # (and its curl examples) work without a dataset at hand.
+        import numpy as np
+
+        from .imaging.synthesis import generate_workload
+        rng = np.random.default_rng(args.seed)
+        workload = generate_workload(args.images, rng,
+                                     shapes_per_image=4.0, noise=0.01)
+        base = ShapeBase(alpha=0.1)
+        for image in workload.images:
+            for shape in image.shapes:
+                base.add_shape(shape, image_id=image.image_id)
+        tempdir = tempfile.TemporaryDirectory(prefix="repro-serve-")
+        snapshot_path = os.path.join(tempdir.name, "serve.gsb")
+        save_base(base, snapshot_path,
+                  ann_sketch=ann_config.sketch if ann_config else None)
+        print(f"no --snapshot: published a synthetic "
+              f"{base.num_shapes}-shape base at {snapshot_path}")
+
+    config = ServiceConfig(
+        num_shards=args.shards, workers=args.workers,
+        deadline=args.deadline, ann=ann_config, ann_mode=args.ann_mode,
+        execution="process" if args.processes else "thread",
+        processes=args.processes)
+    try:
+        with ReplicaSet(snapshot_path, replicas=args.replicas,
+                        config=config) as fleet, \
+                Balancer(fleet.endpoints()) as balancer, \
+                BalancerServer(balancer, host=args.host,
+                               port=args.port) as front:
+            host, port = front.address
+            print(f"serving {args.replicas} replica(s) behind "
+                  f"http://{host}:{port}")
+            print(f"  curl -s http://{host}:{port}/readyz")
+            print(f"  curl -s http://{host}:{port}/query "
+                  f"-H 'X-Deadline-Ms: 50' -d '{{\"sketch\": "
+                  f"{{\"closed\": true, \"vertices\": "
+                  f"[[0,0],[4,0],[2,3]]}}, \"k\": 3}}'")
+            print("  503 + Retry-After means shed: queue full or the "
+                  "deadline budget already spent")
+            print("Ctrl-C to stop")
+            try:
+                while True:
+                    time.sleep(3600)
+            except KeyboardInterrupt:
+                print("\nshutting down")
+    finally:
+        if tempdir is not None:
+            tempdir.cleanup()
+    return 0
 
 
 def build_parser() -> argparse.ArgumentParser:
@@ -819,7 +1212,61 @@ def build_parser() -> argparse.ArgumentParser:
                             "ANN tier; 'auto' walks the deadline-driven "
                             "ladder exact -> ann -> hash (default "
                             "always)")
+    serve.add_argument("--http", action="store_true",
+                       help="drive the replicated HTTP front door over "
+                            "the wire instead of the in-process "
+                            "service; --chaos then SIGKILLs a whole "
+                            "replica mid-bench (plus one in-replica "
+                            "worker with --processes) and the run "
+                            "fails unless every client response "
+                            "completes ok or degraded")
+    serve.add_argument("--replicas", type=int, default=2,
+                       help="replica processes behind the balancer "
+                            "with --http (default 2)")
     serve.set_defaults(func=_cmd_serve_bench)
+
+    servecmd = commands.add_parser(
+        "serve",
+        help="run the replicated HTTP/JSON front door "
+             "(POST /query, GET /stats /healthz /readyz)")
+    servecmd.add_argument("--http", action="store_true",
+                          help="serve the HTTP/JSON protocol "
+                               "(required; the only protocol)")
+    servecmd.add_argument("--host", default="127.0.0.1",
+                          help="bind address (default 127.0.0.1)")
+    servecmd.add_argument("--port", type=int, default=8787,
+                          help="front-door port (default 8787; 0 picks "
+                               "an ephemeral port)")
+    servecmd.add_argument("--replicas", type=int, default=2,
+                          help="replica processes warmed from the same "
+                               "snapshot (default 2)")
+    servecmd.add_argument("--snapshot", default=None, metavar="PATH",
+                          help="serve this v3/v4 snapshot (replicas "
+                               "attach zero-copy); default: publish a "
+                               "synthetic base")
+    servecmd.add_argument("--images", type=int, default=24,
+                          help="synthetic base size when no --snapshot "
+                               "(default 24)")
+    servecmd.add_argument("--seed", type=int, default=0)
+    servecmd.add_argument("--shards", type=int, default=4,
+                          help="shards per replica (default 4)")
+    servecmd.add_argument("--workers", type=int, default=2,
+                          help="worker threads per replica (default 2)")
+    servecmd.add_argument("--processes", type=int, default=0,
+                          help="serve each replica's shards from this "
+                               "many worker processes (default 0 = "
+                               "thread execution)")
+    servecmd.add_argument("--deadline", type=float, default=None,
+                          help="default per-query deadline in seconds "
+                               "(clients override per request with the "
+                               "X-Deadline-Ms header)")
+    _add_ann_args(servecmd,
+                  "enable the LSH-pruned middle tier on every replica")
+    servecmd.add_argument("--ann-mode", choices=("auto", "always"),
+                          default="auto", dest="ann_mode",
+                          help="tier policy (default auto: the "
+                               "deadline-driven ladder)")
+    servecmd.set_defaults(func=_cmd_serve)
 
     demo = commands.add_parser("demo", help="synthetic walkthrough")
     demo.add_argument("--images", type=int, default=15)

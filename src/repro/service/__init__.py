@@ -20,6 +20,15 @@ circuit breakers) and :mod:`~repro.service.faults` (the deterministic
 fault-injection harness behind ``serve-bench --chaos``); the service
 isolates, retries and degrades per shard so a single-shard failure
 costs answer quality, never availability.
+
+The network tier lives in :mod:`~repro.service.http`: an
+:class:`HttpRetrievalServer` front per replica (deadline propagation
+via ``X-Deadline-Ms``, 503 load shedding, ETag/304 result caching), a
+:class:`ReplicaSet` of processes warmed from one published snapshot,
+and a health-checking :class:`Balancer` (plus
+:class:`BalancerServer`, the single-address front door) that fails
+queries over to surviving replicas — ``serve-bench --http`` and
+``repro serve`` from the CLI.
 """
 
 from .breaker import BreakerConfig, CircuitBreaker
@@ -27,6 +36,8 @@ from .cache import QueryResultCache, sketch_signature
 from .deadline import Deadline
 from .faults import (CorruptShardAnswer, FaultError, FaultPlan,
                      FaultSpec, FaultyShard, ShardTimeoutError)
+from .http import (Balancer, BalancerServer, HttpRetrievalServer,
+                   NoHealthyReplicas, ReplicaSet, ReplicaStartupError)
 from .metrics import Counter, Histogram, MetricsRegistry
 from .pool import AdmissionQueue, WorkerPool
 from .procpool import (ProcessShardView, ProcessWorkerPool,
@@ -37,13 +48,15 @@ from .service import (DEGRADED, OK, OVERLOADED, TIER_ANN, TIER_EXACT,
 from .shards import Shard, ShardSet, merge_topk, shard_for
 
 __all__ = [
-    "AdmissionQueue", "BreakerConfig", "CircuitBreaker",
-    "CorruptShardAnswer", "Counter", "DEGRADED", "Deadline",
-    "FaultError", "FaultPlan", "FaultSpec", "FaultyShard", "Histogram",
-    "MetricsRegistry", "OK", "OVERLOADED", "ProcessShardView",
-    "ProcessWorkerPool", "QueryResultCache", "RetrievalService",
-    "ServiceConfig", "ServiceResult", "Shard", "ShardSet",
-    "ShardTimeoutError", "TIER_ANN", "TIER_EXACT", "TIER_HASH",
-    "WorkerOperationError", "WorkerPool", "WorkerUnavailableError",
-    "merge_topk", "shard_for", "sketch_signature",
+    "AdmissionQueue", "Balancer", "BalancerServer", "BreakerConfig",
+    "CircuitBreaker", "CorruptShardAnswer", "Counter", "DEGRADED",
+    "Deadline", "FaultError", "FaultPlan", "FaultSpec", "FaultyShard",
+    "Histogram", "HttpRetrievalServer", "MetricsRegistry",
+    "NoHealthyReplicas", "OK", "OVERLOADED", "ProcessShardView",
+    "ProcessWorkerPool", "QueryResultCache", "ReplicaSet",
+    "ReplicaStartupError", "RetrievalService", "ServiceConfig",
+    "ServiceResult", "Shard", "ShardSet", "ShardTimeoutError",
+    "TIER_ANN", "TIER_EXACT", "TIER_HASH", "WorkerOperationError",
+    "WorkerPool", "WorkerUnavailableError", "merge_topk", "shard_for",
+    "sketch_signature",
 ]

@@ -1,0 +1,1170 @@
+"""HTTP/JSON network tier: front door, replica fleet, balancer.
+
+Everything robust the service learned in-process — deadlines, the
+three-rung degradation ladder, load shedding, breakers, zero-copy
+snapshots — stops mattering for "millions of users" until it survives
+the wire.  This module is that wire, stdlib only:
+
+* :class:`HttpRetrievalServer` — a threading ``http.server`` front on
+  one :class:`~repro.service.service.RetrievalService`:
+  ``POST /query`` and ``POST /query_batch`` (JSON sketches in, ranked
+  matches + the answering tier out), ``GET /stats`` (the service
+  snapshot, quantiles included), ``GET /healthz`` (liveness: the
+  process answers) and ``GET /readyz`` (readiness: snapshot attached,
+  shards warm — the balancer's routing signal).
+
+* **Deadline propagation.**  The ``X-Deadline-Ms`` request header
+  carries the client's *remaining* budget in milliseconds (relative,
+  so replica clock skew is irrelevant).  The handler rebuilds it into
+  the service's cooperative :class:`~repro.service.deadline.Deadline`,
+  the exact→ann→hash ladder spends it, and the response reports the
+  ``tier`` that answered plus the ``degraded`` flag.  A request whose
+  budget is already spent is shed at the door — ``503`` with
+  ``Retry-After`` — because queueing doomed work only steals cycles
+  from queries that can still make it.
+
+* **Load shedding.**  Admission-queue saturation
+  (``ServiceResult.status == "overloaded"``) also answers ``503`` +
+  ``Retry-After`` instead of queueing; the balancer treats that as
+  "try a sibling", not "mark it dead".
+
+* **HTTP result caching.**  Full-quality answers carry an ``ETag``
+  derived from ``(shard-set version, similarity-invariant query
+  signature)`` — the same canonicalization the in-process cache keys
+  on — so a repeat query validates with ``304 Not Modified`` and any
+  intermediary may cache safely: the tag changes the moment the
+  corpus does.  Degraded answers are ``Cache-Control: no-store``.
+
+* :class:`ReplicaSet` — N replica server *processes* warmed from the
+  same published v3/v4 snapshot (``load_base(mmap=True)``: zero
+  recompute, one page-cache copy).  A SIGKILLed replica can be
+  :meth:`~ReplicaSet.restart`-ed and re-attaches from the snapshot —
+  the warm-standby path.
+
+* :class:`Balancer` — the front: health-checks replicas at an
+  interval, routes round-robin over the live ones, retries idempotent
+  queries (retrieval is a pure read) on a surviving replica with
+  capped backoff under a per-request retry budget, and marks dead
+  replicas through the *existing*
+  :class:`~repro.service.breaker.CircuitBreaker` state machine — the
+  same closed→open→half-open ladder that guards shards in-process.
+  :class:`BalancerServer` exposes the same endpoint surface over one
+  listening port, making the fleet a single-address front door.
+
+The fleet-level invariant (chaos-tested by ``serve-bench --http
+--chaos`` and the CI ``http-smoke`` job): killing one replica
+mid-traffic yields zero errored client responses — every in-flight
+query completes ``ok`` or ``degraded`` from the survivors.
+"""
+
+from __future__ import annotations
+
+import http.client
+import json
+import threading
+import time
+from dataclasses import dataclass, field, replace
+from http.server import BaseHTTPRequestHandler, ThreadingHTTPServer
+from typing import Any, Dict, List, Optional, Sequence, Tuple
+
+from ..geometry.io import shape_from_dict, shape_to_dict
+from ..geometry.polyline import Shape
+from .breaker import BreakerConfig, CircuitBreaker, OPEN
+from .cache import sketch_signature
+from .deadline import Deadline
+from .metrics import MetricsRegistry
+from .service import OVERLOADED, RetrievalService, ServiceConfig, \
+    ServiceResult
+
+#: Remaining-budget request header (milliseconds, relative).
+DEADLINE_HEADER = "X-Deadline-Ms"
+
+#: ``Retry-After`` seconds suggested on a shed (503) response.
+RETRY_AFTER_SECONDS = 1
+
+#: tier names as reported over the wire (``method`` -> ``tier``).
+_METHOD_TIER = {"envelope": "exact", "ann": "ann", "hashing": "hash",
+                "none": "none"}
+
+
+class ReplicaStartupError(RuntimeError):
+    """A replica process failed to warm from the snapshot."""
+
+
+class NoHealthyReplicas(RuntimeError):
+    """Every replica is dead or breaker-excluded."""
+
+
+def _json_default(value):
+    try:
+        return float(value)
+    except (TypeError, ValueError):
+        return str(value)
+
+
+def _json_bytes(payload: dict) -> bytes:
+    return json.dumps(payload, default=_json_default).encode("utf-8")
+
+
+def query_etag(version: int, sketch: Shape, k: int) -> str:
+    """The validation tag of one (corpus version, query) pair.
+
+    Built from the shard-set version and the similarity-invariant
+    sketch signature (the in-process cache's canonicalization), so
+    two sketches differing only by rotation/scale/translation share a
+    tag and *any* corpus mutation changes it.  Safe for intermediary
+    caches: a tag can only validate the answer it named.
+    """
+    signature = sketch_signature(sketch, kind="http-topk", parameter=k)
+    return f'"g{version}-{signature}"'
+
+
+def result_payload(result: ServiceResult) -> dict:
+    """One :class:`ServiceResult` as its wire (JSON) form."""
+    return {
+        "status": result.status,
+        "tier": _METHOD_TIER.get(result.method, result.method),
+        "method": result.method,
+        "degraded": bool(result.degraded or result.failed_shards),
+        "deadline_degraded": result.degraded,
+        "cached": result.cached,
+        "failed_shards": list(result.failed_shards),
+        "latency_ms": round(result.latency * 1e3, 3),
+        "matches": [{"rank": rank,
+                     "shape_id": match.shape_id,
+                     "image_id": match.image_id,
+                     "distance": match.distance,
+                     "approximate": match.approximate}
+                    for rank, match in enumerate(result.matches, 1)],
+    }
+
+
+def parse_deadline_ms(raw: Optional[str]) -> Optional[float]:
+    """``X-Deadline-Ms`` header value -> milliseconds (None = absent).
+
+    Raises ``ValueError`` on garbage; negative values clamp to 0 (an
+    already-expired budget, shed at the door).
+    """
+    if raw is None or raw.strip() == "":
+        return None
+    value = float(raw)
+    return max(0.0, value)
+
+
+# ----------------------------------------------------------------------
+# The per-replica HTTP server
+# ----------------------------------------------------------------------
+class _Handler(BaseHTTPRequestHandler):
+    """Routes one connection's requests to the owning server's app."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-geosir"
+
+    def log_message(self, *args) -> None:     # keep benches quiet
+        pass
+
+    @property
+    def app(self) -> "HttpRetrievalServer":
+        return self.server.app                # type: ignore[attr-defined]
+
+    # -- plumbing -------------------------------------------------------
+    def _respond(self, code: int, payload: Optional[dict] = None,
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        body = b"" if payload is None else _json_bytes(payload)
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _shed(self, reason: str, counter: str) -> None:
+        self.app.metrics.counter(counter).increment()
+        self._respond(503, {"status": OVERLOADED, "reason": reason},
+                      {"Retry-After": str(RETRY_AFTER_SECONDS)})
+
+    def _read_body(self) -> dict:
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        if length == 0:
+            return {}
+        raw = self.rfile.read(length)
+        payload = json.loads(raw.decode("utf-8"))
+        if not isinstance(payload, dict):
+            raise ValueError("request body must be a JSON object")
+        return payload
+
+    # -- routing --------------------------------------------------------
+    def do_GET(self) -> None:                 # noqa: N802 (stdlib name)
+        try:
+            if self.path == "/healthz":
+                self._respond(200, self.app.health_payload())
+            elif self.path == "/readyz":
+                ready, payload = self.app.ready_payload()
+                self._respond(200 if ready else 503, payload)
+            elif self.path == "/stats":
+                self._respond(200, self.app.stats_payload())
+            else:
+                self._respond(404, {"error": f"no route {self.path}"})
+        except Exception as exc:              # the wire must not drop
+            self._server_error(exc)
+
+    def do_POST(self) -> None:                # noqa: N802
+        try:
+            if self.path == "/query":
+                self._query()
+            elif self.path == "/query_batch":
+                self._query_batch()
+            elif self.path == "/admin/kill_worker":
+                self._kill_worker()
+            else:
+                self._read_body()     # drain; keep-alive must survive
+                self._respond(404, {"error": f"no route {self.path}"})
+        except (ValueError, KeyError, TypeError) as exc:
+            self.app.metrics.counter("http.bad_requests").increment()
+            self._respond(400, {"error": f"bad request: {exc}"})
+        except Exception as exc:
+            self._server_error(exc)
+
+    def _server_error(self, exc: Exception) -> None:
+        self.app.metrics.counter("http.errors").increment()
+        try:
+            self._respond(500, {"status": "error",
+                                "error": f"{type(exc).__name__}: {exc}"})
+        except OSError:
+            pass                              # client went away mid-write
+
+    # -- endpoints ------------------------------------------------------
+    def _deadline_seconds(self) -> Optional[float]:
+        ms = parse_deadline_ms(self.headers.get(DEADLINE_HEADER))
+        return None if ms is None else ms / 1000.0
+
+    def _query(self) -> None:
+        app = self.app
+        started = time.perf_counter()
+        app.metrics.counter("http.queries").increment()
+        deadline = self._deadline_seconds()
+        # The body must be drained even when shedding: unread bytes
+        # would corrupt the next request on this keep-alive connection.
+        body = self._read_body()
+        if deadline is not None and deadline <= 0.0:
+            # Already out of budget: queueing this query steals cycles
+            # from ones that can still answer in time.
+            self._shed("deadline already expired", "http.shed_deadline")
+            return
+        sketch = shape_from_dict(body["sketch"])
+        k = int(body.get("k", 1))
+        if k < 1:
+            raise ValueError("k must be at least 1")
+
+        etag = query_etag(app.service.shards.version, sketch, k)
+        candidates = self.headers.get("If-None-Match", "")
+        if etag in [tag.strip() for tag in candidates.split(",") if tag]:
+            app.metrics.counter("http.not_modified").increment()
+            self._respond(304, None, {"ETag": etag})
+            return
+
+        result = app.service.retrieve(sketch, k=k, deadline=deadline)
+        if result.status == OVERLOADED:
+            self._shed("admission queue full", "http.shed_overload")
+            return
+        payload = result_payload(result)
+        payload["replica"] = app.replica_id
+        payload["snapshot_version"] = app.service.shards.version
+        headers: Dict[str, str] = {}
+        if result.ok and not result.degraded:
+            # Only full-quality answers are validatable: a degraded
+            # answer must not be revalidated into permanence.
+            headers["ETag"] = etag
+        else:
+            headers["Cache-Control"] = "no-store"
+        app.metrics.histogram("http.latency").observe(
+            time.perf_counter() - started)
+        self._respond(200, payload, headers)
+
+    def _query_batch(self) -> None:
+        app = self.app
+        started = time.perf_counter()
+        deadline = self._deadline_seconds()
+        body = self._read_body()      # drain before any early response
+        if deadline is not None and deadline <= 0.0:
+            self._shed("deadline already expired", "http.shed_deadline")
+            return
+        sketches = [shape_from_dict(entry) for entry in body["sketches"]]
+        if not sketches:
+            raise ValueError("sketches must be non-empty")
+        k = int(body.get("k", 1))
+        app.metrics.counter("http.queries").increment(len(sketches))
+        results = app.service.retrieve_batch(sketches, k=k,
+                                             deadline=deadline)
+        if all(r.status == OVERLOADED for r in results):
+            self._shed("admission queue full", "http.shed_overload")
+            return
+        payload = {
+            "status": "ok",
+            "replica": app.replica_id,
+            "snapshot_version": app.service.shards.version,
+            "results": [result_payload(r) for r in results],
+        }
+        app.metrics.histogram("http.latency").observe(
+            time.perf_counter() - started)
+        self._respond(200, payload, {"Cache-Control": "no-store"})
+
+    def _kill_worker(self) -> None:
+        """Chaos hook: SIGKILL one process-tier worker *inside* this
+        replica (``serve-bench --http --processes`` uses it to compose
+        replica-level and worker-level failure)."""
+        app = self.app
+        body = self._read_body()
+        if not app.allow_admin:
+            self._respond(404, {"error": "admin surface disabled"})
+            return
+        pool = app.service.procpool
+        if pool is None:
+            self._respond(400, {"error": "replica runs thread "
+                                         "execution; no workers"})
+            return
+        index = int(body.get("index", 0))
+        pid = pool.kill_worker(index)
+        self._respond(200, {"killed_worker": index, "pid": pid})
+
+
+class _ThreadingServer(ThreadingHTTPServer):
+    daemon_threads = True
+    allow_reuse_address = True
+
+
+class HttpRetrievalServer:
+    """One replica's HTTP/JSON front on a :class:`RetrievalService`.
+
+    Threading server (one handler thread per connection — the service
+    underneath is already concurrent and admission-bounded);
+    ``port=0`` binds an ephemeral port, read back from
+    :attr:`address`.  :meth:`close` is idempotent and safe under
+    concurrent callers, like the service's own ``close``.
+    """
+
+    def __init__(self, service: RetrievalService,
+                 host: str = "127.0.0.1", port: int = 0, *,
+                 replica_id: Optional[int] = None,
+                 allow_admin: bool = False):
+        self.service = service
+        self.metrics = service.metrics
+        self.replica_id = replica_id
+        self.allow_admin = allow_admin
+        self._httpd = _ThreadingServer((host, port), _Handler)
+        self._httpd.app = self                # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._lifecycle = threading.Lock()
+        self._closed = False
+        self._started_at = time.monotonic()
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "HttpRetrievalServer":
+        with self._lifecycle:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._httpd.serve_forever,
+                    kwargs={"poll_interval": 0.05},
+                    name="repro-http", daemon=True)
+                self._thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    @property
+    def port(self) -> int:
+        return self.address[1]
+
+    @property
+    def closed(self) -> bool:
+        return self._closed
+
+    def close(self) -> None:
+        """Stop serving; idempotent under concurrent callers."""
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+        if thread is not None:
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "HttpRetrievalServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    # -- endpoint payloads ---------------------------------------------
+    def uptime(self) -> float:
+        return time.monotonic() - self._started_at
+
+    def health_payload(self) -> dict:
+        return {"status": "alive", "replica": self.replica_id,
+                "uptime_s": round(self.uptime(), 3)}
+
+    def ready_payload(self) -> Tuple[bool, dict]:
+        ready = not self._closed and self.service.ready()
+        return ready, {
+            "status": "ready" if ready else "unready",
+            "replica": self.replica_id,
+            "snapshot_version": self.service.shards.version,
+            "shards": self.service.shards.num_shards,
+            "shapes": self.service.shards.num_shapes,
+        }
+
+    def stats_payload(self) -> dict:
+        snap = self.service.snapshot()
+        snap["server"] = {"replica": self.replica_id,
+                          "uptime_s": round(self.uptime(), 3),
+                          "address": list(self.address)}
+        return snap
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return (f"HttpRetrievalServer({host}:{port}, "
+                f"replica={self.replica_id}, closed={self._closed})")
+
+
+# ----------------------------------------------------------------------
+# Replica fleet: snapshot-shipped warm processes
+# ----------------------------------------------------------------------
+def _replica_main(conn, snapshot_path: str, config: ServiceConfig,
+                  host: str, replica_id: int, allow_admin: bool) -> None:
+    """Entry point of one replica process.
+
+    Warm order matters: the service attaches the snapshot (mmap — the
+    page cache shares one physical copy across the fleet) and warms
+    every shard *before* the ready message, so ``/readyz`` flipping
+    200 really means "serving at full quality".
+    """
+    server = None
+    service = None
+    try:
+        service = RetrievalService.from_snapshot(snapshot_path, config,
+                                                 mmap=True)
+        server = HttpRetrievalServer(service, host=host, port=0,
+                                     replica_id=replica_id,
+                                     allow_admin=allow_admin).start()
+        conn.send(("ready", server.address))
+    except Exception as exc:
+        try:
+            conn.send(("error", f"{type(exc).__name__}: {exc}"))
+        except (BrokenPipeError, OSError):
+            pass
+        return
+    try:
+        # Wait for stop.  Parent death cannot be trusted to surface as
+        # EOF: with the fork start method, this process (and later
+        # siblings) inherit copies of the pipe's parent end, which
+        # keep the socket open after the parent is gone.  Watch for
+        # reparenting explicitly instead — an orphaned replica must
+        # exit, not serve forever.
+        import os
+        parent = os.getppid()
+        while not conn.poll(2.0):
+            if os.getppid() != parent:
+                break
+        else:
+            conn.recv()
+    except (EOFError, OSError, KeyboardInterrupt):
+        pass
+    finally:
+        server.close()
+        service.close()
+
+
+@dataclass
+class _Replica:
+    index: int
+    process: Any
+    conn: Any
+    address: Optional[Tuple[str, int]] = None
+    generation: int = 0
+
+    def is_alive(self) -> bool:
+        return self.process.is_alive()
+
+
+class ReplicaSet:
+    """N replica servers, all warmed from one published snapshot.
+
+    Replication here is *snapshot shipping*: the corpus is published
+    once (a v3/v4 file — PR 8's zero-copy format) and every replica
+    process attaches with ``mmap=True``, so fleet warm-up costs no
+    recompute and no extra physical memory beyond the page cache.
+    :meth:`kill` (SIGKILL, the chaos hook) and :meth:`restart` (the
+    warm-standby path: a fresh process re-attaches from the same
+    snapshot) are deliberately symmetric — recovery is just another
+    start.
+    """
+
+    def __init__(self, snapshot_path, replicas: int = 2,
+                 config: Optional[ServiceConfig] = None,
+                 host: str = "127.0.0.1", *,
+                 start_method: Optional[str] = None,
+                 allow_admin: bool = False,
+                 startup_timeout: float = 120.0):
+        if replicas < 1:
+            raise ValueError("replicas must be at least 1")
+        import multiprocessing
+        import os
+        import sys
+        import tempfile
+        self.snapshot_path = str(snapshot_path)
+        self.replicas = int(replicas)
+        # Fault plans hold locks (unpicklable) and belong to chaos
+        # harnesses in the parent; replicas serve clean.
+        config = config or ServiceConfig()
+        self.config = replace(config, fault_plan=None)
+        # Process-execution replicas publish shards for their workers.
+        # Route that through files we own instead of shm segments: a
+        # SIGKILLed replica cannot release its segments, but files in
+        # this directory are swept by stop() regardless of how the
+        # replica died.
+        self._publish_tmp = None
+        if self.config.execution == "process" and \
+                self.config.snapshot_dir is None:
+            self._publish_tmp = tempfile.TemporaryDirectory(
+                prefix="repro-replica-publish-")
+            self.config = replace(self.config,
+                                  snapshot_dir=self._publish_tmp.name)
+        self.host = host
+        self.allow_admin = allow_admin
+        self.startup_timeout = float(startup_timeout)
+        if start_method is None:
+            start_method = os.environ.get("REPRO_PROCPOOL_START") or \
+                ("fork" if sys.platform.startswith("linux") else "spawn")
+        self._ctx = multiprocessing.get_context(start_method)
+        self._members: List[_Replica] = []
+        self._lock = threading.Lock()
+        self._closed = False
+
+    # -- lifecycle ------------------------------------------------------
+    def start(self) -> "ReplicaSet":
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("replica set is closed")
+            if not self._members:
+                self._members = [self._spawn(index, generation=0)
+                                 for index in range(self.replicas)]
+        return self
+
+    def _replica_config(self, index: int,
+                        generation: int) -> ServiceConfig:
+        """Per-replica config: publish paths must not collide across
+        replicas (shard files are named by index/version/round only),
+        so each replica incarnation publishes into its own subdir."""
+        if self.config.snapshot_dir is None:
+            return self.config
+        import os
+        subdir = os.path.join(self.config.snapshot_dir,
+                              f"replica-{index}-g{generation}")
+        return replace(self.config, snapshot_dir=subdir)
+
+    def _spawn(self, index: int, generation: int) -> _Replica:
+        parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+        # Not a daemon: a replica in process execution spawns its own
+        # worker children, which daemonic processes may not.  Orphan
+        # protection comes from the pipe instead — parent death closes
+        # our end, _replica_main's recv() EOFs, the replica shuts down.
+        process = self._ctx.Process(
+            target=_replica_main,
+            args=(child_conn, self.snapshot_path,
+                  self._replica_config(index, generation),
+                  self.host, index, self.allow_admin),
+            name=f"repro-replica-{index}", daemon=False)
+        process.start()
+        child_conn.close()
+        replica = _Replica(index, process, parent_conn,
+                           generation=generation)
+        if not parent_conn.poll(self.startup_timeout):
+            process.kill()
+            raise ReplicaStartupError(
+                f"replica {index} did not become ready within "
+                f"{self.startup_timeout}s")
+        kind, detail = parent_conn.recv()
+        if kind != "ready":
+            process.join(timeout=1.0)
+            raise ReplicaStartupError(f"replica {index}: {detail}")
+        replica.address = (detail[0], int(detail[1]))
+        return replica
+
+    def kill(self, index: int) -> int:
+        """SIGKILL one replica (chaos); returns its pid.
+
+        Like the procpool's ``kill_worker``, this does *not* mark the
+        replica dead — detection is the balancer's job (health checks,
+        connection errors, breakers).
+        """
+        replica = self._members[index % len(self._members)]
+        pid = replica.process.pid
+        replica.process.kill()
+        return pid
+
+    def restart(self, index: int) -> Tuple[str, int]:
+        """Replace a (dead) replica with a fresh process warmed from
+        the same published snapshot; returns the new address."""
+        with self._lock:
+            if self._closed:
+                raise RuntimeError("replica set is closed")
+            old = self._members[index % len(self._members)]
+            old.process.kill()
+            old.process.join(timeout=5.0)
+            try:
+                old.conn.close()
+            except OSError:
+                pass
+            fresh = self._spawn(old.index, generation=old.generation + 1)
+            self._members[index % len(self._members)] = fresh
+        return fresh.address
+
+    def stop(self) -> None:
+        """Stop every replica; idempotent under concurrent callers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+            members, self._members = self._members, []
+        for replica in members:
+            try:
+                replica.conn.send(("stop",))
+            except (BrokenPipeError, OSError):
+                pass
+        for replica in members:
+            # A replica's graceful close can take several seconds
+            # (HTTP thread join + process-pool shutdown); give it room
+            # before escalating — a SIGKILLed replica orphans its
+            # workers onto the watchdog path instead of a clean exit.
+            replica.process.join(timeout=10.0)
+            if replica.process.is_alive():
+                replica.process.kill()
+                replica.process.join(timeout=2.0)
+            try:
+                replica.conn.close()
+            except OSError:
+                pass
+        if self._publish_tmp is not None:
+            self._publish_tmp.cleanup()
+            self._publish_tmp = None
+
+    def __enter__(self) -> "ReplicaSet":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.stop()
+
+    # -- introspection --------------------------------------------------
+    def endpoints(self) -> List[Tuple[str, int]]:
+        with self._lock:
+            return [r.address for r in self._members
+                    if r.address is not None]
+
+    def alive(self) -> List[int]:
+        with self._lock:
+            return [r.index for r in self._members if r.is_alive()]
+
+    def pids(self) -> List[Optional[int]]:
+        with self._lock:
+            return [r.process.pid for r in self._members]
+
+    def __len__(self) -> int:
+        return len(self._members)
+
+    def __repr__(self) -> str:
+        return (f"ReplicaSet(replicas={self.replicas}, "
+                f"alive={self.alive()}, snapshot="
+                f"{self.snapshot_path!r})")
+
+
+# ----------------------------------------------------------------------
+# The balancer: health-checked failover with a retry budget
+# ----------------------------------------------------------------------
+@dataclass
+class BalancedResponse:
+    """What the balancer hands back for one front-door request."""
+
+    status_code: int
+    payload: dict = field(default_factory=dict)
+    endpoint: Optional[Tuple[str, int]] = None
+    attempts: int = 1
+    etag: Optional[str] = None
+
+    @property
+    def not_modified(self) -> bool:
+        return self.status_code == 304
+
+    @property
+    def ok(self) -> bool:
+        return self.status_code in (200, 304)
+
+
+class Balancer:
+    """Route queries over a replica fleet; evict the dead, retry safely.
+
+    Retrieval is a pure read, so ``POST /query`` is idempotent and a
+    failed attempt may be replayed on a sibling without double-effect.
+    Each request gets ``retry_budget`` extra attempts with capped
+    exponential backoff, never exceeding the request's own deadline.
+    Replica health is tracked two ways: a background thread probes
+    ``/readyz`` every ``health_interval`` seconds (connection refusal
+    = confirmed down, excluded immediately), and every routed request
+    reports its outcome into a per-replica
+    :class:`~repro.service.breaker.CircuitBreaker` — the shard
+    breaker's state machine reused at fleet scope, so a flapping
+    replica is quarantined for a cooldown and re-admitted through a
+    bounded half-open probe.
+    """
+
+    def __init__(self, endpoints: Sequence[Tuple[str, int]], *,
+                 health_interval: float = 0.25,
+                 request_timeout: float = 30.0,
+                 retry_budget: int = 2,
+                 retry_backoff: float = 0.02,
+                 retry_backoff_max: float = 0.25,
+                 breaker: Optional[BreakerConfig] = None,
+                 metrics: Optional[MetricsRegistry] = None):
+        if not endpoints:
+            raise ValueError("balancer needs at least one endpoint")
+        self._endpoints: List[Tuple[str, int]] = [
+            (str(host), int(port)) for host, port in endpoints]
+        self.health_interval = float(health_interval)
+        self.request_timeout = float(request_timeout)
+        self.retry_budget = int(retry_budget)
+        self.retry_backoff = float(retry_backoff)
+        self.retry_backoff_max = float(retry_backoff_max)
+        self.metrics = metrics or MetricsRegistry()
+        breaker_config = breaker or BreakerConfig(
+            window=8, failure_threshold=0.5, min_volume=2,
+            cooldown=1.0, half_open_probes=1)
+        self._breakers = [CircuitBreaker(breaker_config)
+                          for _ in self._endpoints]
+        self._down: set = set()
+        self._rr = 0
+        self._lock = threading.Lock()
+        self._closed = False
+        self._stop = threading.Event()
+        self._health_thread = threading.Thread(
+            target=self._health_loop, name="repro-balancer-health",
+            daemon=True)
+        self._health_thread.start()
+
+    # -- endpoint management -------------------------------------------
+    def replace_endpoint(self, index: int,
+                         endpoint: Tuple[str, int]) -> None:
+        """Point slot ``index`` at a restarted replica's new address.
+
+        The slot's breaker is reset: the fresh process has no failure
+        history to answer for.
+        """
+        with self._lock:
+            self._breakers[index] = CircuitBreaker(
+                self._breakers[index].config)
+            self._endpoints[index] = (str(endpoint[0]), int(endpoint[1]))
+            self._down.discard(index)
+
+    def endpoints(self) -> List[Tuple[str, int]]:
+        with self._lock:
+            return list(self._endpoints)
+
+    def healthy(self) -> List[int]:
+        """Replica slots currently routable (not down, breaker not open)."""
+        with self._lock:
+            indices = list(range(len(self._endpoints)))
+            down = set(self._down)
+        return [i for i in indices
+                if i not in down and self._breakers[i].state != OPEN]
+
+    # -- health checking ------------------------------------------------
+    def _health_loop(self) -> None:
+        while not self._stop.wait(self.health_interval):
+            self.check_health()
+
+    def check_health(self) -> List[int]:
+        """One probe round over every endpoint; returns healthy slots.
+
+        Runs on the background thread each interval; tests may call it
+        directly to make eviction timing deterministic.
+        """
+        self.metrics.counter("balancer.health_rounds").increment()
+        for index, endpoint in enumerate(self.endpoints()):
+            try:
+                code, _, _ = self._http(endpoint, "GET", "/readyz",
+                                        timeout=min(
+                                            self.request_timeout,
+                                            max(self.health_interval,
+                                                0.25) * 4))
+                alive = code == 200
+            except (OSError, http.client.HTTPException):
+                alive = False
+            with self._lock:
+                was_down = index in self._down
+                if alive:
+                    self._down.discard(index)
+                else:
+                    self._down.add(index)
+            if alive:
+                self._breakers[index].record_success()
+                if was_down:
+                    self.metrics.counter(
+                        "balancer.readmitted").increment()
+            else:
+                self._breakers[index].record_failure()
+                if not was_down:
+                    self.metrics.counter("balancer.evicted").increment()
+        return self.healthy()
+
+    # -- transport ------------------------------------------------------
+    @staticmethod
+    def _http(endpoint: Tuple[str, int], method: str, path: str,
+              body: Optional[bytes] = None,
+              headers: Optional[Dict[str, str]] = None,
+              timeout: float = 30.0
+              ) -> Tuple[int, Dict[str, str], dict]:
+        host, port = endpoint
+        conn = http.client.HTTPConnection(host, port, timeout=timeout)
+        try:
+            send_headers = {"Content-Type": "application/json"}
+            send_headers.update(headers or {})
+            conn.request(method, path, body=body, headers=send_headers)
+            response = conn.getresponse()
+            raw = response.read()
+            payload: dict = {}
+            if raw:
+                try:
+                    payload = json.loads(raw.decode("utf-8"))
+                except (ValueError, UnicodeDecodeError):
+                    payload = {"error": "unparseable body"}
+            return (response.status,
+                    {k.lower(): v for k, v in response.getheaders()},
+                    payload)
+        finally:
+            conn.close()
+
+    # -- routing --------------------------------------------------------
+    def _pick(self, exclude: set) -> Optional[int]:
+        """Next routable slot after round-robin order, or ``None``.
+
+        ``breaker.allow()`` is the admission decision: an open breaker
+        fast-fails the slot, a half-open one admits at most its probe
+        quota — concurrent pickers lose and move on (the same
+        single-probe semantics the shard path relies on).
+        """
+        with self._lock:
+            start = self._rr
+            self._rr += 1
+            count = len(self._endpoints)
+            down = set(self._down)
+        for offset in range(count):
+            index = (start + offset) % count
+            if index in exclude or index in down:
+                continue
+            if self._breakers[index].allow():
+                return index
+        return None
+
+    def _backoff(self, attempt: int, deadline: Deadline) -> float:
+        delay = min(self.retry_backoff_max,
+                    self.retry_backoff * (2 ** (attempt - 1)))
+        if deadline.bounded:
+            delay = min(delay, deadline.remaining())
+        return max(0.0, delay)
+
+    def request(self, method: str, path: str,
+                body: Optional[dict] = None,
+                deadline_ms: Optional[float] = None,
+                headers: Optional[Dict[str, str]] = None
+                ) -> BalancedResponse:
+        """Route one idempotent request with failover and retries.
+
+        The remaining budget rides the ``X-Deadline-Ms`` header and
+        shrinks across attempts, so a retry never promises a replica
+        more time than the client still has.  A replica that sheds
+        (503) is retried elsewhere without punishing its breaker —
+        overload is not death; connection errors and 5xx are failures
+        and feed the breaker.
+        """
+        if self._closed:
+            raise RuntimeError("balancer is closed")
+        deadline = Deadline(None if deadline_ms is None
+                            else deadline_ms / 1000.0)
+        encoded = None if body is None else _json_bytes(body)
+        attempts = 0
+        tried: set = set()
+        last: Optional[BalancedResponse] = None
+        self.metrics.counter("balancer.requests").increment()
+        while attempts <= self.retry_budget:
+            if deadline.bounded and deadline.expired():
+                self.metrics.counter("balancer.shed_deadline").increment()
+                return BalancedResponse(
+                    503, {"status": OVERLOADED,
+                          "reason": "deadline exhausted at balancer"},
+                    attempts=attempts or 1)
+            index = self._pick(tried)
+            if index is None and tried:
+                # Every untried slot is excluded; widen to any
+                # routable slot rather than failing early.
+                tried = set()
+                index = self._pick(tried)
+            if index is None:
+                self.metrics.counter("balancer.no_replicas").increment()
+                raise NoHealthyReplicas(
+                    f"no routable replica among {len(self._endpoints)}")
+            endpoint = self.endpoints()[index]
+            attempts += 1
+            tried.add(index)
+            send_headers = dict(headers or {})
+            if deadline.bounded:
+                send_headers[DEADLINE_HEADER] = \
+                    f"{deadline.remaining() * 1000.0:.3f}"
+            elif deadline_ms is not None:
+                send_headers[DEADLINE_HEADER] = f"{deadline_ms:.3f}"
+            timeout = self.request_timeout
+            if deadline.bounded:
+                timeout = min(timeout, deadline.remaining() + 1.0)
+            try:
+                code, response_headers, payload = self._http(
+                    endpoint, method, path, encoded, send_headers,
+                    timeout)
+            except (OSError, http.client.HTTPException) as exc:
+                # OSError covers refusal/reset; HTTPException covers a
+                # replica dying mid-response (IncompleteRead, a torn
+                # status line).  Both mean "this attempt is lost", and
+                # the read is idempotent — replay it on a sibling.
+                self._breakers[index].record_failure()
+                self.metrics.counter("balancer.conn_failures").increment()
+                last = BalancedResponse(
+                    502, {"status": "error",
+                          "error": f"{type(exc).__name__}: {exc}"},
+                    endpoint=endpoint, attempts=attempts)
+                self._sleep_before_retry(attempts, deadline)
+                continue
+            response = BalancedResponse(
+                code, payload, endpoint=endpoint, attempts=attempts,
+                etag=response_headers.get("etag"))
+            if code in (200, 304) or 400 <= code < 500:
+                # 4xx is the *client's* bug; replaying it elsewhere
+                # cannot help and must not poison the breaker.
+                self._breakers[index].record_success()
+                return response
+            if code == 503:
+                # Shed, not dead: the replica is alive enough to
+                # answer.  Try a sibling with what budget remains.
+                self.metrics.counter("balancer.retried_shed").increment()
+                last = response
+                self._sleep_before_retry(attempts, deadline)
+                continue
+            self._breakers[index].record_failure()
+            self.metrics.counter("balancer.upstream_errors").increment()
+            last = response
+            self._sleep_before_retry(attempts, deadline)
+        self.metrics.counter("balancer.exhausted").increment()
+        return last if last is not None else BalancedResponse(
+            502, {"status": "error", "error": "retry budget exhausted"})
+
+    def _sleep_before_retry(self, attempts: int,
+                            deadline: Deadline) -> None:
+        if attempts > self.retry_budget:
+            return
+        self.metrics.counter("balancer.retries").increment()
+        delay = self._backoff(attempts, deadline)
+        if delay > 0:
+            time.sleep(delay)
+
+    # -- the query surface ---------------------------------------------
+    def query(self, sketch: Shape, k: int = 1,
+              deadline_ms: Optional[float] = None,
+              etag: Optional[str] = None) -> BalancedResponse:
+        headers = {"If-None-Match": etag} if etag else None
+        return self.request("POST", "/query",
+                            {"sketch": shape_to_dict(sketch), "k": k},
+                            deadline_ms=deadline_ms, headers=headers)
+
+    def query_batch(self, sketches: Sequence[Shape], k: int = 1,
+                    deadline_ms: Optional[float] = None
+                    ) -> BalancedResponse:
+        return self.request(
+            "POST", "/query_batch",
+            {"sketches": [shape_to_dict(s) for s in sketches], "k": k},
+            deadline_ms=deadline_ms)
+
+    def stats(self) -> dict:
+        snap = self.metrics.as_dict()
+        snap["endpoints"] = [list(e) for e in self.endpoints()]
+        snap["healthy"] = self.healthy()
+        snap["breakers"] = {str(i): b.snapshot()
+                            for i, b in enumerate(self._breakers)}
+        return snap
+
+    def close(self) -> None:
+        """Stop health checking; idempotent under concurrent callers."""
+        with self._lock:
+            if self._closed:
+                return
+            self._closed = True
+        self._stop.set()
+        self._health_thread.join(timeout=5.0)
+
+    def __enter__(self) -> "Balancer":
+        return self
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        return (f"Balancer(endpoints={len(self._endpoints)}, "
+                f"healthy={self.healthy()})")
+
+
+# ----------------------------------------------------------------------
+# Single-address front door over the fleet
+# ----------------------------------------------------------------------
+class _FrontHandler(BaseHTTPRequestHandler):
+    """Forwards the replica endpoint surface through the balancer."""
+
+    protocol_version = "HTTP/1.1"
+    server_version = "repro-geosir-front"
+
+    def log_message(self, *args) -> None:
+        pass
+
+    @property
+    def front(self) -> "BalancerServer":
+        return self.server.front              # type: ignore[attr-defined]
+
+    def _respond(self, code: int, payload: Optional[dict],
+                 headers: Optional[Dict[str, str]] = None) -> None:
+        body = b"" if payload is None else _json_bytes(payload)
+        self.send_response(code)
+        self.send_header("Content-Type", "application/json")
+        self.send_header("Content-Length", str(len(body)))
+        for name, value in (headers or {}).items():
+            self.send_header(name, value)
+        self.end_headers()
+        if body:
+            self.wfile.write(body)
+
+    def _forward(self, method: str) -> None:
+        balancer = self.front.balancer
+        length = int(self.headers.get("Content-Length", 0) or 0)
+        body = None
+        if length:
+            body = json.loads(self.rfile.read(length).decode("utf-8"))
+        deadline_ms = parse_deadline_ms(
+            self.headers.get(DEADLINE_HEADER))
+        headers = {}
+        etag = self.headers.get("If-None-Match")
+        if etag:
+            headers["If-None-Match"] = etag
+        try:
+            response = balancer.request(method, self.path, body,
+                                        deadline_ms=deadline_ms,
+                                        headers=headers)
+        except NoHealthyReplicas as exc:
+            self._respond(503, {"status": "error", "error": str(exc)},
+                          {"Retry-After": str(RETRY_AFTER_SECONDS)})
+            return
+        out_headers: Dict[str, str] = {}
+        if response.etag:
+            out_headers["ETag"] = response.etag
+        if response.status_code == 503:
+            out_headers["Retry-After"] = str(RETRY_AFTER_SECONDS)
+        self._respond(response.status_code,
+                      None if response.not_modified else response.payload,
+                      out_headers)
+
+    def do_GET(self) -> None:                 # noqa: N802
+        try:
+            if self.path == "/healthz":
+                self._respond(200, {"status": "alive", "role": "front"})
+            elif self.path == "/readyz":
+                healthy = self.front.balancer.healthy()
+                code = 200 if healthy else 503
+                self._respond(code, {"status": ("ready" if healthy
+                                                else "unready"),
+                                     "healthy_replicas": healthy})
+            elif self.path == "/stats":
+                self._respond(200, self.front.balancer.stats())
+            else:
+                self._respond(404, {"error": f"no route {self.path}"})
+        except Exception as exc:
+            self._respond(500, {"status": "error", "error": str(exc)})
+
+    def do_POST(self) -> None:                # noqa: N802
+        try:
+            if self.path in ("/query", "/query_batch"):
+                self._forward("POST")
+            else:
+                self._respond(404, {"error": f"no route {self.path}"})
+        except (ValueError, KeyError, TypeError) as exc:
+            self._respond(400, {"error": f"bad request: {exc}"})
+        except Exception as exc:
+            self._respond(500, {"status": "error", "error": str(exc)})
+
+
+class BalancerServer:
+    """The fleet behind one listening address.
+
+    Clients speak the exact replica protocol to this port; the
+    handler re-routes through the :class:`Balancer`, so failover,
+    retry budgets, deadline decay and ETag validation all apply
+    unchanged.  ``repro serve --http --replicas N`` mounts this.
+    """
+
+    def __init__(self, balancer: Balancer, host: str = "127.0.0.1",
+                 port: int = 0):
+        self.balancer = balancer
+        self._httpd = _ThreadingServer((host, port), _FrontHandler)
+        self._httpd.front = self              # type: ignore[attr-defined]
+        self._thread: Optional[threading.Thread] = None
+        self._lifecycle = threading.Lock()
+        self._closed = False
+
+    def start(self) -> "BalancerServer":
+        with self._lifecycle:
+            if self._closed:
+                raise RuntimeError("server is closed")
+            if self._thread is None:
+                self._thread = threading.Thread(
+                    target=self._httpd.serve_forever,
+                    kwargs={"poll_interval": 0.05},
+                    name="repro-http-front", daemon=True)
+                self._thread.start()
+        return self
+
+    @property
+    def address(self) -> Tuple[str, int]:
+        host, port = self._httpd.server_address[:2]
+        return str(host), int(port)
+
+    def close(self) -> None:
+        with self._lifecycle:
+            if self._closed:
+                return
+            self._closed = True
+            thread = self._thread
+        if thread is not None:
+            self._httpd.shutdown()
+        self._httpd.server_close()
+        if thread is not None:
+            thread.join(timeout=5.0)
+
+    def __enter__(self) -> "BalancerServer":
+        return self.start()
+
+    def __exit__(self, *exc_info) -> None:
+        self.close()
+
+    def __repr__(self) -> str:
+        host, port = self.address
+        return f"BalancerServer({host}:{port}, {self.balancer!r})"

@@ -112,12 +112,25 @@ class Histogram:
             self._stride = 1
             self._phase = 0
 
+    @property
+    def window_sum(self) -> float:
+        with self._lock:
+            return sum(self._sorted)
+
     def summary(self) -> Dict[str, float]:
+        """Latency quantiles ready for ``/stats`` — no client-side math.
+
+        ``p50``/``p95``/``p99`` are the SLO trio; ``sum`` and
+        ``window_count`` let a scraper compute rates across windows.
+        """
         return {
             "count": self.count,
+            "window_count": self.window_count,
+            "sum": self.window_sum,
             "mean": self.mean,
             "p50": self.percentile(50.0),
             "p90": self.percentile(90.0),
+            "p95": self.percentile(95.0),
             "p99": self.percentile(99.0),
             "max": self.percentile(100.0),
         }

@@ -248,8 +248,18 @@ def _worker_main(conn, worker_index: int, params: Dict[str, Any]) -> None:
     """
     shards: Dict[int, Shard] = {}
     keepalive: Dict[int, Any] = {}
+    parent = os.getppid()
     while True:
         try:
+            # Parent death cannot be trusted to surface as EOF: with
+            # the fork start method, sibling workers inherit copies of
+            # this pipe's parent end and keep the socket open after
+            # the parent is gone (SIGKILLed, in chaos runs).  Poll
+            # with a timeout and watch for reparenting explicitly.
+            while not conn.poll(2.0):
+                if os.getppid() != parent:
+                    _release_attachments(shards, keepalive)
+                    return
             message = conn.recv()
         except (EOFError, OSError):
             _release_attachments(shards, keepalive)

@@ -273,7 +273,12 @@ class RetrievalService:
         self._inflight: Dict[Tuple[str, int], threading.Event] = {}
         self._inflight_lock = threading.Lock()
         self._closed = False
+        self._close_lock = threading.Lock()
         self._clock = clock
+        self._started_at = clock()
+        #: Where this corpus came from; ``from_snapshot`` records the
+        #: file so ``/stats`` and ``/readyz`` can name it.
+        self.snapshot_source: Optional[str] = None
         self._breakers: Dict[int, CircuitBreaker] = {}
         self._breakers_lock = threading.Lock()
         self._retry_rng = random.Random(self.config.retry_seed)
@@ -323,7 +328,9 @@ class RetrievalService:
         from ..storage.persist import load_base
         config = config or ServiceConfig()
         base = load_base(path, backend=config.backend, mmap=mmap)
-        return cls.from_base(base, config, metrics)
+        service = cls.from_base(base, config, metrics)
+        service.snapshot_source = str(path)
+        return service
 
     def reload(self, base: ShapeBase) -> None:
         """Re-shard from a mutated base; cache and metrics survive.
@@ -1159,13 +1166,43 @@ class RetrievalService:
         snap["execution"] = self.config.execution
         if self._procpool is not None:
             snap["procpool"] = self._procpool.info()
+        snap["uptime_s"] = round(self.uptime(), 3)
+        snap["snapshot"] = {"version": self.shards.version,
+                            "source": self.snapshot_source}
         return snap
 
-    def close(self) -> None:
-        """Shut the worker pool down; safe to call more than once."""
+    def uptime(self) -> float:
+        """Seconds since this service was constructed."""
+        return self._clock() - self._started_at
+
+    def ready(self) -> bool:
+        """Readiness: open, corpus attached, every shard warm.
+
+        The HTTP tier's ``/readyz`` answer — true only once every
+        shard can serve its best configured tier without build latency
+        (in process mode, once the worker pool has attached the
+        current shard-set version), so a balancer routing on it never
+        sends traffic into a cold or half-built replica.
+        """
         if self._closed:
-            return
-        self._closed = True
+            return False
+        if self._procpool is not None:
+            info = self._procpool.info()
+            if info.get("synced_version") != self.shards.version:
+                return False
+            if not self._procpool.alive_workers():
+                return False
+            # Parent side serves only the hash tier in process mode.
+            return all(shard.warmed_hash for shard in self.shards)
+        return all(shard.warmed for shard in self.shards)
+
+    def close(self) -> None:
+        """Shut the worker pool down; idempotent under concurrent
+        callers (first caller shuts down, the rest return at once)."""
+        with self._close_lock:
+            if self._closed:
+                return
+            self._closed = True
         self.pool.shutdown()
 
     def __enter__(self) -> "RetrievalService":

@@ -119,6 +119,23 @@ class Shard:
         if self.ann_config is not None:
             self.ann
 
+    @property
+    def warmed(self) -> bool:
+        """All lazy structures built — no build latency left to pay.
+
+        Readiness probes poll this (never :meth:`warm`): checking must
+        not trigger the builds it reports on.
+        """
+        if self._matcher is None or self._retriever is None:
+            return False
+        return self.ann_config is None or self._ann is not None
+
+    @property
+    def warmed_hash(self) -> bool:
+        """The hash (salvage) tier alone is built — process mode's
+        parent-side readiness, where workers own the other tiers."""
+        return self._retriever is not None
+
     def invalidate(self) -> None:
         """Drop derived structures after a mutation."""
         self._matcher = None

@@ -165,6 +165,62 @@ class TestCircuitBreaker:
         with pytest.raises(ValueError):
             BreakerConfig(cooldown=-1)
 
+    def test_concurrent_half_open_probes_admit_exactly_one(self):
+        """Many threads racing allow() on a cooled-down breaker: one
+        wins the half-open probe, the losers fast-fail.  The HTTP
+        balancer reuses this path to re-admit a recovering replica
+        without stampeding it."""
+        breaker, clock = self.make(half_open_probes=1)
+        breaker.record_failure()
+        breaker.record_failure()
+        assert breaker.state == OPEN
+        clock.advance(10.1)                   # cooldown elapsed
+
+        admitted = []
+        barrier = threading.Barrier(16)
+
+        def prober():
+            barrier.wait()
+            if breaker.allow():
+                admitted.append(threading.get_ident())
+
+        threads = [threading.Thread(target=prober) for _ in range(16)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 1
+        assert breaker.state == HALF_OPEN
+        # The losers did not consume probe slots: the winner's outcome
+        # alone decides the next state.
+        breaker.record_success()
+        assert breaker.state == CLOSED
+
+    def test_concurrent_probe_budget_respected_with_multiple_slots(self):
+        """half_open_probes=3 under a 32-thread race admits exactly 3."""
+        breaker, clock = self.make(half_open_probes=3)
+        breaker.record_failure()
+        breaker.record_failure()
+        clock.advance(10.1)
+
+        admitted = []
+        lock = threading.Lock()
+        barrier = threading.Barrier(32)
+
+        def prober():
+            barrier.wait()
+            if breaker.allow():
+                with lock:
+                    admitted.append(1)
+
+        threads = [threading.Thread(target=prober) for _ in range(32)]
+        for thread in threads:
+            thread.start()
+        for thread in threads:
+            thread.join()
+        assert len(admitted) == 3
+        assert breaker.state == HALF_OPEN
+
 
 # ----------------------------------------------------------------------
 # Fault plan: determinism, replay, spec validation

@@ -1,0 +1,552 @@
+"""Tests for the HTTP/JSON network tier (:mod:`repro.service.http`).
+
+The headline acceptance scenario: with two replicas warmed from the
+same published snapshot, SIGKILLing one mid-stream yields zero errored
+client responses (every answer is ``ok`` or ``degraded``), the
+balancer evicts the dead replica within a health-check round, and a
+restarted replica re-attaches from the snapshot and resumes serving.
+Around that sit unit tests for the wire helpers (deadline header
+parsing, similarity-invariant ETags), the per-replica server surface
+(healthz/readyz/stats, ETag/304 validation, 503 load shedding with
+body draining on keep-alive connections, degraded answers marked
+``no-store``), the balancer's failover/retry behavior, the
+single-address front door, and the lifecycle satellites (idempotent
+concurrent close, uptime/snapshot-version stats, histogram
+quantiles).
+"""
+
+import http.client
+import json
+import socket
+import threading
+import time
+
+import numpy as np
+import pytest
+
+from repro import Shape, ShapeBase
+from repro.geometry.io import shape_to_dict
+from repro.imaging import generate_workload, make_query_set
+from repro.service import (Balancer, BalancerServer, BreakerConfig,
+                           HttpRetrievalServer, NoHealthyReplicas,
+                           ReplicaSet, RetrievalService, ServiceConfig)
+from repro.service.faults import ALL_OPS, FaultPlan, FaultSpec
+from repro.service.http import (DEADLINE_HEADER, parse_deadline_ms,
+                                query_etag, result_payload)
+from repro.service.metrics import Histogram
+from repro.storage import save_base
+
+NUM_SHARDS = 3
+
+
+# ----------------------------------------------------------------------
+# Shared corpus + snapshot
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def corpus():
+    """Seeded workload + populated base shared by the module."""
+    rng = np.random.default_rng(909090)
+    workload = generate_workload(14, rng, shapes_per_image=3.0,
+                                 noise=0.008, num_prototypes=6)
+    base = ShapeBase(alpha=0.05)
+    for image in workload.images:
+        for shape in image.shapes:
+            base.add_shape(shape, image_id=image.image_id)
+    queries = [q for q, _ in make_query_set(
+        workload, 8, np.random.default_rng(23), noise=0.008)]
+    return base, queries
+
+
+@pytest.fixture(scope="module")
+def snapshot_path(corpus, tmp_path_factory):
+    base, _ = corpus
+    path = tmp_path_factory.mktemp("http-snap") / "corpus.gsb"
+    save_base(base, path)
+    return path
+
+
+@pytest.fixture(scope="module")
+def server(corpus):
+    """One in-process replica server over a thread-execution service."""
+    base, _ = corpus
+    service = RetrievalService.from_base(base, ServiceConfig(
+        num_shards=NUM_SHARDS, workers=2, cache_capacity=32))
+    with HttpRetrievalServer(service, replica_id=0) as srv:
+        yield srv
+    service.close()
+
+
+def request(endpoint, method, path, body=None, headers=None,
+            timeout=30.0):
+    """One plain-stdlib request; returns (status, headers, payload)."""
+    host, port = endpoint
+    conn = http.client.HTTPConnection(host, port, timeout=timeout)
+    try:
+        encoded = None if body is None else json.dumps(body).encode()
+        send = {"Content-Type": "application/json"}
+        send.update(headers or {})
+        conn.request(method, path, body=encoded, headers=send)
+        response = conn.getresponse()
+        raw = response.read()
+        payload = json.loads(raw.decode()) if raw else None
+        return (response.status,
+                {k.lower(): v for k, v in response.getheaders()},
+                payload)
+    finally:
+        conn.close()
+
+
+def transformed(shape, angle=0.7, scale=2.5, shift=(4.0, -1.5)):
+    """A rotated/scaled/translated copy (same similarity class)."""
+    c, s = np.cos(angle), np.sin(angle)
+    rot = np.array([[c, -s], [s, c]])
+    vertices = shape.vertices @ rot.T * scale + np.asarray(shift)
+    return Shape(vertices, closed=shape.closed)
+
+
+# ----------------------------------------------------------------------
+# Wire helpers
+# ----------------------------------------------------------------------
+class TestWireHelpers:
+    def test_parse_deadline_ms(self):
+        assert parse_deadline_ms(None) is None
+        assert parse_deadline_ms("") is None
+        assert parse_deadline_ms("  ") is None
+        assert parse_deadline_ms("250") == 250.0
+        assert parse_deadline_ms("12.5") == 12.5
+        assert parse_deadline_ms("-40") == 0.0
+        with pytest.raises(ValueError):
+            parse_deadline_ms("soon")
+
+    def test_etag_is_similarity_invariant(self, corpus):
+        _, queries = corpus
+        sketch = queries[0]
+        tag = query_etag(3, sketch, 2)
+        assert tag == query_etag(3, transformed(sketch), 2)
+        # Any corpus mutation or different k names a different answer.
+        assert tag != query_etag(4, sketch, 2)
+        assert tag != query_etag(3, sketch, 3)
+        # Distinct queries get distinct tags.
+        assert tag != query_etag(3, queries[1], 2)
+
+    def test_result_payload_reports_shard_failures_as_degraded(
+            self, corpus):
+        base, queries = corpus
+        plan = FaultPlan([FaultSpec(0, "exception", probability=1.0,
+                                    ops=ALL_OPS)], seed=0)
+        service = RetrievalService.from_base(base, ServiceConfig(
+            num_shards=NUM_SHARDS, workers=2, cache_capacity=0,
+            fault_plan=plan, retry_attempts=1))
+        try:
+            payload = result_payload(service.retrieve(queries[0], k=2))
+        finally:
+            service.close()
+        assert payload["degraded"] is True
+        assert payload["failed_shards"] == [0]
+        assert payload["status"] in ("ok", "degraded")
+
+
+# ----------------------------------------------------------------------
+# The per-replica HTTP server
+# ----------------------------------------------------------------------
+class TestHttpServer:
+    def test_healthz_and_readyz(self, server):
+        status, _, payload = request(server.address, "GET", "/healthz")
+        assert status == 200
+        assert payload["status"] == "alive"
+        assert payload["replica"] == 0
+        status, _, payload = request(server.address, "GET", "/readyz")
+        assert status == 200
+        assert payload["status"] == "ready"
+        assert payload["shards"] == NUM_SHARDS
+        assert payload["snapshot_version"] == \
+            server.service.shards.version
+
+    def test_query_matches_direct_service(self, server, corpus):
+        _, queries = corpus
+        sketch = queries[0]
+        direct = server.service.retrieve(sketch, k=3)
+        status, headers, payload = request(
+            server.address, "POST", "/query",
+            {"sketch": shape_to_dict(sketch), "k": 3})
+        assert status == 200
+        assert payload["status"] == "ok"
+        assert payload["tier"] in ("exact", "ann", "hash")
+        assert payload["snapshot_version"] == \
+            server.service.shards.version
+        wire = [(m["shape_id"], round(m["distance"], 9))
+                for m in payload["matches"]]
+        local = [(m.shape_id, round(m.distance, 9))
+                 for m in direct.matches]
+        assert wire == local
+        assert [m["rank"] for m in payload["matches"]] == [1, 2, 3]
+        assert headers.get("etag") == query_etag(
+            server.service.shards.version, sketch, 3)
+
+    def test_etag_revalidation_yields_304(self, server, corpus):
+        _, queries = corpus
+        body = {"sketch": shape_to_dict(queries[1]), "k": 2}
+        status, headers, _ = request(server.address, "POST", "/query",
+                                     body)
+        assert status == 200
+        etag = headers["etag"]
+        status, headers, payload = request(
+            server.address, "POST", "/query", body,
+            headers={"If-None-Match": etag})
+        assert status == 304
+        assert payload is None
+        assert headers["etag"] == etag
+        # A transformed sketch is the same similarity class: the
+        # stored answer still validates.
+        status, _, _ = request(
+            server.address, "POST", "/query",
+            {"sketch": shape_to_dict(transformed(queries[1])), "k": 2},
+            headers={"If-None-Match": etag})
+        assert status == 304
+        # A stale tag (different corpus version) must not validate.
+        status, _, payload = request(
+            server.address, "POST", "/query", body,
+            headers={"If-None-Match": '"g999-deadbeef"'})
+        assert status == 200
+        assert payload["matches"]
+
+    def test_expired_deadline_sheds_503(self, server, corpus):
+        _, queries = corpus
+        status, headers, payload = request(
+            server.address, "POST", "/query",
+            {"sketch": shape_to_dict(queries[0]), "k": 1},
+            headers={DEADLINE_HEADER: "0"})
+        assert status == 503
+        assert headers["retry-after"] == "1"
+        assert payload["status"] == "overloaded"
+
+    def test_keepalive_survives_shed(self, server, corpus):
+        """Shed responses must drain the request body: a second
+        request on the same connection would otherwise read the
+        first's unread bytes as its request line."""
+        _, queries = corpus
+        host, port = server.address
+        conn = http.client.HTTPConnection(host, port, timeout=30.0)
+        try:
+            body = json.dumps(
+                {"sketch": shape_to_dict(queries[2]), "k": 1}).encode()
+            conn.request("POST", "/query", body=body,
+                         headers={"Content-Type": "application/json",
+                                  DEADLINE_HEADER: "0"})
+            response = conn.getresponse()
+            assert response.status == 503
+            response.read()
+            # Same connection, normal query: must parse cleanly.
+            conn.request("POST", "/query", body=body,
+                         headers={"Content-Type": "application/json"})
+            response = conn.getresponse()
+            payload = json.loads(response.read().decode())
+            assert response.status == 200
+            assert payload["status"] == "ok"
+        finally:
+            conn.close()
+
+    def test_query_batch(self, server, corpus):
+        _, queries = corpus
+        status, headers, payload = request(
+            server.address, "POST", "/query_batch",
+            {"sketches": [shape_to_dict(q) for q in queries[:3]],
+             "k": 2})
+        assert status == 200
+        assert headers.get("cache-control") == "no-store"
+        assert len(payload["results"]) == 3
+        for result in payload["results"]:
+            assert result["status"] == "ok"
+            assert result["matches"]
+
+    def test_bad_requests_get_400(self, server, corpus):
+        _, queries = corpus
+        status, _, payload = request(server.address, "POST", "/query",
+                                     {"k": 1})
+        assert status == 400
+        assert "bad request" in payload["error"]
+        status, _, _ = request(
+            server.address, "POST", "/query",
+            {"sketch": shape_to_dict(queries[0]), "k": 0})
+        assert status == 400
+        status, _, _ = request(
+            server.address, "POST", "/query",
+            {"sketch": shape_to_dict(queries[0]), "k": 1},
+            headers={DEADLINE_HEADER: "whenever"})
+        assert status == 400
+        status, _, _ = request(server.address, "POST", "/nowhere",
+                               {"x": 1})
+        assert status == 404
+        status, _, _ = request(server.address, "GET", "/nowhere")
+        assert status == 404
+
+    def test_stats_surface(self, server, corpus):
+        _, queries = corpus
+        request(server.address, "POST", "/query",
+                {"sketch": shape_to_dict(queries[0]), "k": 1})
+        status, _, snap = request(server.address, "GET", "/stats")
+        assert status == 200
+        assert snap["uptime_s"] >= 0.0
+        assert snap["snapshot"]["version"] == \
+            server.service.shards.version
+        assert snap["server"]["replica"] == 0
+        assert snap["server"]["uptime_s"] >= 0.0
+        latency = snap["histograms"]["http.latency"]
+        for key in ("count", "mean", "p50", "p90", "p95", "p99",
+                    "max"):
+            assert key in latency
+        assert snap["counters"]["http.queries"] >= 1
+
+    def test_degraded_answers_are_not_cacheable(self, corpus):
+        base, queries = corpus
+        plan = FaultPlan([FaultSpec(0, "exception", probability=1.0,
+                                    ops=ALL_OPS)], seed=0)
+        service = RetrievalService.from_base(base, ServiceConfig(
+            num_shards=NUM_SHARDS, workers=2, cache_capacity=0,
+            fault_plan=plan, retry_attempts=1))
+        with HttpRetrievalServer(service, replica_id=7) as srv:
+            status, headers, payload = request(
+                srv.address, "POST", "/query",
+                {"sketch": shape_to_dict(queries[0]), "k": 2})
+        service.close()
+        assert status == 200
+        assert payload["degraded"] is True
+        assert payload["failed_shards"] == [0]
+        assert "etag" not in headers
+        assert headers.get("cache-control") == "no-store"
+
+    def test_close_idempotent_under_concurrent_callers(self, corpus):
+        base, _ = corpus
+        service = RetrievalService.from_base(base, ServiceConfig(
+            num_shards=NUM_SHARDS, workers=2))
+        srv = HttpRetrievalServer(service).start()
+        workers = 8
+        barrier = threading.Barrier(workers)
+        errors = []
+
+        def slam():
+            barrier.wait()
+            try:
+                srv.close()
+                service.close()
+            except Exception as exc:      # noqa: BLE001
+                errors.append(exc)
+
+        threads = [threading.Thread(target=slam)
+                   for _ in range(workers)]
+        for t in threads:
+            t.start()
+        for t in threads:
+            t.join()
+        assert not errors
+        assert srv.closed
+        with pytest.raises(RuntimeError):
+            service.retrieve(Shape([[0, 0], [1, 0], [1, 1]],
+                                   closed=True))
+
+
+# ----------------------------------------------------------------------
+# Satellites: metrics quantiles, service readiness/uptime
+# ----------------------------------------------------------------------
+class TestSatellites:
+    def test_histogram_summary_exports_quantiles(self):
+        hist = Histogram("latency.test")
+        for value in range(1, 101):
+            hist.observe(float(value))
+        summary = hist.summary()
+        for key in ("count", "window_count", "sum", "mean", "p50",
+                    "p90", "p95", "p99", "max"):
+            assert key in summary
+        assert summary["count"] == 100
+        assert summary["max"] == 100.0
+        assert 45.0 <= summary["p50"] <= 55.0
+        assert summary["p90"] >= summary["p50"]
+        assert summary["p99"] >= summary["p95"] >= summary["p90"]
+
+    def test_service_snapshot_reports_uptime_and_version(self, corpus):
+        base, queries = corpus
+        service = RetrievalService.from_base(base, ServiceConfig(
+            num_shards=NUM_SHARDS, workers=2))
+        try:
+            service.retrieve(queries[0])
+            snap = service.snapshot()
+            assert snap["uptime_s"] >= 0.0
+            assert snap["snapshot"]["version"] == \
+                service.shards.version
+            assert snap["snapshot"]["source"] is None
+            assert service.ready()
+        finally:
+            service.close()
+        assert not service.ready()
+
+    def test_snapshot_source_recorded_from_snapshot(
+            self, snapshot_path):
+        service = RetrievalService.from_snapshot(
+            snapshot_path, ServiceConfig(num_shards=NUM_SHARDS,
+                                         workers=2))
+        try:
+            snap = service.snapshot()
+            assert snap["snapshot"]["source"] == str(snapshot_path)
+            assert service.ready()
+        finally:
+            service.close()
+
+
+# ----------------------------------------------------------------------
+# Replica fleet + balancer (the acceptance scenario)
+# ----------------------------------------------------------------------
+@pytest.fixture(scope="module")
+def fleet(snapshot_path):
+    """Two thread-execution replicas warmed from one snapshot, plus a
+    balancer with a fast, deterministic-pollable health check."""
+    config = ServiceConfig(num_shards=NUM_SHARDS, workers=2,
+                           cache_capacity=0)
+    with ReplicaSet(snapshot_path, replicas=2, config=config,
+                    startup_timeout=180.0) as replicas:
+        with Balancer(replicas.endpoints(), health_interval=0.1,
+                      retry_budget=2, retry_backoff=0.01) as balancer:
+            yield replicas, balancer
+
+
+def wait_until(predicate, timeout=10.0, interval=0.05):
+    deadline = time.monotonic() + timeout
+    while time.monotonic() < deadline:
+        if predicate():
+            return True
+        time.sleep(interval)
+    return predicate()
+
+
+class TestReplicaFleet:
+    def test_replica_kill_failover_evict_restart(self, fleet, corpus):
+        """The acceptance scenario end to end: kill → zero errors →
+        eviction within a health round → restart re-attaches from the
+        published snapshot and resumes serving."""
+        replicas, balancer = fleet
+        _, queries = corpus
+
+        # Warm path: both replicas answer through the balancer.
+        response = balancer.query(queries[0], k=2)
+        assert response.status_code == 200
+        assert response.payload["status"] == "ok"
+        assert balancer.check_health() == [0, 1]
+
+        # Chaos: SIGKILL replica 0 mid-stream.  Every in-flight and
+        # subsequent query must come back ok/degraded, never errored —
+        # connection failures are retried on the sibling.
+        replicas.kill(0)
+        outcomes = []
+        for index in range(20):
+            response = balancer.query(queries[index % len(queries)],
+                                      k=2)
+            assert response.status_code == 200, response.payload
+            outcomes.append(response.payload["status"])
+        assert all(status in ("ok", "degraded")
+                   for status in outcomes)
+
+        # Eviction: one direct probe round confirms the dead replica
+        # is excluded (the background thread does the same every
+        # health_interval seconds).
+        assert wait_until(lambda: balancer.check_health() == [1])
+        assert balancer.healthy() == [1]
+
+        # Warm standby: a fresh process re-attaches from the same
+        # published snapshot and the balancer re-admits it.
+        address = replicas.restart(0)
+        balancer.replace_endpoint(0, address)
+        assert wait_until(
+            lambda: balancer.check_health() == [0, 1])
+        assert sorted(replicas.alive()) == [0, 1]
+
+        # The restarted replica answers directly, from the snapshot.
+        status, _, payload = request(address, "GET", "/readyz")
+        assert status == 200
+        assert payload["status"] == "ready"
+        response = balancer.query(queries[1], k=2)
+        assert response.status_code == 200
+        assert response.payload["status"] == "ok"
+
+    def test_etag_validates_across_replicas(self, fleet, corpus):
+        """ETags derive from (snapshot version, query signature), so a
+        tag minted by one replica revalidates on its sibling."""
+        replicas, balancer = fleet
+        _, queries = corpus
+        first = balancer.query(queries[3], k=2)
+        assert first.status_code == 200 and first.etag
+        # Round-robin sends consecutive requests to different
+        # replicas; the tag must validate on both.
+        seen = set()
+        for _ in range(4):
+            again = balancer.query(queries[3], k=2, etag=first.etag)
+            assert again.status_code == 304
+            seen.add(again.endpoint)
+        assert len(seen) == 2
+
+    def test_deadline_propagates_through_balancer(self, fleet, corpus):
+        """An already-expired budget is shed, not served: the balancer
+        forwards the remaining budget via the deadline header."""
+        _, balancer = fleet
+        _, queries = corpus
+        response = balancer.query(queries[0], k=1, deadline_ms=0.0)
+        assert response.status_code == 503
+        assert response.payload["status"] == "overloaded"
+
+    def test_front_door_serves_fleet_protocol(self, fleet, corpus):
+        replicas, balancer = fleet
+        _, queries = corpus
+        with BalancerServer(balancer) as front:
+            status, _, payload = request(front.address, "GET",
+                                         "/readyz")
+            assert status == 200
+            assert payload["healthy_replicas"] == [0, 1]
+            status, headers, payload = request(
+                front.address, "POST", "/query",
+                {"sketch": shape_to_dict(queries[0]), "k": 2})
+            assert status == 200
+            assert payload["status"] == "ok"
+            assert payload["matches"]
+            assert headers.get("etag")
+            status, headers, _ = request(
+                front.address, "POST", "/query",
+                {"sketch": shape_to_dict(queries[0]), "k": 2},
+                headers={DEADLINE_HEADER: "0"})
+            assert status == 503
+            assert headers["retry-after"] == "1"
+
+    def test_balancer_raises_when_no_replica_routable(self):
+        # A port nothing listens on: grab one, then release it.
+        probe = socket.socket()
+        probe.bind(("127.0.0.1", 0))
+        port = probe.getsockname()[1]
+        probe.close()
+        balancer = Balancer([("127.0.0.1", port)],
+                            health_interval=30.0, retry_budget=1,
+                            retry_backoff=0.01)
+        try:
+            assert balancer.check_health() == []
+            with pytest.raises(NoHealthyReplicas):
+                balancer.request("POST", "/query",
+                                 {"sketch": None, "k": 1})
+            with BalancerServer(balancer) as front:
+                status, headers, _ = request(
+                    front.address, "POST", "/query", {"k": 1})
+                assert status == 503
+                assert headers["retry-after"] == "1"
+        finally:
+            balancer.close()
+        # close() is idempotent.
+        balancer.close()
+
+    def test_replica_set_stop_idempotent(self, snapshot_path):
+        config = ServiceConfig(num_shards=NUM_SHARDS, workers=1)
+        replicas = ReplicaSet(snapshot_path, replicas=1,
+                              config=config,
+                              startup_timeout=180.0).start()
+        endpoint = replicas.endpoints()[0]
+        status, _, _ = request(endpoint, "GET", "/healthz")
+        assert status == 200
+        replicas.stop()
+        replicas.stop()
+        assert replicas.endpoints() == []
+        with pytest.raises(RuntimeError):
+            replicas.start()

@@ -435,6 +435,26 @@ class TestMetrics:
         assert snapshot["histograms"]["latency"]["count"] == 1
         assert snapshot["gauges"]["depth"] == 7.0
 
+    def test_summary_exports_scrape_quantiles(self):
+        histogram = MetricsRegistry().histogram("latency")
+        for value in range(1, 101):
+            histogram.observe(float(value))
+        summary = histogram.summary()
+        assert summary["count"] == 100
+        assert summary["window_count"] == 100
+        assert summary["sum"] == pytest.approx(5050.0)
+        assert summary["p50"] <= summary["p90"] <= summary["p95"] \
+            <= summary["p99"] <= summary["max"]
+        assert summary["p95"] == pytest.approx(95.05)
+
+    def test_service_snapshot_uptime_and_version(self, service):
+        snap = service.snapshot()
+        assert snap["uptime_s"] >= 0.0
+        assert snap["snapshot"]["version"] == service.shards.version
+        # from_base has no file behind it.
+        assert snap["snapshot"]["source"] is None
+        assert service.ready()
+
     def test_reset_window_rolls_buffer_pool(self):
         device = BlockDevice()
         for _ in range(8):
