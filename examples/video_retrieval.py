@@ -1,8 +1,12 @@
 """Video retrieval: the paper's Section 7 future work, implemented.
 
 Index synthetic clips (an object drifting through frames among
-distractors), then query by sketch and track the object's appearance
-intervals.
+distractors), then query by a *panel* of sketches in one batched pass
+(``VideoIndex.query_batch`` — one matcher scratch for the whole
+panel) and track each object's appearance intervals.
+
+``examples/live_stream_demo.py`` reuses the builders below to drive
+the same panel against clips arriving live.
 
 Run:  python examples/video_retrieval.py
 """
@@ -13,32 +17,57 @@ from repro.geosir import VideoIndex, synthesize_clip
 from repro.imaging.synthesis import notched_box, random_blob, star_polygon
 
 
-def main() -> None:
-    rng = np.random.default_rng(1234)
+def make_prototypes(rng):
+    """The demo's sketch panel: (star, badge, unrelated blob)."""
     star = star_polygon(points=7, inner=0.5)
     badge = notched_box(0.35)
     blob = random_blob(rng, 16, irregularity=0.3)
+    return star, badge, blob
+
+
+def make_clips(rng, star, badge, blob):
+    """``[(clip_id, frames)]`` for the demo corpus."""
+    return [
+        # Clip 0: the star for the first half only.
+        (0, synthesize_clip(star, 12, rng,
+                            present=[True] * 6 + [False] * 6,
+                            noise=0.006)),
+        # Clip 1: the badge throughout.
+        (1, synthesize_clip(badge, 10, rng, noise=0.006)),
+        # Clip 2: the star in two stints (a cutaway in the middle).
+        (2, synthesize_clip(star, 14, rng,
+                            present=[True] * 4 + [False] * 5 + [True] * 5,
+                            noise=0.006)),
+        # Clip 3: unrelated content.
+        (3, synthesize_clip(blob, 8, rng, noise=0.006)),
+    ]
+
+
+def report_panel(index, panel, threshold=0.02):
+    """One batched query over every sketch in the panel."""
+    answers = index.query_batch([sketch for _, sketch in panel],
+                                k=4, threshold=threshold)
+    for (name, _), results in zip(panel, answers):
+        print(f"\nquery: the {name} sketch (batched)")
+        if not results:
+            print("  no clip matches yet")
+        for result in results:
+            frames = [hit.frame_index for hit in result.hits]
+            print(f"  clip {result.clip_id}: best distance "
+                  f"{result.best.distance:.4f} at frame "
+                  f"{result.best.frame_index}; hit frames {frames}")
+
+
+def main() -> None:
+    rng = np.random.default_rng(1234)
+    star, badge, blob = make_prototypes(rng)
 
     index = VideoIndex(alpha=0.08)
-    # Clip 0: the star for the first half only.
-    index.add_clip(0, synthesize_clip(
-        star, 12, rng, present=[True] * 6 + [False] * 6, noise=0.006))
-    # Clip 1: the badge throughout.
-    index.add_clip(1, synthesize_clip(badge, 10, rng, noise=0.006))
-    # Clip 2: the star in two stints (a cutaway in the middle).
-    index.add_clip(2, synthesize_clip(
-        star, 14, rng, present=[True] * 4 + [False] * 5 + [True] * 5,
-        noise=0.006))
-    # Clip 3: unrelated content.
-    index.add_clip(3, synthesize_clip(blob, 8, rng, noise=0.006))
+    for clip_id, frames in make_clips(rng, star, badge, blob):
+        index.add_clip(clip_id, frames)
     print(index)
 
-    print("\nquery: the star sketch")
-    for result in index.query(star, k=4, threshold=0.02):
-        frames = [hit.frame_index for hit in result.hits]
-        print(f"  clip {result.clip_id}: best distance "
-              f"{result.best.distance:.4f} at frame "
-              f"{result.best.frame_index}; hit frames {frames}")
+    report_panel(index, [("star", star), ("badge", badge)])
 
     print("\ntracking the star (gap tolerance 1 frame):")
     for interval in index.track(star, threshold=0.02, max_gap=1):
@@ -46,11 +75,6 @@ def main() -> None:
               f"{interval.start_frame}-{interval.end_frame} "
               f"({interval.length} frames, mean distance "
               f"{interval.mean_distance:.4f})")
-
-    print("\nquery: the badge sketch")
-    for result in index.query(badge, k=2, threshold=0.02):
-        print(f"  clip {result.clip_id}: best distance "
-              f"{result.best.distance:.4f}")
 
 
 if __name__ == "__main__":

@@ -69,9 +69,17 @@ class LshIndex:
     # Mutation
     # ------------------------------------------------------------------
     def add(self, entry_id: int, signature: np.ndarray) -> None:
-        """Insert one entry under every band of its signature."""
+        """Insert one entry under every band of its signature.
+
+        Buckets are replaced rather than mutated (copy-on-write at
+        bucket granularity): ``candidates`` iterates buckets without a
+        lock, and a reader that captured the old set must never watch
+        it change size — the contract live delta ingest relies on.
+        """
+        entry_id = int(entry_id)
         for table, key in zip(self._buckets, self._band_keys(signature)):
-            table.setdefault(key, set()).add(int(entry_id))
+            bucket = table.get(key)
+            table[key] = (bucket | {entry_id}) if bucket else {entry_id}
         self._count += 1
 
     def add_batch(self, entry_ids, signatures: np.ndarray) -> None:
@@ -92,8 +100,10 @@ class LshIndex:
             bucket = table.get(key)
             if bucket is not None and entry_id in bucket:
                 found = True
-                bucket.discard(entry_id)
-                if not bucket:
+                remaining = bucket - {entry_id}
+                if remaining:
+                    table[key] = remaining
+                else:
                     del table[key]
         if not found:
             raise KeyError(f"entry {entry_id} not present under "

@@ -86,6 +86,34 @@ class AnnPrunedMatcher:
         self._sketches = np.concatenate([self._sketches, row[None, :]])
         self.index.add(entry_id, row)
 
+    def add_entries(self, entry_ids: Sequence[int]) -> None:
+        """Index a contiguous run of freshly appended entries.
+
+        The streaming ingest fast path: sketch rows come from the
+        base's (already patched) sketch cache when present, and the
+        sketch matrix is extended by one concatenation — identical end
+        state to per-entry :meth:`add_entry` calls, minus the per-row
+        recompute.  The matrix is replaced, never written in place, so
+        concurrent readers keep a consistent view.
+        """
+        entry_ids = [int(e) for e in entry_ids]
+        if not entry_ids:
+            return
+        if entry_ids != list(range(len(self._sketches),
+                                   len(self._sketches) + len(entry_ids))):
+            raise ValueError("entries must be added in append order")
+        cached = self.base.cached_sketches(self.config.sketch.key)
+        if cached is not None and len(cached) >= entry_ids[-1] + 1:
+            rows = np.ascontiguousarray(cached[entry_ids[0]:
+                                               entry_ids[-1] + 1])
+        else:
+            rows = np.stack([
+                sketch_normalized_shape(self.base.entries[e].shape,
+                                        self.config.sketch)
+                for e in entry_ids])
+        self._sketches = np.concatenate([self._sketches, rows])
+        self.index.add_batch(entry_ids, rows)
+
     def remove_entry(self, entry_id: int) -> None:
         """Drop one entry; later entry ids shift down by one.
 

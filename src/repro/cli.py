@@ -48,7 +48,7 @@ from __future__ import annotations
 import argparse
 import json
 import sys
-from typing import List, Optional
+from typing import Callable, List, Optional
 
 from .core.matcher import GeometricSimilarityMatcher
 from .core.shapebase import ShapeBase
@@ -654,6 +654,82 @@ def _serve_bench_http(args: argparse.Namespace, base, sketches,
     return _bench_exit(escaped, failures)
 
 
+def _serve_bench_stream(args: argparse.Namespace) -> int:
+    """Continuous ingest concurrent with closed-loop queries.
+
+    Thin wrapper over :func:`repro.service.streambench.run_stream_scenario`
+    (idle baseline -> stream segments with a concurrent ingest thread ->
+    quiesced bit-for-bit checkpoints against a rebuilt static base;
+    --chaos SIGKILLs a process worker mid-stream).  Formats the rows,
+    appends them to ``BENCH_stream.json`` when ``REPRO_BENCH_LABEL`` is
+    set, and exits 1 on escaped exceptions, checkpoint divergence or a
+    chaos kill that never landed.
+    """
+    import os
+
+    from .service.streambench import run_stream_scenario
+
+    try:
+        worker_counts = [int(w) for w in str(args.workers).split(",")]
+        process_counts = [int(p) for p in str(args.processes).split(",")
+                          if p.strip()]
+    except ValueError:
+        print("error: --workers/--processes expect comma-separated "
+              "integers", file=sys.stderr)
+        return 2
+    modes = [("thread", worker_counts[0])]
+    modes += [("process", procs) for procs in process_counts[:1]]
+
+    batches = max(1, args.stream_batches)
+    batch_size = max(1, args.stream_batch)
+    checkpoints = max(1, min(args.stream_checkpoints, batches))
+    print(f"stream: {args.images} base images; ingesting {batches} "
+          f"batches x {batch_size} shapes with concurrent closed-loop "
+          f"queries; {checkpoints} consistency checkpoints")
+
+    rows, escaped, failures = run_stream_scenario(
+        images=args.images, queries=args.queries,
+        distinct=args.distinct, k=args.k, shards=args.shards,
+        modes=modes, batches=batches, batch_size=batch_size,
+        checkpoints=checkpoints, max_pending=args.max_pending,
+        ann=_ann_config(args) if args.ann else None,
+        ann_mode=args.ann_mode,
+        ingest_max_delta=args.stream_max_delta,
+        ingest_pause=args.stream_pause,
+        publish_compact_every=args.stream_compact_every,
+        chaos=args.chaos, seed=args.seed)
+
+    print()
+    print("mode         idle_p99  stream_p99  quiet_p99  x     "
+          "ingest/s  waits  folds  checkpoints")
+    for row in rows:
+        print(f"{row['mode']:<12} {row['idle_p99_ms']:<9.2f} "
+              f"{row['stream_p99_ms']:<11.2f} "
+              f"{row['final_idle_p99_ms']:<10.2f} "
+              f"{row['p99_interference']:<5.2f} "
+              f"{row['ingest_rate_sps']:<9.1f} "
+              f"{row['backpressure_waits']:<6d} {row['folds']:<6d} "
+              f"{row['checkpoints']}/{row['checkpoint_mismatches']} "
+              f"mismatched")
+    for row in rows:
+        if "sync" in row:
+            sync = row["sync"]
+            print(f"{row['mode']}: {sync['delta_rounds']} delta rounds "
+                  f"({sync['delta_bytes']} B), {sync['full_rounds']} "
+                  f"full rounds ({sync['full_bytes']} B)")
+    if args.json:
+        print()
+        for row in rows:
+            print(json.dumps(row))
+    label = os.environ.get("REPRO_BENCH_LABEL")
+    if label:
+        from .query.workload import record_trajectory
+        from .service.streambench import STREAM_TRAJECTORY_HEADER
+        record_trajectory(rows, label, "BENCH_stream.json",
+                          header=STREAM_TRAJECTORY_HEADER)
+    return _bench_exit(escaped, failures)
+
+
 def _cmd_serve_bench(args: argparse.Namespace) -> int:
     """Closed-loop load generation against the retrieval service."""
     import threading
@@ -666,6 +742,8 @@ def _cmd_serve_bench(args: argparse.Namespace) -> int:
 
     if args.algebra:
         return _serve_bench_algebra(args)
+    if args.stream:
+        return _serve_bench_stream(args)
 
     try:
         worker_counts = [int(w) for w in str(args.workers).split(",")]
@@ -1195,6 +1273,37 @@ def build_parser() -> argparse.ArgumentParser:
                             "and the planner-vs-unplanned comparison "
                             "(rows appended to BENCH_algebra.json when "
                             "REPRO_BENCH_LABEL is set)")
+    serve.add_argument("--stream", action="store_true",
+                       help="streaming-ingest scenario: an ingest "
+                            "thread pushes shape batches through the "
+                            "copy-on-write write path (backpressure, "
+                            "background folds, delta publication) "
+                            "while closed-loop clients keep querying; "
+                            "quiesced checkpoints assert the live base "
+                            "answers bit-for-bit like a rebuilt static "
+                            "one (rows appended to BENCH_stream.json "
+                            "when REPRO_BENCH_LABEL is set)")
+    serve.add_argument("--stream-batches", type=int, default=12,
+                       help="ingest batches per streaming run "
+                            "(default 12)")
+    serve.add_argument("--stream-batch", type=int, default=8,
+                       help="shapes per ingest batch (default 8)")
+    serve.add_argument("--stream-checkpoints", type=int, default=3,
+                       help="consistency checkpoints spread over the "
+                            "stream (default 3)")
+    serve.add_argument("--stream-max-delta", type=int, default=4096,
+                       help="per-service un-folded delta budget before "
+                            "ingest backpressure engages (default "
+                            "4096)")
+    serve.add_argument("--stream-pause", type=float, default=0.0,
+                       help="seconds between ingest batches — the "
+                            "modelled stream arrival cadence (default "
+                            "0: ingest as fast as backpressure allows)")
+    serve.add_argument("--stream-compact-every", type=int, default=None,
+                       help="process-tier compaction cadence: full "
+                            "republish after this many delta rounds "
+                            "(default: the service default; lower "
+                            "bounds worker brute-tail growth)")
     serve.add_argument("--chaos", type=int, default=None, metavar="SEED",
                        help="inject a seeded fault plan (one haunted "
                             "shard: exceptions, latency, corrupted "

@@ -147,9 +147,16 @@ class _QueryScratch:
     One query's worth of visited/inside-count/evaluated state plus the
     (read-only, shared) candidate thresholds.  Pooled by the matcher so
     repeated queries stop paying the O(n + entries) allocations.
+
+    A scratch additionally pins the epoch it was checked out against:
+    ``index``/``points``/``owner`` are the consistent base view captured
+    at checkout, which the driver reads instead of the live base — a
+    concurrent ingest batch can swap the base's arrays mid-query
+    without the query ever mixing generations.
     """
 
-    __slots__ = ("visited", "inside_counts", "evaluated", "thresholds")
+    __slots__ = ("visited", "inside_counts", "evaluated", "thresholds",
+                 "index", "points", "owner")
 
     def __init__(self, num_points: int, num_entries: int,
                  thresholds: np.ndarray):
@@ -157,6 +164,9 @@ class _QueryScratch:
         self.inside_counts = np.zeros(num_entries, dtype=np.int64)
         self.evaluated = np.zeros(num_entries, dtype=bool)
         self.thresholds = thresholds
+        self.index = None
+        self.points = None
+        self.owner = None
 
     def reset(self) -> None:
         self.visited[:] = False
@@ -234,9 +244,15 @@ class GeometricSimilarityMatcher:
         processes never hand out (or mutate) the same scratch buffers
         even though they began life as the same object.
         """
-        num_points = len(self.base.vertex_points)
-        num_entries = self.base.num_entries
-        key = (self.base.version, num_points, num_entries)
+        # One consistent capture per checkout: the index is read before
+        # the arrays (the writer publishes it after them), so every id
+        # it can report is in range for the arrays — and the buffers
+        # are sized from this capture, not from the live base.
+        version = self.base.version
+        index, points, owner, sizes, _ = self.base.reader_view()
+        num_points = len(points)
+        num_entries = len(sizes)
+        key = (version, num_points, num_entries)
         with self._scratch_lock:
             if self._scratch_pid != os.getpid():
                 self._scratch_pool = []
@@ -247,7 +263,7 @@ class GeometricSimilarityMatcher:
                 # ceil((1 - beta) * size): the step-3 candidate
                 # threshold, shared read-only by every scratch.
                 thresholds = np.ceil(
-                    (1.0 - self.beta) * self.base.entry_sizes
+                    (1.0 - self.beta) * sizes
                 ).astype(np.int64)
                 np.maximum(thresholds, 1, out=thresholds)
                 self._thresholds = thresholds
@@ -255,10 +271,14 @@ class GeometricSimilarityMatcher:
             scratch = (self._scratch_pool.pop() if self._scratch_pool
                        else _QueryScratch(num_points, num_entries,
                                           self._thresholds))
+        scratch.index = index
+        scratch.points = points
+        scratch.owner = owner
         try:
             yield scratch
         finally:
             scratch.reset()
+            scratch.index = scratch.points = scratch.owner = None
             with self._scratch_lock:
                 if self._scratch_key == key:
                     self._scratch_pool.append(scratch)
@@ -372,15 +392,15 @@ class GeometricSimilarityMatcher:
         value)`` fires whenever a shape's best value improves — the
         top-k tracker's feed.
         """
-        points = self.base.vertex_points
-        owner = self.base.vertex_owner
-        index = self.base.index
         if scratch is None:
             with self._scratch() as owned:
                 return self._drive(normalized_query, engine, schedule,
                                    stats, on_candidate, should_stop,
                                    abort=abort, scratch=owned,
                                    on_improved=on_improved)
+        points = scratch.points
+        owner = scratch.owner
+        index = scratch.index
         visited = scratch.visited
         inside_counts = scratch.inside_counts
         evaluated = scratch.evaluated

@@ -11,6 +11,8 @@ lists, per-image shape lists).
 
 from __future__ import annotations
 
+import threading
+
 from typing import (Callable, Dict, Iterator, List, Optional, Sequence,
                     Tuple)
 
@@ -102,6 +104,11 @@ class ShapeBase:
             raise ValueError("alpha must be in [0, 1)")
         self.alpha = float(alpha)
         self.backend = backend
+        #: When True (the default) ingest folds the incremental index
+        #: tail inline once it passes the threshold.  A streaming
+        #: service sets this False and folds from a background
+        #: scheduler instead, keeping rebuilds off the write path.
+        self.auto_fold = True
         self.entries: List[ShapeEntry] = []
         self.shapes: Dict[int, Shape] = {}
         self.shape_image: Dict[int, Optional[int]] = {}
@@ -109,6 +116,13 @@ class ShapeBase:
         self._shapes_by_image: Dict[int, List[int]] = {}
         self._next_shape_id = 0
         self.version = 0
+        # Serializes the cold lazy array build against appends.  Warm
+        # readers never touch it (the publish-order contract in
+        # ``_register_new_entries`` covers them); only a reader that
+        # finds the arrays unbuilt, and every writer, take it — a
+        # concurrent cold build would otherwise iterate ``entries``
+        # mid-append and tear.
+        self._build_lock = threading.Lock()
         self._index: Optional[TriangleRangeIndex] = None
         self._vertex_points: Optional[np.ndarray] = None
         self._vertex_owner: Optional[np.ndarray] = None
@@ -147,26 +161,28 @@ class ShapeBase:
         rejected (:func:`validate_shape`).
         """
         validate_shape(shape)
-        if shape_id is None:
-            shape_id = self._next_shape_id
-        if shape_id in self.shapes:
-            raise ValueError(f"shape id {shape_id} already present")
-        self._next_shape_id = max(self._next_shape_id, shape_id + 1)
-        self.shapes[shape_id] = shape
-        self.shape_image[shape_id] = image_id
-        entry_ids: List[int] = []
-        new_entries: List[ShapeEntry] = []
-        for copy in normalized_copies(shape, self.alpha):
-            entry_id = len(self.entries)
-            entry = ShapeEntry(entry_id, shape_id, image_id, copy)
-            self.entries.append(entry)
-            entry_ids.append(entry_id)
-            new_entries.append(entry)
-        self._entries_by_shape[shape_id] = entry_ids
-        if image_id is not None:
-            self._shapes_by_image.setdefault(image_id, []).append(shape_id)
-        self._register_new_entries(new_entries)
-        self.version += 1
+        with self._build_lock:
+            if shape_id is None:
+                shape_id = self._next_shape_id
+            if shape_id in self.shapes:
+                raise ValueError(f"shape id {shape_id} already present")
+            self._next_shape_id = max(self._next_shape_id, shape_id + 1)
+            self.shapes[shape_id] = shape
+            self.shape_image[shape_id] = image_id
+            entry_ids: List[int] = []
+            new_entries: List[ShapeEntry] = []
+            for copy in normalized_copies(shape, self.alpha):
+                entry_id = len(self.entries)
+                entry = ShapeEntry(entry_id, shape_id, image_id, copy)
+                self.entries.append(entry)
+                entry_ids.append(entry_id)
+                new_entries.append(entry)
+            self._entries_by_shape[shape_id] = entry_ids
+            if image_id is not None:
+                self._shapes_by_image.setdefault(image_id,
+                                                 []).append(shape_id)
+            self._register_new_entries(new_entries)
+            self.version += 1
         return shape_id
 
     def add_shapes(self, shapes: Sequence[Shape],
@@ -197,38 +213,40 @@ class ShapeBase:
             per_image = list(image_ids)
             if len(per_image) != len(shapes):
                 raise ValueError("image_ids must match shapes in length")
-        if shape_ids is None:
-            ids = list(range(self._next_shape_id,
-                             self._next_shape_id + len(shapes)))
-        else:
-            ids = [int(s) for s in shape_ids]
-            if len(ids) != len(shapes):
-                raise ValueError("shape_ids must match shapes in length")
-        seen = set()
-        for sid in ids:
-            if sid in self.shapes or sid in seen:
-                raise ValueError(f"shape id {sid} already present")
-            seen.add(sid)
         self._validate_batch(shapes)
-        copies_per_shape = batch_normalized_copies(shapes, self.alpha)
-        new_entries: List[ShapeEntry] = []
-        for shape, sid, iid, copies in zip(shapes, ids, per_image,
-                                           copies_per_shape):
-            self._next_shape_id = max(self._next_shape_id, sid + 1)
-            self.shapes[sid] = shape
-            self.shape_image[sid] = iid
-            entry_ids: List[int] = []
-            for copy in copies:
-                entry_id = len(self.entries)
-                entry = ShapeEntry(entry_id, sid, iid, copy)
-                self.entries.append(entry)
-                entry_ids.append(entry_id)
-                new_entries.append(entry)
-            self._entries_by_shape[sid] = entry_ids
-            if iid is not None:
-                self._shapes_by_image.setdefault(iid, []).append(sid)
-        self._register_new_entries(new_entries)
-        self.version += 1
+        with self._build_lock:
+            if shape_ids is None:
+                ids = list(range(self._next_shape_id,
+                                 self._next_shape_id + len(shapes)))
+            else:
+                ids = [int(s) for s in shape_ids]
+                if len(ids) != len(shapes):
+                    raise ValueError(
+                        "shape_ids must match shapes in length")
+            seen = set()
+            for sid in ids:
+                if sid in self.shapes or sid in seen:
+                    raise ValueError(f"shape id {sid} already present")
+                seen.add(sid)
+            copies_per_shape = batch_normalized_copies(shapes, self.alpha)
+            new_entries: List[ShapeEntry] = []
+            for shape, sid, iid, copies in zip(shapes, ids, per_image,
+                                               copies_per_shape):
+                self._next_shape_id = max(self._next_shape_id, sid + 1)
+                self.shapes[sid] = shape
+                self.shape_image[sid] = iid
+                entry_ids: List[int] = []
+                for copy in copies:
+                    entry_id = len(self.entries)
+                    entry = ShapeEntry(entry_id, sid, iid, copy)
+                    self.entries.append(entry)
+                    entry_ids.append(entry_id)
+                    new_entries.append(entry)
+                self._entries_by_shape[sid] = entry_ids
+                if iid is not None:
+                    self._shapes_by_image.setdefault(iid, []).append(sid)
+            self._register_new_entries(new_entries)
+            self.version += 1
         return ids
 
     def _validate_batch(self, shapes: Sequence[Shape]) -> None:
@@ -242,19 +260,32 @@ class ShapeBase:
                 raise ValueError(
                     "shape must have at least 3 distinct vertices")
 
-    def _register_new_entries(self, new_entries: List[ShapeEntry]) -> None:
+    def _register_new_entries(self, new_entries: List[ShapeEntry],
+                              sig_rows: Optional[np.ndarray] = None,
+                              sketch_rows: Optional[np.ndarray] = None
+                              ) -> None:
         """Absorb freshly appended entries into the derived structures.
 
         With cold caches this just leaves everything to the next lazy
         build.  With live flat arrays the new entries' non-anchor
         vertices are appended in place and the range index is extended
         incrementally (:meth:`IncrementalIndex.extended`) instead of
-        being thrown away — the single-shape ingest fast path.
+        being thrown away — the single-shape ingest fast path.  Warm
+        signature/sketch caches are likewise patched by appending the
+        new entries' rows (computed here, or passed in by a snapshot
+        delta that already carries them) rather than invalidated.
+
+        Publication order matters for lock-free readers: every array is
+        replaced (never written in place) with its old contents as a
+        prefix, and the range index — whose point ids bound every other
+        access — is published *last*.  A reader that captures the index
+        first therefore sees arrays at least as new as the ids it will
+        probe (see ``reader_view``).
         """
-        self._signature_cache = None
-        self._sketch_cache = None
-        if self._vertex_points is None or self._index is None or \
-                not new_entries:
+        if not new_entries:
+            return
+        self._patch_entry_caches(new_entries, sig_rows, sketch_rows)
+        if self._vertex_points is None or self._index is None:
             self._index = None
             self._vertex_points = None
             return
@@ -280,7 +311,39 @@ class ShapeBase:
             [self._vertex_owner,
              np.repeat(np.arange(first_new, len(self.entries)), new_sizes)])
         self._index = IncrementalIndex.extended(self._index, new_points,
-                                                self.backend)
+                                                self.backend,
+                                                fold=self.auto_fold)
+
+    def _patch_entry_caches(self, new_entries: List[ShapeEntry],
+                            sig_rows: Optional[np.ndarray],
+                            sketch_rows: Optional[np.ndarray]) -> None:
+        """Append the new entries' rows to any warm signature/sketch
+        cache (identical to what a cold rebuild would compute for
+        them, so cache consumers stay bit-for-bit)."""
+        if self._signature_cache is not None:
+            num_curves, rows = self._signature_cache
+            if sig_rows is None:
+                from ..hashing.characteristic import characteristic_quadruple
+                from ..hashing.curves import HashCurveFamily
+                family = HashCurveFamily(num_curves)
+                sig_rows = np.array(
+                    [characteristic_quadruple(e.shape, family)
+                     for e in new_entries], dtype=np.int16)
+            sig_rows = np.asarray(sig_rows, dtype=np.int16).reshape(-1, 4)
+            self._signature_cache = (
+                num_curves, np.concatenate([rows, sig_rows], axis=0))
+        if self._sketch_cache is not None:
+            key, rows = self._sketch_cache
+            if sketch_rows is None:
+                from ..ann.sketch import SketchConfig, sketch_vertex_sets
+                sketch_rows = sketch_vertex_sets(
+                    [e.shape.vertices for e in new_entries],
+                    [e.shape.closed for e in new_entries],
+                    SketchConfig(*key))
+            sketch_rows = np.asarray(sketch_rows,
+                                     dtype=np.int64).reshape(-1, key[0])
+            self._sketch_cache = (
+                key, np.concatenate([rows, sketch_rows], axis=0))
 
     def remove_shape(self, shape_id: int) -> None:
         """Remove a shape and all its normalized copies.
@@ -307,9 +370,21 @@ class ShapeBase:
         entry_keep = np.ones(len(self.entries), dtype=bool)
         entry_keep[removed_ids] = False
         new_ids = np.cumsum(entry_keep) - 1      # old entry id -> new id
-        self.entries = [e for e in self.entries if entry_keep[e.entry_id]]
+        # Renumbered survivors become *new* ShapeEntry objects (the
+        # prefix before the first removed id keeps its identity): a
+        # copy-on-write clone mutated through this path never touches
+        # entries still referenced by the donor's readers.
+        renumbered: List[ShapeEntry] = []
         for entry in self.entries:
-            entry.entry_id = int(new_ids[entry.entry_id])
+            if not entry_keep[entry.entry_id]:
+                continue
+            new_id = int(new_ids[entry.entry_id])
+            if new_id == entry.entry_id:
+                renumbered.append(entry)
+            else:
+                renumbered.append(ShapeEntry(new_id, entry.shape_id,
+                                             entry.image_id, entry.copy))
+        self.entries = renumbered
         for sid, ids in self._entries_by_shape.items():
             self._entries_by_shape[sid] = [int(new_ids[i]) for i in ids]
         if self._vertex_points is not None and self._index is not None:
@@ -332,6 +407,68 @@ class ShapeBase:
             sketch_key, rows = self._sketch_cache
             self._sketch_cache = (sketch_key, rows[entry_keep])
         self.version += 1
+
+    # ------------------------------------------------------------------
+    # Copy-on-write support (streaming ingest)
+    # ------------------------------------------------------------------
+    def clone_cow(self) -> "ShapeBase":
+        """A writable structurally-shared copy of this base.
+
+        Top-level containers (entry list, shape/image dicts and their
+        id lists) are copied; the numpy arrays, the range index, the
+        ``Shape``/``NormalizedCopy`` objects and the caches are shared.
+        Every mutation path replaces arrays rather than writing them in
+        place, so mutating the clone never perturbs the donor — the
+        shard layer uses this to apply a removal as a new epoch while
+        in-flight readers finish against the old one.
+        """
+        clone = ShapeBase.__new__(ShapeBase)
+        clone.alpha = self.alpha
+        clone.backend = self.backend
+        clone.auto_fold = self.auto_fold
+        clone.entries = list(self.entries)
+        clone.shapes = dict(self.shapes)
+        clone.shape_image = dict(self.shape_image)
+        clone._entries_by_shape = {sid: list(ids) for sid, ids
+                                   in self._entries_by_shape.items()}
+        clone._shapes_by_image = {iid: list(ids) for iid, ids
+                                  in self._shapes_by_image.items()}
+        clone._next_shape_id = self._next_shape_id
+        clone.version = self.version
+        clone._build_lock = threading.Lock()
+        clone._index = self._index
+        clone._vertex_points = self._vertex_points
+        clone._vertex_owner = self._vertex_owner
+        clone._entry_sizes = self._entry_sizes
+        clone._entry_offsets = self._entry_offsets
+        clone._signature_cache = self._signature_cache
+        clone._sketch_cache = self._sketch_cache
+        clone.snapshot_backing = self.snapshot_backing
+        clone._backing_buffer = self._backing_buffer
+        return clone
+
+    def reader_view(self) -> Tuple[TriangleRangeIndex, np.ndarray,
+                                   np.ndarray, np.ndarray, np.ndarray]:
+        """A self-consistent ``(index, points, owner, sizes, offsets)``
+        capture for a lock-free reader under concurrent appends.
+
+        Appends publish the replaced arrays *before* the extended index
+        (see ``_register_new_entries``), and every replacement keeps
+        the old contents as a prefix.  Capturing the index first
+        therefore guarantees each id it can report is in range for the
+        arrays captured after it, whichever interleaving the writer is
+        at — the core of the copy-on-write epoch contract.
+        """
+        self._ensure_arrays()
+        index = self._index
+        return (index, self._vertex_points, self._vertex_owner,
+                self._entry_sizes, self._entry_offsets)
+
+    @property
+    def index_delta_size(self) -> int:
+        """Unfolded tail points in the incremental index (0 if static)."""
+        index = self._index
+        return index.tail_size if isinstance(index, IncrementalIndex) else 0
 
     # ------------------------------------------------------------------
     # Statistics (the paper's p, n, ...)
@@ -487,36 +624,46 @@ class ShapeBase:
         exact measures still use the full vertex set via
         :meth:`entry_vertices`.
         """
-        if self._vertex_points is None:
-            if self.entries:
-                counts = np.array(
-                    [e.shape.num_vertices for e in self.entries],
-                    dtype=np.int64)
-                shape_offsets = np.concatenate(([0], np.cumsum(counts)))
-                flat = np.concatenate(
-                    [e.shape.vertices for e in self.entries], axis=0)
-                pairs = np.array([e.copy.pair for e in self.entries],
-                                 dtype=np.int64)
-                if np.any(pairs < 0) or np.any(pairs >= counts[:, None]):
-                    raise IndexError("entry anchor pair out of range")
-                mask = np.ones(len(flat), dtype=bool)
-                mask[shape_offsets[:-1] + pairs[:, 0]] = False
-                mask[shape_offsets[:-1] + pairs[:, 1]] = False
-                points = flat[mask]
-                sizes = counts - 2
-                owner = np.repeat(np.arange(len(self.entries)), sizes)
-            else:
-                points = np.zeros((0, 2))
-                sizes = np.zeros(0, dtype=np.int64)
-                owner = np.zeros(0, dtype=np.int64)
-            offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
-            np.cumsum(sizes, out=offsets[1:])
-            self._entry_sizes = sizes
-            self._entry_offsets = offsets
-            self._vertex_points = points
-            self._vertex_owner = owner
-        if self._index is None:
-            self._index = make_index(self._vertex_points, self.backend)
+        if self._vertex_points is not None and self._index is not None:
+            return
+        # Cold build: serialize with writers — a concurrent append
+        # would grow ``entries`` between the passes below and tear the
+        # derived arrays.  Warm readers never reach this branch.
+        with self._build_lock:
+            if self._vertex_points is None:
+                if self.entries:
+                    counts = np.array(
+                        [e.shape.num_vertices for e in self.entries],
+                        dtype=np.int64)
+                    shape_offsets = np.concatenate(([0],
+                                                    np.cumsum(counts)))
+                    flat = np.concatenate(
+                        [e.shape.vertices for e in self.entries], axis=0)
+                    pairs = np.array([e.copy.pair for e in self.entries],
+                                     dtype=np.int64)
+                    if np.any(pairs < 0) or \
+                            np.any(pairs >= counts[:, None]):
+                        raise IndexError("entry anchor pair out of range")
+                    mask = np.ones(len(flat), dtype=bool)
+                    mask[shape_offsets[:-1] + pairs[:, 0]] = False
+                    mask[shape_offsets[:-1] + pairs[:, 1]] = False
+                    points = flat[mask]
+                    sizes = counts - 2
+                    owner = np.repeat(np.arange(len(self.entries)), sizes)
+                else:
+                    points = np.zeros((0, 2))
+                    sizes = np.zeros(0, dtype=np.int64)
+                    owner = np.zeros(0, dtype=np.int64)
+                offsets = np.zeros(len(sizes) + 1, dtype=np.int64)
+                np.cumsum(sizes, out=offsets[1:])
+                self._entry_sizes = sizes
+                self._entry_offsets = offsets
+                self._vertex_owner = owner
+                # Points last: ``_register_new_entries`` keys its
+                # warm-or-lazy decision off this field.
+                self._vertex_points = points
+            if self._index is None:
+                self._index = make_index(self._vertex_points, self.backend)
 
     @property
     def vertex_points(self) -> np.ndarray:

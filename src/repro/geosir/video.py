@@ -110,33 +110,58 @@ class VideoIndex:
         return sum(self._frames_per_clip.values())
 
     # ------------------------------------------------------------------
+    def _frame_hits_batch(self, sketches: Sequence[Shape],
+                          threshold: float) -> List[List[FrameHit]]:
+        """``_frame_hits`` for many sketches through one matcher
+        scratch checkout (:meth:`query_threshold_batch`)."""
+        answers = self.matcher.query_threshold_batch(list(sketches),
+                                                     threshold)
+        per_sketch: List[List[FrameHit]] = []
+        for matches, _ in answers:
+            hits = []
+            for match in matches:
+                clip_id, frame_index = self._frame_of_image[match.image_id]
+                hits.append(FrameHit(clip_id=clip_id,
+                                     frame_index=frame_index,
+                                     shape_id=match.shape_id,
+                                     distance=match.distance))
+            per_sketch.append(hits)
+        return per_sketch
+
     def _frame_hits(self, sketch: Shape, threshold: float) -> List[FrameHit]:
-        matches, _ = self.matcher.query_threshold(sketch, threshold)
-        hits = []
-        for match in matches:
-            clip_id, frame_index = self._frame_of_image[match.image_id]
-            hits.append(FrameHit(clip_id=clip_id, frame_index=frame_index,
-                                 shape_id=match.shape_id,
-                                 distance=match.distance))
-        return hits
+        return self._frame_hits_batch([sketch], threshold)[0]
+
+    def _rank_clips(self, hits: List[FrameHit], k: int) -> List[ClipMatch]:
+        by_clip: Dict[int, List[FrameHit]] = {}
+        for hit in hits:
+            by_clip.setdefault(hit.clip_id, []).append(hit)
+        ranked = []
+        for clip_id, clip_hits in by_clip.items():
+            clip_hits.sort(key=lambda h: (h.distance, h.frame_index))
+            ranked.append(ClipMatch(clip_id=clip_id, best=clip_hits[0],
+                                    hits=sorted(clip_hits,
+                                                key=lambda h: h.frame_index)))
+        ranked.sort(key=lambda c: c.best.distance)
+        return ranked[:k]
 
     def query(self, sketch: Shape, k: int = 1,
               threshold: float = 0.05) -> List[ClipMatch]:
         """The ``k`` clips best matching a sketch, ranked by their best
         frame; each result carries every qualifying frame hit."""
+        return self.query_batch([sketch], k=k, threshold=threshold)[0]
+
+    def query_batch(self, sketches: Sequence[Shape], k: int = 1,
+                    threshold: float = 0.05) -> List[List[ClipMatch]]:
+        """``[query(s) for s in sketches]`` through one scratch.
+
+        A live panel of sketches (every object being tracked across
+        the stream) amortizes the matcher's scratch checkout and array
+        pinning exactly like the service tier's batch misses.
+        """
         if k < 1:
             raise ValueError("k must be >= 1")
-        by_clip: Dict[int, List[FrameHit]] = {}
-        for hit in self._frame_hits(sketch, threshold):
-            by_clip.setdefault(hit.clip_id, []).append(hit)
-        ranked = []
-        for clip_id, hits in by_clip.items():
-            hits.sort(key=lambda h: (h.distance, h.frame_index))
-            ranked.append(ClipMatch(clip_id=clip_id, best=hits[0],
-                                    hits=sorted(hits,
-                                                key=lambda h: h.frame_index)))
-        ranked.sort(key=lambda c: c.best.distance)
-        return ranked[:k]
+        return [self._rank_clips(hits, k)
+                for hits in self._frame_hits_batch(sketches, threshold)]
 
     def track(self, sketch: Shape, threshold: float = 0.05,
               max_gap: int = 1) -> List[TrackInterval]:

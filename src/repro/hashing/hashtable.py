@@ -34,12 +34,20 @@ class GeometricHashTable:
         self._signatures: Dict[int, Quadruple] = {}
 
     def insert(self, entry_id: int, quadruple: Quadruple) -> None:
-        """Register one entry under its four characteristic curves."""
+        """Register one entry under its four characteristic curves.
+
+        Buckets are *replaced*, not mutated: a reader holding the old
+        set (``candidates`` unions buckets without a lock) never sees
+        it change size mid-iteration, so a live table can absorb
+        concurrent ingest.
+        """
         self._signatures[entry_id] = quadruple
         for quarter, curve in enumerate(quadruple, start=1):
             if curve == EMPTY_QUARTER:
                 continue
-            self._buckets.setdefault((quarter, curve), set()).add(entry_id)
+            bucket = self._buckets.get((quarter, curve))
+            self._buckets[(quarter, curve)] = \
+                (bucket | {entry_id}) if bucket else {entry_id}
 
     def remove(self, entry_id: int) -> None:
         quadruple = self._signatures.pop(entry_id, None)
@@ -47,9 +55,11 @@ class GeometricHashTable:
             return
         for quarter, curve in enumerate(quadruple, start=1):
             bucket = self._buckets.get((quarter, curve))
-            if bucket is not None:
-                bucket.discard(entry_id)
-                if not bucket:
+            if bucket is not None and entry_id in bucket:
+                remaining = bucket - {entry_id}
+                if remaining:
+                    self._buckets[(quarter, curve)] = remaining
+                else:
                     del self._buckets[(quarter, curve)]
 
     def signature(self, entry_id: int) -> Optional[Quadruple]:
@@ -115,6 +125,26 @@ class ApproximateRetriever:
                 base.set_signature_cache(k_curves, signatures)
         for entry, quadruple in zip(base, signatures):
             self.table.insert(entry.entry_id, quadruple)
+
+    def add_entries(self, entry_ids) -> None:
+        """Patch freshly appended base entries into the live table.
+
+        The incremental half of the streaming write path: instead of
+        rebuilding the retriever on ingest, only the new entries are
+        hashed and inserted (reusing the base's signature cache rows
+        when the ingest path has already appended them).  Bit-for-bit
+        equivalent to a rebuild because insertion is order-independent
+        set union.
+        """
+        cached = self.base.cached_signatures(self.family.k)
+        for entry_id in entry_ids:
+            entry_id = int(entry_id)
+            if cached is not None:
+                quadruple = tuple(int(v) for v in cached[entry_id])
+            else:
+                quadruple = characteristic_quadruple(
+                    self.base.entry(entry_id).shape, self.family)
+            self.table.insert(entry_id, quadruple)
 
     def query(self, query: Shape, k: int = 1,
               neighbor_radius: Optional[int] = None) -> List[Match]:

@@ -204,16 +204,21 @@ def compare_planner(base: ShapeBase, queries: Sequence[QueryNode],
     return rows
 
 
-def record_trajectory(rows: Sequence[dict], label: str, path) -> None:
-    """Append one labeled point to a ``BENCH_algebra.json`` history.
+def record_trajectory(rows: Sequence[dict], label: str, path,
+                      header: Optional[dict] = None) -> None:
+    """Append one labeled point to a ``BENCH_*.json`` history.
 
     Same protocol as ``BENCH_build.json`` / ``BENCH_ann.json``: the
     callers gate on ``REPRO_BENCH_LABEL`` so ad-hoc runs do not dirty
-    the committed trajectory.
+    the committed trajectory.  ``header`` seeds the benchmark/metric/
+    protocol fields when the file does not exist yet; without it the
+    algebra-planner header (this module's own benchmark) is used.
     """
     path = Path(path)
     if path.exists():
         history = json.loads(path.read_text())
+    elif header is not None:
+        history = {**header, "trajectory": []}
     else:
         history = {
             "benchmark": "algebra_planner",

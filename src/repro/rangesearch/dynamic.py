@@ -29,6 +29,11 @@ _TAIL_MIN = 64
 _TAIL_FRACTION = 0.25
 
 
+def fold_threshold(core_size: int) -> float:
+    """Tail size past which folding beats brute-force scans."""
+    return max(_TAIL_MIN, _TAIL_FRACTION * core_size)
+
+
 class IncrementalIndex(TriangleRangeIndex):
     """A static core index plus a brute-force tail of recent inserts.
 
@@ -49,12 +54,17 @@ class IncrementalIndex(TriangleRangeIndex):
     # -- growth / shrinkage --------------------------------------------
     @classmethod
     def extended(cls, index: TriangleRangeIndex, new_points: np.ndarray,
-                 backend: str = "kdtree", **kwargs) -> TriangleRangeIndex:
+                 backend: str = "kdtree", fold: bool = True,
+                 **kwargs) -> TriangleRangeIndex:
         """``index`` grown by ``new_points`` (appended, ids past the end).
 
         Wraps (or extends the wrap of) ``index`` with a brute tail while
         the tail stays small, otherwise folds everything into one fresh
         ``make_index`` build.  Always returns a new object.
+
+        With ``fold=False`` the tail grows without bound and the fold
+        decision moves to the caller (a background scheduler calling
+        :meth:`fold` off the write path).
         """
         added = as_points(new_points)
         if isinstance(index, IncrementalIndex):
@@ -64,10 +74,31 @@ class IncrementalIndex(TriangleRangeIndex):
         else:
             core = index
             tail = added
-        if len(tail) > max(_TAIL_MIN, _TAIL_FRACTION * len(core.points)):
+        if fold and len(tail) > fold_threshold(len(core.points)):
             return make_index(np.concatenate([core.points, tail], axis=0),
                               backend, **kwargs)
         return cls(core, tail)
+
+    @property
+    def tail_size(self) -> int:
+        """Points in the brute-force tail (the unfolded delta)."""
+        return len(self._tail.points)
+
+    @property
+    def core_size(self) -> int:
+        return self._offset
+
+    def needs_fold(self) -> bool:
+        """True once the tail has outgrown the core's fold threshold."""
+        return self.tail_size > fold_threshold(self.core_size)
+
+    def fold(self, backend: str = "kdtree", **kwargs) -> TriangleRangeIndex:
+        """A fresh static build over all points (core + tail).
+
+        Pure: ``self`` is untouched, so a scheduler can fold off the hot
+        path and atomically swap the result in afterwards.
+        """
+        return make_index(self.points, backend, **kwargs)
 
     def removed(self, keep_mask: np.ndarray) -> TriangleRangeIndex:
         keep = np.asarray(keep_mask, dtype=bool)

@@ -1,0 +1,147 @@
+"""Background fold scheduling for the streaming write path.
+
+Inline fold-at-threshold (`IncrementalIndex.extended`'s default) puts
+an O(n log n) rebuild on whichever ingest batch happens to cross the
+threshold — exactly the latency spike a live service cannot afford.
+The :class:`FoldScheduler` moves that work off the write path: a
+daemon thread scans the shards, rebuilds the static index for the
+most overgrown tails *without holding any lock*, and swaps each result
+in as an atomic epoch bump (:meth:`Shard.fold`).  Ingest, meanwhile,
+extends tails unconditionally (``auto_fold`` off).
+
+Per-cycle budget: at most ``folds_per_cycle`` shards fold per scan, so
+a burst that overgrows every shard at once amortizes its rebuilds
+across cycles instead of stalling the process on all of them —
+queries answer from the (slightly slower, still exact) brute tails in
+the interim.
+"""
+
+from __future__ import annotations
+
+import threading
+import time
+from typing import List, Optional
+
+from .metrics import MetricsRegistry
+
+
+class FoldScheduler:
+    """Daemon that folds overgrown incremental-index tails.
+
+    Parameters
+    ----------
+    shards:
+        The :class:`~repro.service.shards.ShardSet` to watch.
+    metrics:
+        Fold durations land in the ``ingest.fold_ms`` histogram and
+        completed folds in the ``ingest.folds`` counter.
+    interval:
+        Seconds between scans while idle.
+    folds_per_cycle:
+        Per-cycle budget: the most overgrown shards fold first.
+    """
+
+    def __init__(self, shards, metrics: Optional[MetricsRegistry] = None,
+                 interval: float = 0.05, folds_per_cycle: int = 1):
+        if interval <= 0:
+            raise ValueError("interval must be positive")
+        if folds_per_cycle < 1:
+            raise ValueError("folds_per_cycle must be at least 1")
+        self.shards = shards
+        self.metrics = metrics
+        self.interval = float(interval)
+        self.folds_per_cycle = int(folds_per_cycle)
+        self._stop = threading.Event()
+        self._wake = threading.Event()
+        self._thread: Optional[threading.Thread] = None
+
+    # ------------------------------------------------------------------
+    def start(self) -> None:
+        if self._thread is not None:
+            return
+        self.shards.set_auto_fold(False)
+        self._thread = threading.Thread(target=self._run,
+                                        name="fold-scheduler", daemon=True)
+        self._thread.start()
+
+    def stop(self) -> None:
+        if self._thread is None:
+            return
+        self._stop.set()
+        self._wake.set()
+        self._thread.join()
+        self._thread = None
+        self.shards.set_auto_fold(True)
+
+    def poke(self) -> None:
+        """Nudge the scheduler out of its idle wait (ingest calls this
+        after a batch so folds start promptly under load)."""
+        self._wake.set()
+
+    @property
+    def running(self) -> bool:
+        return self._thread is not None and self._thread.is_alive()
+
+    # ------------------------------------------------------------------
+    def pending(self) -> List[int]:
+        """Shard indexes whose tails currently exceed the threshold."""
+        return [shard.index for shard in self.shards
+                if shard.needs_fold()]
+
+    def fold_cycle(self) -> int:
+        """One budgeted pass: fold the most overgrown shards.
+
+        Returns the number of folds that landed.  Public so tests and
+        quiesce points can drive the scheduler deterministically.
+        """
+        ranked = sorted((shard for shard in self.shards
+                         if shard.needs_fold()),
+                        key=lambda s: s.delta_points, reverse=True)
+        folded = 0
+        for shard in ranked[:self.folds_per_cycle]:
+            started = time.perf_counter()
+            if shard.fold():
+                folded += 1
+                if self.metrics is not None:
+                    self.metrics.histogram("ingest.fold_ms").observe(
+                        (time.perf_counter() - started) * 1e3)
+                    self.metrics.counter("ingest.folds").increment()
+        return folded
+
+    def drain(self, max_passes: int = 64) -> int:
+        """Fold until no shard needs it (checkpoint quiesce helper).
+
+        Bounded: a fold can lose its swap race against concurrent
+        ingest, so a pass that lands nothing backs off briefly and the
+        loop gives up after ``max_passes`` rather than spinning.
+        """
+        total = 0
+        for _ in range(max_passes):
+            ranked = [shard for shard in self.shards if shard.needs_fold()]
+            if not ranked:
+                break
+            landed = 0
+            for shard in ranked:
+                started = time.perf_counter()
+                if shard.fold():
+                    landed += 1
+                    if self.metrics is not None:
+                        self.metrics.histogram("ingest.fold_ms").observe(
+                            (time.perf_counter() - started) * 1e3)
+                        self.metrics.counter("ingest.folds").increment()
+            total += landed
+            if not landed:
+                time.sleep(0.001)
+        return total
+
+    # ------------------------------------------------------------------
+    def _run(self) -> None:
+        while not self._stop.is_set():
+            try:
+                folded = self.fold_cycle()
+            except Exception:       # pragma: no cover - defensive: a
+                folded = 0          # poisoned shard must not kill folds
+            if folded:
+                continue            # more may be pending; no idle wait
+            self._wake.wait(self.interval)
+            self._wake.clear()

@@ -283,6 +283,9 @@ def _worker_main(conn, worker_index: int, params: Dict[str, Any]) -> None:
                     "shards": sorted(shards),
                     "shapes": {i: s.num_shapes
                                for i, s in shards.items()}}))
+            elif kind == "delta":
+                conn.send((req_id, "ok",
+                           _apply_deltas(shards, worker_index, message)))
             elif kind == "run":
                 conn.send((req_id, "ok",
                            _serve_run(shards, worker_index, message)))
@@ -295,6 +298,45 @@ def _worker_main(conn, worker_index: int, params: Dict[str, Any]) -> None:
                 conn.send((req_id, "err", type(exc).__name__, str(exc)))
             except (OSError, ValueError):
                 return
+
+
+def _apply_deltas(shards: Dict[int, Shard], worker_index: int,
+                  message: tuple) -> Dict[str, Any]:
+    """Absorb per-shard append deltas into the attached bases.
+
+    The streaming publication fast path: instead of re-attaching a
+    full republished snapshot on every version bump, the parent ships
+    only the appended rows (:func:`~repro.storage.persist.
+    encode_base_delta`) and the worker extends its live bases in
+    place — index tails, warm caches and the ANN tier are all patched
+    through the same incremental machinery the parent's ingest path
+    uses.  ``apply_base_delta`` verifies the worker sits at exactly
+    the prior state each delta was cut against, so a missed window
+    raises (and the parent degrades the worker) instead of serving
+    silently diverged answers.
+    """
+    from ..rangesearch.dynamic import _TAIL_MIN
+    from ..storage.persist import apply_base_delta
+    applied: Dict[int, int] = {}
+    for shard_index, payload in message[2]:
+        shard = shards.get(shard_index)
+        if shard is None:
+            raise RuntimeError(f"worker {worker_index} has no shard "
+                               f"{shard_index} attached")
+        first_entry = apply_base_delta(shard.base, payload)
+        shard._patch_added(first_entry)
+        # Serve-side tails are priced differently than they are on
+        # the parent: a retrieve makes hundreds of range probes, and
+        # each one pays a brute scan over the unfolded tail, so a
+        # tail that is cheap to *carry* through ingest is expensive
+        # to *serve*.  Fold past the flat floor — one small rebuild
+        # per apply round (between requests, single-threaded) bounds
+        # every query's tail cost at ~_TAIL_MIN points instead of
+        # letting it grow toward the 0.25*core scheduler threshold.
+        if shard.delta_points > _TAIL_MIN:
+            shard.fold()
+        applied[shard_index] = shard.base.num_entries
+    return {"worker": worker_index, "entries": applied}
 
 
 def _serve_run(shards: Dict[int, Shard], worker_index: int,
@@ -403,9 +445,11 @@ class ProcessWorkerPool(WorkerPool):
                  start_method: Optional[str] = None,
                  backend: str = "kdtree", beta: float = 0.25,
                  hash_curves: int = 50, neighbor_radius: int = 1,
-                 ann=None):
+                 ann=None, compact_every: int = 16):
         if processes < 1:
             raise ValueError("processes must be at least 1")
+        if compact_every < 1:
+            raise ValueError("compact_every must be at least 1")
         # Parent threads must be able to occupy every worker process
         # at once, or fan-out serializes behind the thread pool.
         super().__init__(workers=max(processes,
@@ -434,6 +478,19 @@ class ProcessWorkerPool(WorkerPool):
         self._synced_version: Optional[int] = None
         self._publish_round = 0
         self._publications: List[_Publication] = []
+        # Delta-publication state: per shard index, the (mutation-log
+        # cursor, shape count, entry count) the workers hold — the
+        # prior state the next delta is cut against.  ``None`` forces
+        # a full republish (fresh pool, revive, or an append window
+        # broken by a removal).  Every ``compact_every`` consecutive
+        # delta rounds a full republish runs anyway, so worker heaps
+        # re-converge onto one compact zero-copy snapshot.
+        self.compact_every = int(compact_every)
+        self._delta_state: Optional[Dict[int, Tuple[int, int, int]]] = None
+        self._delta_rounds = 0
+        self._sync_stats = {"full_rounds": 0, "delta_rounds": 0,
+                            "full_bytes": 0, "delta_bytes": 0,
+                            "last_kind": None, "last_bytes": 0}
         self._start_workers()
 
     # -- lifecycle ------------------------------------------------------
@@ -486,62 +543,160 @@ class ProcessWorkerPool(WorkerPool):
         return _Publication(spec, segment=segment)
 
     def sync(self, shard_set: ShardSet, force: bool = False) -> bool:
-        """Publish the shard set and (re-)attach every live worker.
+        """Converge every live worker onto the shard set's current state.
 
         No-op when the workers already hold *this* shard set at its
-        current version; a version bump (ingest/remove) or a swapped
-        shard set (service reload — fresh sets restart their version
-        counter) republishes every shard and broadcasts new attach
-        specs, after which the stale publications are released.  A
-        worker that fails its attach is taken out of rotation rather
-        than left serving the previous corpus; on any error the new
-        publications are released, never leaked.  Returns True when an
-        attach round actually ran.
+        current version.  On a version bump the pool first tries the
+        cheap path: when the change since the last sync is pure append
+        (per-shard mutation logs show only ``add`` events), it ships
+        each changed shard's *delta* — just the appended rows, via
+        :func:`~repro.storage.persist.encode_base_delta` — over the
+        worker pipes, typically orders of magnitude less data than a
+        republish.  Removals, a swapped shard set (service reload), a
+        trimmed log, or ``compact_every`` consecutive delta rounds
+        fall back to the full publish + re-attach round (which also
+        compacts worker heaps back onto one zero-copy snapshot).  A
+        worker that fails either path is taken out of rotation rather
+        than left serving stale answers; on any error new publications
+        are released, never leaked.  Returns True when any round ran.
         """
         with self._sync_lock:
+            # Version is captured *before* the per-shard state walk:
+            # shard mutations publish their rows and log events before
+            # bumping the set version, so everything implied by this
+            # version is visible to the walk below.  Rows landing
+            # mid-walk may ship early — harmless, the cursors keep the
+            # next round from double-applying them.
             version = shard_set.version
             synced = (self._synced_set()
                       if self._synced_set is not None else None)
             if not force and synced is shard_set \
                     and version == self._synced_version:
                 return False
-            publications: List[_Publication] = []
-            installed = False
-            self._publish_round += 1
-            try:
-                for shard in shard_set:
+            if not force and synced is shard_set \
+                    and self._delta_state is not None \
+                    and self._delta_rounds < self.compact_every:
+                if self._delta_sync(shard_set, version):
+                    return True
+            return self._full_sync(shard_set, version)
+
+    def _delta_sync(self, shard_set: ShardSet, version: int) -> bool:
+        """Ship append-only deltas to the workers; False = ineligible.
+
+        Eligibility is per-window: every shard's mutation log since
+        the last sync must be complete (not trimmed past our cursor)
+        and contain only ``add`` events.  Each shard's delta is
+        encoded under its write lock, so the payload and the new
+        cursor describe the same instant.
+        """
+        assert self._delta_state is not None
+        deltas: List[Tuple[int, bytes]] = []
+        new_state: Dict[int, Tuple[int, int, int]] = {}
+        from ..storage.persist import encode_base_delta
+        for shard in shard_set:
+            state = self._delta_state.get(shard.index)
+            if state is None:
+                return False
+            cursor, prior_shapes, prior_entries = state
+            with shard.write_lock:
+                events, complete = shard.events_since(cursor)
+                if not complete or \
+                        any(kind != "add" for _, kind, _ in events):
+                    return False
+                num_shapes = len(shard.base.shapes)
+                num_entries = shard.base.num_entries
+                if num_shapes < prior_shapes or \
+                        num_entries < prior_entries:
+                    return False     # shrunk without a logged remove?
+                if (num_shapes, num_entries) != (prior_shapes,
+                                                 prior_entries):
+                    deltas.append((shard.index, encode_base_delta(
+                        shard.base, prior_shapes, prior_entries)))
+                new_state[shard.index] = (shard.log_seq, num_shapes,
+                                          num_entries)
+        if deltas:
+            for worker in self._proc_workers:
+                if not worker.is_alive():
+                    continue
+                try:
+                    self._call_worker(worker, ("delta", None, deltas),
+                                      timeout=_ATTACH_TIMEOUT)
+                except (WorkerUnavailableError, ShardTimeoutError,
+                        WorkerOperationError):
+                    # A worker that missed a window (or died) cannot
+                    # serve the new version; degrade it until a revive
+                    # + full sync brings it back.
+                    worker.alive = False
+        shipped = sum(len(payload) for _, payload in deltas)
+        self._delta_state = new_state
+        self._delta_rounds += 1
+        self._synced_version = version
+        stats = self._sync_stats
+        stats["delta_rounds"] += 1
+        stats["delta_bytes"] += shipped
+        stats["last_kind"] = "delta"
+        stats["last_bytes"] = shipped
+        return True
+
+    def _full_sync(self, shard_set: ShardSet, version: int) -> bool:
+        """Publish every shard and (re-)attach every live worker."""
+        publications: List[_Publication] = []
+        state: Dict[int, Tuple[int, int, int]] = {}
+        installed = False
+        self._publish_round += 1
+        try:
+            for shard in shard_set:
+                # The write lock holds the base still across the
+                # encode *and* the cursor capture, so the published
+                # snapshot and the delta baseline agree exactly.
+                with shard.write_lock:
                     publications.append(
                         self._publish_shard(shard, version,
                                             self._publish_round))
-                specs = [pub.spec for pub in publications]
-                for worker in self._proc_workers:
-                    if not worker.is_alive():
-                        continue
-                    try:
-                        self._call_worker(worker,
-                                          ("attach", None, specs),
-                                          timeout=_ATTACH_TIMEOUT)
-                    except (WorkerUnavailableError, ShardTimeoutError):
-                        worker.alive = False
-                    except WorkerOperationError:
-                        # The worker survived but could not attach
-                        # (missing snapshot file, shm attach failure):
-                        # it still holds the previous corpus and would
-                        # silently serve stale answers — take it out
-                        # of rotation so its shards degrade instead.
-                        worker.alive = False
-                stale, self._publications = (self._publications,
-                                             publications)
-                installed = True
-                self._synced_set = weakref.ref(shard_set)
-                self._synced_version = version
-                for publication in stale:
+                    state[shard.index] = (shard.log_seq,
+                                          len(shard.base.shapes),
+                                          shard.base.num_entries)
+            specs = [pub.spec for pub in publications]
+            for worker in self._proc_workers:
+                if not worker.is_alive():
+                    continue
+                try:
+                    self._call_worker(worker,
+                                      ("attach", None, specs),
+                                      timeout=_ATTACH_TIMEOUT)
+                except (WorkerUnavailableError, ShardTimeoutError):
+                    worker.alive = False
+                except WorkerOperationError:
+                    # The worker survived but could not attach
+                    # (missing snapshot file, shm attach failure):
+                    # it still holds the previous corpus and would
+                    # silently serve stale answers — take it out
+                    # of rotation so its shards degrade instead.
+                    worker.alive = False
+            stale, self._publications = (self._publications,
+                                         publications)
+            installed = True
+            self._synced_set = weakref.ref(shard_set)
+            self._synced_version = version
+            self._delta_state = state
+            self._delta_rounds = 0
+            published = sum(
+                pub.spec.get("size") or
+                (os.path.getsize(pub.spec["path"])
+                 if pub.spec.get("kind") == "file" else 0)
+                for pub in publications)
+            stats = self._sync_stats
+            stats["full_rounds"] += 1
+            stats["full_bytes"] += published
+            stats["last_kind"] = "full"
+            stats["last_bytes"] = published
+            for publication in stale:
+                publication.release()
+            return True
+        finally:
+            if not installed:
+                for publication in publications:
                     publication.release()
-                return True
-            finally:
-                if not installed:
-                    for publication in publications:
-                        publication.release()
 
     # -- dispatch -------------------------------------------------------
     def _worker_for(self, shard_index: int) -> _Worker:
@@ -612,6 +767,45 @@ class ProcessWorkerPool(WorkerPool):
         worker.process.kill()
         return pid
 
+    def revive_workers(self) -> List[int]:
+        """Respawn every dead worker; returns the revived indexes.
+
+        The recovery half of the chaos story: a SIGKILLed worker's
+        shard slice degrades (breakers route around it) until this
+        respawns the process.  Fresh workers hold nothing, so the
+        synced state is reset — the next :meth:`sync` call runs a full
+        publish + attach round and re-converges the whole pool.
+        """
+        revived: List[int] = []
+        with self._sync_lock:
+            if self.closed:
+                return revived
+            for slot, worker in enumerate(self._proc_workers):
+                if worker.is_alive():
+                    continue
+                with worker.lock:
+                    try:
+                        worker.conn.close()
+                    except OSError:
+                        pass
+                worker.process.join(timeout=1.0)
+                parent_conn, child_conn = self._ctx.Pipe(duplex=True)
+                process = self._ctx.Process(
+                    target=_worker_main,
+                    args=(child_conn, worker.index, self._params),
+                    name=f"repro-shard-worker-{worker.index}",
+                    daemon=True)
+                process.start()
+                child_conn.close()
+                self._proc_workers[slot] = _Worker(worker.index, process,
+                                                   parent_conn)
+                revived.append(worker.index)
+            if revived:
+                self._synced_set = None
+                self._synced_version = None
+                self._delta_state = None
+        return revived
+
     def alive_workers(self) -> List[int]:
         return [w.index for w in self._proc_workers if w.is_alive()]
 
@@ -624,7 +818,9 @@ class ProcessWorkerPool(WorkerPool):
                 "start_method": self.start_method,
                 "publish": ("file" if self.publish_dir is not None
                             else "shm"),
-                "synced_version": self._synced_version}
+                "synced_version": self._synced_version,
+                "sync": dict(self._sync_stats),
+                "compact_every": self.compact_every}
 
     def shutdown(self) -> None:
         """Stop workers, release publications, then the thread pool."""

@@ -52,6 +52,7 @@ from .cache import QueryResultCache, sketch_signature
 from .deadline import Deadline
 from .faults import (CorruptShardAnswer, FaultPlan, FaultyShard,
                      ShardTimeoutError)
+from .ingest import FoldScheduler
 from .metrics import MetricsRegistry
 from .pool import AdmissionQueue, WorkerPool
 from .procpool import ProcessShardView, ProcessWorkerPool
@@ -144,6 +145,25 @@ class ServiceConfig:
     #: ``None`` = ``REPRO_PROCPOOL_START`` env or the platform default
     #: (``fork`` on linux).
     start_method: Optional[str] = None
+    #: -- streaming write path ---------------------------------------------
+    #: ``streaming=True`` moves index folds off the ingest path onto a
+    #: background :class:`~repro.service.ingest.FoldScheduler` (queries
+    #: answer from the brute tails in the interim) and arms ingest
+    #: backpressure: a batch waits (bounded by
+    #: ``ingest_backpressure_timeout`` seconds) while the summed
+    #: unfolded tail exceeds ``ingest_max_delta`` points or the
+    #: admission queue is saturated, so a write burst cannot starve the
+    #: read path of either index quality or admission slots.
+    streaming: bool = False
+    fold_interval: float = 0.05
+    folds_per_cycle: int = 1
+    ingest_max_delta: int = 4096
+    ingest_backpressure_timeout: float = 1.0
+    #: Process-mode publication cadence: pure-append version bumps ship
+    #: as row deltas over the worker pipes; every N-th consecutive
+    #: delta round (or any removal) triggers a compacting full
+    #: republish instead.
+    publish_compact_every: int = 16
 
 
 @dataclass
@@ -264,7 +284,8 @@ class RetrievalService:
                 backend=self.config.backend, beta=self.config.beta,
                 hash_curves=self.config.hash_curves,
                 neighbor_radius=self.config.neighbor_radius,
-                ann=self.config.ann)
+                ann=self.config.ann,
+                compact_every=self.config.publish_compact_every)
             self.pool: WorkerPool = self._procpool
         else:
             self.pool = WorkerPool(self.config.workers)
@@ -286,8 +307,17 @@ class RetrievalService:
         # Algebra engines mounted on this service (weakly held): their
         # work counters roll up into snapshot()["algebra"].
         self._engines: "weakref.WeakSet" = weakref.WeakSet()
+        self._fold_scheduler: Optional[FoldScheduler] = None
+        if self.config.streaming:
+            self._fold_scheduler = FoldScheduler(
+                self.shards, self.metrics,
+                interval=self.config.fold_interval,
+                folds_per_cycle=self.config.folds_per_cycle)
+            self._fold_scheduler.start()
         self.metrics.gauge("queue.pending", lambda: self.admission.pending)
         self.metrics.gauge("cache.size", lambda: len(self.cache))
+        self.metrics.gauge("ingest.pending_delta",
+                           lambda: self.shards.delta_points)
 
     # ------------------------------------------------------------------
     # Construction / corpus management
@@ -344,16 +374,59 @@ class RetrievalService:
             hash_curves=self.config.hash_curves,
             neighbor_radius=self.config.neighbor_radius,
             ann=self.config.ann)
+        if self._fold_scheduler is not None:
+            # Repoint the background folder at the fresh shard set (the
+            # old one is garbage now) and keep folds off the write path.
+            self._fold_scheduler.shards = self.shards
+            self.shards.set_auto_fold(False)
         self.cache.invalidate()
         self.warm()
 
     def ingest(self, shapes: Sequence[Shape],
                image_id: Optional[int] = None) -> List[int]:
-        """Add shapes (routed to their shards); invalidates the cache."""
+        """Add shapes (routed to their shards); invalidates the cache.
+
+        With ``streaming`` on, the batch first clears backpressure
+        (:meth:`_ingest_backpressure`): it waits while the unfolded
+        delta exceeds the configured budget or the admission queue is
+        saturated — the coupling that keeps a write burst from
+        outrunning the background folds or starving readers of
+        admission slots.  The wait is bounded; after
+        ``ingest_backpressure_timeout`` seconds the batch proceeds
+        anyway (ingest degrades to slower, never to stuck).
+        """
+        self._ingest_backpressure()
         ids = self.shards.add_shapes(shapes, image_id=image_id)
         self.cache.invalidate()
         self.metrics.counter("ingest.shapes").increment(len(ids))
+        self.metrics.histogram("ingest.batch_size").observe(len(shapes))
+        if self._fold_scheduler is not None:
+            self._fold_scheduler.poke()
         return ids
+
+    def _ingest_backpressure(self) -> None:
+        """Bounded wait until the service can absorb another batch."""
+        if not self.config.streaming:
+            return
+        deadline = self._clock() + self.config.ingest_backpressure_timeout
+        waited = False
+        while not self._closed:
+            over_delta = self.shards.delta_points > \
+                self.config.ingest_max_delta
+            max_pending = self.config.max_pending
+            saturated = max_pending is not None and \
+                self.admission.pending >= max_pending
+            if not over_delta and not saturated:
+                return
+            if not waited:
+                waited = True
+                self.metrics.counter(
+                    "ingest.backpressure_waits").increment()
+            if over_delta and self._fold_scheduler is not None:
+                self._fold_scheduler.poke()
+            if self._clock() >= deadline:
+                return
+            time.sleep(0.002)
 
     def remove(self, shape_id: int) -> None:
         """Remove one shape from its shard; invalidates the cache."""
@@ -370,6 +443,27 @@ class RetrievalService:
         """
         self.shards.warm(pool=self.pool,
                          execution=self.config.execution)
+
+    @property
+    def fold_scheduler(self) -> Optional[FoldScheduler]:
+        """The background folder (``None`` unless ``streaming``)."""
+        return self._fold_scheduler
+
+    def quiesce_ingest(self) -> int:
+        """Fold every overgrown tail now (checkpoint / shutdown aid).
+
+        Returns the number of folds performed.  With the scheduler off
+        this folds inline; with it on, this simply drives the same
+        budgeted fold loop to completion from the caller's thread —
+        safe because :meth:`Shard.fold` is idempotent and swap-guarded.
+        """
+        if self._fold_scheduler is not None:
+            return self._fold_scheduler.drain()
+        folded = 0
+        for shard in self.shards:
+            if shard.needs_fold() and shard.fold():
+                folded += 1
+        return folded
 
     # ------------------------------------------------------------------
     # Query algebra (paper Section 5 at the service tier)
@@ -1163,6 +1257,21 @@ class RetrievalService:
             snap["breakers"] = {str(index): breaker.snapshot()
                                 for index, breaker
                                 in sorted(self._breakers.items())}
+        # Streaming write-path accounting: batch sizes, fold costs,
+        # backpressure events and the live unfolded-tail size — the
+        # numbers `serve-bench --stream` and the HTTP `/stats` endpoint
+        # watch to see ingest/query interference.
+        snap["ingest"] = {
+            "streaming": self.config.streaming,
+            "shapes": counters.get("ingest.shapes", 0),
+            "removed": counters.get("ingest.removed", 0),
+            "folds": counters.get("ingest.folds", 0),
+            "backpressure_waits":
+                counters.get("ingest.backpressure_waits", 0),
+            "pending_delta": self.shards.delta_points,
+            "batch_size": snap["histograms"].get("ingest.batch_size"),
+            "fold_ms": snap["histograms"].get("ingest.fold_ms"),
+        }
         snap["execution"] = self.config.execution
         if self._procpool is not None:
             snap["procpool"] = self._procpool.info()
@@ -1203,6 +1312,8 @@ class RetrievalService:
             if self._closed:
                 return
             self._closed = True
+        if self._fold_scheduler is not None:
+            self._fold_scheduler.stop()
         self.pool.shutdown()
 
     def __enter__(self) -> "RetrievalService":

@@ -26,6 +26,12 @@ from ..core.matcher import GeometricSimilarityMatcher, Match, MatchStats
 from ..core.shapebase import ShapeBase, validate_shape
 from ..geometry.polyline import Shape
 from ..hashing.hashtable import ApproximateRetriever
+from ..rangesearch import IncrementalIndex
+
+#: Mutation-log events retained per shard.  A delta consumer whose
+#: cursor falls behind the retained window gets ``complete=False`` from
+#: :meth:`Shard.events_since` and must republish in full.
+_LOG_KEEP = 512
 
 _MASK64 = (1 << 64) - 1
 _SPLITMIX = 0x9E3779B97F4A7C15
@@ -56,11 +62,32 @@ class Shard:
     """One partition of the corpus with its own retrieval structures.
 
     The matcher and hashing retriever are built lazily (ingest streams
-    should not pay index builds per shape) and dropped on mutation;
-    :meth:`warm` forces the builds, which the service does once before
-    admitting concurrent traffic — the structures are read-only at
-    query time, so warmed shards are safe to share across worker
-    threads.
+    should not pay index builds per shape); :meth:`warm` forces the
+    builds, which the service does once before admitting concurrent
+    traffic.
+
+    Writes follow a copy-on-write epoch discipline so queries never
+    block behind ingest:
+
+    * **Appends** mutate the live base in place but only ever *replace*
+      arrays (old contents as a prefix) and publish the range index
+      last; warm structures are patched incrementally (hash table
+      inserts, LSH adds, cache-row appends) instead of dropped.  A
+      reader's consistent capture (``ShapeBase.reader_view``, the
+      matcher's scratch checkout) stays valid through any interleaving.
+    * **Removals** — the id-compacting mutation no prefix property can
+      cover — build a :meth:`ShapeBase.clone_cow`, remove on the clone
+      and swap it in as a new epoch; in-flight readers finish against
+      the old base, new structures rebuild lazily from the compacted
+      caches.
+    * **Folds** of the incremental index tail run off the write path
+      (:meth:`fold`): the static rebuild happens without the lock and
+      the swap is a single guarded reference assignment.
+
+    ``write_lock`` serializes mutations, structure builds and delta
+    publication; the query path never acquires it.  Every mutation is
+    appended to a bounded per-shard log the process tier consumes to
+    ship deltas instead of full snapshots.
     """
 
     def __init__(self, index: int, base: ShapeBase, beta: float = 0.25,
@@ -75,13 +102,19 @@ class Shard:
         self._matcher: Optional[GeometricSimilarityMatcher] = None
         self._retriever: Optional[ApproximateRetriever] = None
         self._ann: Optional[AnnPrunedMatcher] = None
-        self._build_lock = threading.Lock()
+        self.write_lock = threading.RLock()
+        #: Bumped on every mutation *and* every fold/epoch swap (unlike
+        #: ``base.version``, which folds leave alone).
+        self.epoch = 0
+        self._delta_log: List[Tuple[int, str, object]] = []
+        self._log_seq = 0
+        self._log_floor = 0
 
     # -- structures -----------------------------------------------------
     @property
     def matcher(self) -> GeometricSimilarityMatcher:
         if self._matcher is None:
-            with self._build_lock:
+            with self.write_lock:
                 if self._matcher is None:
                     self._matcher = GeometricSimilarityMatcher(
                         self.base, beta=self.beta)
@@ -90,7 +123,7 @@ class Shard:
     @property
     def retriever(self) -> ApproximateRetriever:
         if self._retriever is None:
-            with self._build_lock:
+            with self.write_lock:
                 if self._retriever is None:
                     self._retriever = ApproximateRetriever(
                         self.base, k_curves=self.hash_curves,
@@ -104,7 +137,7 @@ class Shard:
             raise RuntimeError(
                 f"shard {self.index} has no ANN tier configured")
         if self._ann is None:
-            with self._build_lock:
+            with self.write_lock:
                 if self._ann is None:
                     self._ann = AnnPrunedMatcher(self.base,
                                                  self.ann_config)
@@ -137,7 +170,9 @@ class Shard:
         return self._retriever is not None
 
     def invalidate(self) -> None:
-        """Drop derived structures after a mutation."""
+        """Drop derived structures (base replaced wholesale, e.g. a
+        re-split or snapshot reload — *not* the ingest path, which
+        patches instead)."""
         self._matcher = None
         self._retriever = None
         self._ann = None
@@ -145,18 +180,118 @@ class Shard:
     # -- ingest ---------------------------------------------------------
     def add_shape(self, shape: Shape, image_id: Optional[int],
                   shape_id: int) -> int:
-        self.base.add_shape(shape, image_id=image_id, shape_id=shape_id)
-        self.invalidate()
+        with self.write_lock:
+            first_entry = self.base.num_entries
+            self.base.add_shape(shape, image_id=image_id,
+                                shape_id=shape_id)
+            self._patch_added(first_entry)
+            self._log_event("add", (shape_id,))
+            self.epoch += 1
         return shape_id
 
     def add_shapes(self, shapes: Sequence[Shape],
                    image_ids: Sequence[Optional[int]],
                    shape_ids: Sequence[int]) -> List[int]:
         """Bulk-ingest pre-routed shapes through the vectorized path."""
-        ids = self.base.add_shapes(shapes, image_ids=image_ids,
-                                   shape_ids=shape_ids)
-        self.invalidate()
+        with self.write_lock:
+            first_entry = self.base.num_entries
+            ids = self.base.add_shapes(shapes, image_ids=image_ids,
+                                       shape_ids=shape_ids)
+            self._patch_added(first_entry)
+            self._log_event("add", tuple(ids))
+            self.epoch += 1
         return ids
+
+    def _patch_added(self, first_entry: int) -> None:
+        """Patch warm structures with the entries appended past
+        ``first_entry`` (matcher needs nothing: it reads through the
+        base and its scratch pool re-keys on the version)."""
+        new_ids = range(first_entry, self.base.num_entries)
+        if self._retriever is not None:
+            self._retriever.add_entries(new_ids)
+        if self._ann is not None:
+            self._ann.add_entries(new_ids)
+
+    def remove_shape(self, shape_id: int) -> None:
+        """Remove a shape by swapping in a copy-on-write epoch.
+
+        Entry-id compaction breaks the append-only prefix contract the
+        lock-free readers rely on, so removal is the slow path: clone
+        the base (structure-shared), remove on the clone, swap.  Derived
+        structures rebuild lazily — cheaply, since the clone carries the
+        compacted signature/sketch caches.
+        """
+        with self.write_lock:
+            clone = self.base.clone_cow()
+            clone.remove_shape(shape_id)        # KeyError leaves us intact
+            self.base = clone
+            self._matcher = None
+            self._retriever = None
+            self._ann = None
+            self._log_event("remove", shape_id)
+            self.epoch += 1
+
+    # -- folds (amortized off the write path) ---------------------------
+    @property
+    def delta_points(self) -> int:
+        """Unfolded points in the incremental index tail."""
+        return self.base.index_delta_size
+
+    def needs_fold(self) -> bool:
+        index = self.base._index
+        return (isinstance(index, IncrementalIndex) and
+                index.needs_fold())
+
+    def fold(self) -> bool:
+        """Fold the incremental tail into a fresh static build.
+
+        The expensive rebuild runs *without* the write lock (ingest and
+        queries proceed meanwhile); the swap is a guarded atomic
+        reference assignment.  Returns False — fold skipped — when a
+        concurrent mutation landed first; the scheduler just retries
+        next cycle.  Query answers are identical before and after
+        (``IncrementalIndex`` reports exactly what a fresh build over
+        the same points reports).
+        """
+        base = self.base
+        index = base._index
+        if not isinstance(index, IncrementalIndex) or \
+                index.tail_size == 0:
+            return False
+        folded = index.fold(base.backend)
+        with self.write_lock:
+            if self.base is base and base._index is index:
+                base._index = folded
+                self.epoch += 1
+                return True
+        return False
+
+    # -- mutation log (delta publication feed) --------------------------
+    def _log_event(self, kind: str, payload) -> None:
+        self._delta_log.append((self._log_seq, kind, payload))
+        self._log_seq += 1
+        overflow = len(self._delta_log) - _LOG_KEEP
+        if overflow > 0:
+            del self._delta_log[:overflow]
+            self._log_floor = self._delta_log[0][0]
+
+    @property
+    def log_seq(self) -> int:
+        """Sequence number the next mutation event will get."""
+        return self._log_seq
+
+    def events_since(self, cursor: int
+                     ) -> Tuple[List[Tuple[int, str, object]], bool]:
+        """Mutation events with seq >= ``cursor``.
+
+        Returns ``(events, complete)``; ``complete=False`` means the
+        log has been trimmed past the cursor and the consumer must fall
+        back to a full republish.
+        """
+        with self.write_lock:
+            if cursor < self._log_floor:
+                return [], False
+            return [e for e in self._delta_log if e[0] >= cursor], True
 
     # -- retrieval ------------------------------------------------------
     def query(self, sketch: Shape, k: int,
@@ -299,9 +434,15 @@ class ShardSet:
             if shape_id is None:
                 shape_id = self._next_shape_id
             self._next_shape_id = max(self._next_shape_id, shape_id + 1)
-            self.version += 1
         shard = self.shards[shard_for(shape_id, self.num_shards)]
-        return shard.add_shape(shape, image_id, shape_id)
+        shard.add_shape(shape, image_id, shape_id)
+        # Version bumps *after* the shard mutation: an observer that
+        # sees the new version (cache keys, process-tier sync) is
+        # guaranteed the rows — and the shard's mutation-log events —
+        # are already in place.
+        with self._lock:
+            self.version += 1
+        return shape_id
 
     def add_shapes(self, shapes: Sequence[Shape],
                    image_id: Optional[int] = None, *,
@@ -331,7 +472,6 @@ class ShardSet:
             first = self._next_shape_id
             ids = list(range(first, first + len(shapes)))
             self._next_shape_id = first + len(shapes)
-            self.version += 1
         by_shard: dict = {}
         for shape, sid, iid in zip(shapes, ids, per_image):
             by_shard.setdefault(shard_for(sid, self.num_shards),
@@ -344,22 +484,43 @@ class ShardSet:
                 in sorted(by_shard.items()):
             self.shards[shard_index].add_shapes(group_shapes, group_images,
                                                 group_ids)
+        # After the mutations, so version-keyed observers never see the
+        # new version with old rows (see add_shape).
+        with self._lock:
+            self.version += 1
         return ids
 
     def remove_shape(self, shape_id: int) -> None:
         """Remove one shape from its shard (version bump included).
 
         Raises ``KeyError`` (from the shard's base) when the id is
-        unknown; nothing mutates in that case.
+        unknown; nothing mutates in that case.  The shard applies the
+        removal as a copy-on-write epoch swap, so concurrent readers
+        are never exposed to the id compaction mid-flight.
         """
         shard = self.shard_of(shape_id)
-        shard.base.remove_shape(shape_id)
-        shard.invalidate()
+        shard.remove_shape(shape_id)
         with self._lock:
             self.version += 1
 
+    @property
+    def delta_points(self) -> int:
+        """Unfolded index-tail points summed over all shards — the
+        backpressure signal the streaming ingest path watches."""
+        return sum(shard.delta_points for shard in self.shards)
+
     def shard_of(self, shape_id: int) -> Shard:
         return self.shards[shard_for(shape_id, self.num_shards)]
+
+    def set_auto_fold(self, enabled: bool) -> None:
+        """Toggle inline fold-at-threshold on every shard base.
+
+        A service running a background fold scheduler turns this off so
+        ingest never pays a rebuild inline; standalone shard sets keep
+        the default inline behaviour.
+        """
+        for shard in self.shards:
+            shard.base.auto_fold = bool(enabled)
 
     def warm(self, pool=None, execution: str = "thread") -> None:
         """Build every shard's structures; in parallel when given a

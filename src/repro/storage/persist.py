@@ -222,6 +222,229 @@ def encode_base(base: ShapeBase, *, hash_curves: Optional[int] = None,
     return _encode_v3(base, hash_curves, ann_sketch)
 
 
+# ----------------------------------------------------------------------
+# Snapshot deltas (streaming publication)
+# ----------------------------------------------------------------------
+#: A delta payload carries only the shapes *appended* to a base after
+#: a known prior state — the unit the process tier ships to workers on
+#: a version bump instead of republishing the whole corpus.  Deltas
+#: cover pure-append windows only: removals compact entry ids, so any
+#: removal forces a full republish (the publisher's compaction rule).
+MAGIC_DELTA = b"GSID"
+DELTA_VERSION = 1
+# alpha, prior shapes, prior entries, added shapes, added entries,
+# added original vertices, added copy vertices, signature curve count
+# (0 = none), sketch hashes / grid / seed (0/0/0 = none), body length,
+# CRC32 of the body.
+_HEADER_DELTA = struct.Struct("<dIIIIQQiiiqQI")
+
+
+def encode_base_delta(base: ShapeBase, prior_shapes: int,
+                      prior_entries: int) -> bytes:
+    """Columnar payload of everything appended after a prior state.
+
+    ``prior_shapes``/``prior_entries`` name the consumer's current
+    counts; the delta carries the shapes and entries past them, sliced
+    from the same columns a v3/v4 snapshot stores.  Signature and
+    sketch rows for the new entries ride along *when the base's caches
+    are warm* (the ingest path keeps them patched), so the consumer
+    extends its own caches without recomputing; cold caches just omit
+    the section.  The caller must hold the base still (the shard's
+    write lock) while encoding.
+    """
+    shape_items = list(base.shapes.items())[prior_shapes:]
+    entries = base.entries[prior_entries:]
+    if prior_shapes + len(shape_items) != len(base.shapes) or \
+            prior_entries + len(entries) != len(base.entries):
+        raise ValueError("prior counts exceed the base's current size")
+    sid_to_idx = {sid: i for i, (sid, _) in enumerate(shape_items)}
+    shape_ids = np.array([sid for sid, _ in shape_items], dtype="<i8")
+    shape_image = np.array(
+        [-1 if base.shape_image[sid] is None else int(base.shape_image[sid])
+         for sid, _ in shape_items], dtype="<i8")
+    orig_counts = np.array([s.num_vertices for _, s in shape_items],
+                           dtype="<i4")
+    orig_closed = np.array([1 if s.closed else 0 for _, s in shape_items],
+                           dtype="<u1")
+    orig_vertices = (np.concatenate([s.vertices for _, s in shape_items],
+                                    axis=0)
+                     if shape_items else np.zeros((0, 2))).astype("<f8")
+    try:
+        entry_shape_idx = np.array([sid_to_idx[e.shape_id] for e in entries],
+                                   dtype="<i4")
+    except KeyError as exc:
+        raise ValueError(
+            f"entry references shape {exc} outside the delta window "
+            f"(not a pure-append window)") from exc
+    pairs = np.array([e.copy.pair for e in entries],
+                     dtype="<u2").reshape(len(entries), 2)
+    transforms = np.array([e.copy.transform.as_tuple() for e in entries],
+                          dtype="<f8").reshape(len(entries), 4)
+    copy_counts = np.array([e.shape.num_vertices for e in entries],
+                           dtype="<i4")
+    copy_vertices = (np.concatenate([e.shape.vertices for e in entries],
+                                    axis=0)
+                     if entries else np.zeros((0, 2))).astype("<f8")
+
+    sig = base._signature_cache
+    if sig is not None and len(sig[1]) == len(base.entries) and entries:
+        sig_curves = int(sig[0])
+        sig_rows = np.asarray(sig[1][prior_entries:]).astype("<i2")
+    else:
+        sig_curves, sig_rows = 0, np.zeros((0, 4), dtype="<i2")
+    sketch = base._sketch_cache
+    if sketch is not None and len(sketch[1]) == len(base.entries) \
+            and entries:
+        (sk_hashes, sk_grid, sk_seed) = sketch[0]
+        sketch_rows = np.asarray(sketch[1][prior_entries:]).astype("<i8")
+    else:
+        sk_hashes = sk_grid = sk_seed = 0
+        sketch_rows = np.zeros((0, 0), dtype="<i8")
+
+    body = b"".join([
+        shape_ids.tobytes(), shape_image.tobytes(), orig_counts.tobytes(),
+        orig_closed.tobytes(), entry_shape_idx.tobytes(), pairs.tobytes(),
+        transforms.tobytes(), copy_counts.tobytes(),
+        orig_vertices.tobytes(), copy_vertices.tobytes(),
+        sig_rows.tobytes(), sketch_rows.tobytes(),
+    ])
+    header = _PREFIX.pack(MAGIC_DELTA, DELTA_VERSION) + _HEADER_DELTA.pack(
+        base.alpha, prior_shapes, prior_entries, len(shape_items),
+        len(entries), len(orig_vertices), len(copy_vertices), sig_curves,
+        int(sk_hashes), int(sk_grid), int(sk_seed),
+        len(body), zlib.crc32(body))
+    return header + body
+
+
+def apply_base_delta(base: ShapeBase, payload) -> int:
+    """Append a delta payload's shapes to ``base``; returns the first
+    new entry id.
+
+    The inverse of :func:`encode_base_delta`: validates the magic,
+    CRC and — critically — that ``base`` is at exactly the prior state
+    the delta was cut against (same shape/entry counts and alpha), so
+    a worker that missed a window fails loudly instead of diverging.
+    Entries are rebuilt from the stored copy vertices and transforms
+    (zero re-normalization, bit-for-bit) and absorbed through the
+    base's own append path (``_register_new_entries``), with the
+    delta's signature/sketch rows passed through when they match the
+    base's warm cache families.
+    """
+    view = memoryview(payload)
+    if len(view) < _PREFIX.size + _HEADER_DELTA.size:
+        raise CorruptSnapshotError("truncated shape-base delta")
+    magic, version = _PREFIX.unpack_from(view, 0)
+    if magic != MAGIC_DELTA:
+        raise CorruptSnapshotError("not a GeoSIR shape-base delta")
+    if version != DELTA_VERSION:
+        raise CorruptSnapshotError(
+            f"unsupported shape-base delta version {version}")
+    (alpha, prior_shapes, prior_entries, add_shapes, add_entries,
+     n_orig, n_copy, sig_curves, sk_hashes, sk_grid, sk_seed,
+     body_len, checksum) = _HEADER_DELTA.unpack_from(view, _PREFIX.size)
+    start = _PREFIX.size + _HEADER_DELTA.size
+    body = view[start:]
+    if len(body) != body_len:
+        raise CorruptSnapshotError(
+            f"truncated shape-base delta: body holds {len(body)} "
+            f"bytes, header promises {body_len}")
+    if zlib.crc32(body) != checksum:
+        raise CorruptSnapshotError(
+            "shape-base delta checksum mismatch")
+    if len(base.shapes) != prior_shapes or \
+            len(base.entries) != prior_entries:
+        raise ValueError(
+            f"delta was cut against {prior_shapes} shapes / "
+            f"{prior_entries} entries; base holds {len(base.shapes)} / "
+            f"{len(base.entries)}")
+    if abs(base.alpha - alpha) > 1e-12:
+        raise ValueError("delta alpha does not match the base")
+
+    sections = [
+        ("shape_ids", "<i8", add_shapes),
+        ("shape_image", "<i8", add_shapes),
+        ("orig_counts", "<i4", add_shapes),
+        ("orig_closed", "<u1", add_shapes),
+        ("entry_shape_idx", "<i4", add_entries),
+        ("pairs", "<u2", 2 * add_entries),
+        ("transforms", "<f8", 4 * add_entries),
+        ("copy_counts", "<i4", add_entries),
+        ("orig_vertices", "<f8", 2 * n_orig),
+        ("copy_vertices", "<f8", 2 * n_copy),
+        ("signatures", "<i2", 4 * add_entries if sig_curves else 0),
+        ("sketches", "<i8", sk_hashes * add_entries),
+    ]
+    expected = sum(np.dtype(d).itemsize * c for _, d, c in sections)
+    if expected != body_len:
+        raise CorruptSnapshotError(
+            "shape-base delta section sizes are inconsistent")
+    cols: Dict[str, np.ndarray] = {}
+    offset = start
+    for name, dtype, count in sections:
+        cols[name] = np.frombuffer(view, dtype=dtype, count=count,
+                                   offset=offset)
+        offset += np.dtype(dtype).itemsize * count
+    pairs = cols["pairs"].reshape(-1, 2).astype(np.int64)
+    transforms = cols["transforms"].reshape(-1, 4)
+    orig_vertices = cols["orig_vertices"].reshape(-1, 2)
+    copy_vertices = cols["copy_vertices"].reshape(-1, 2)
+
+    shape_ids = cols["shape_ids"]
+    images = cols["shape_image"]
+    orig_counts = cols["orig_counts"].astype(np.int64)
+    orig_offsets = np.concatenate(([0], np.cumsum(orig_counts)))
+    closed_flags = cols["orig_closed"] != 0
+    for k in range(add_shapes):
+        sid = int(shape_ids[k])
+        if sid in base.shapes:
+            raise ValueError(f"delta shape id {sid} already present")
+        image_id = None if images[k] < 0 else int(images[k])
+        # Copy out of the payload: unlike a snapshot load, nothing
+        # pins the delta buffer after this call returns.
+        verts = np.array(orig_vertices[orig_offsets[k]:
+                                       orig_offsets[k + 1]])
+        base.shapes[sid] = Shape._trusted(verts, bool(closed_flags[k]))
+        base.shape_image[sid] = image_id
+        base._entries_by_shape[sid] = []
+        if image_id is not None:
+            base._shapes_by_image.setdefault(image_id, []).append(sid)
+        base._next_shape_id = max(base._next_shape_id, sid + 1)
+
+    copy_counts = cols["copy_counts"].astype(np.int64)
+    copy_offsets = np.concatenate(([0], np.cumsum(copy_counts)))
+    entry_shape_idx = cols["entry_shape_idx"]
+    first_entry = prior_entries
+    new_entries: List[ShapeEntry] = []
+    for e in range(add_entries):
+        s_idx = int(entry_shape_idx[e])
+        sid = int(shape_ids[s_idx])
+        verts = np.array(copy_vertices[copy_offsets[e]:copy_offsets[e + 1]])
+        copy = NormalizedCopy(
+            Shape._trusted(verts, bool(closed_flags[s_idx])),
+            SimilarityTransform(transforms[e, 0], transforms[e, 1],
+                                transforms[e, 2], transforms[e, 3]),
+            (int(pairs[e, 0]), int(pairs[e, 1])))
+        entry = ShapeEntry(first_entry + e, sid,
+                           base.shape_image[sid], copy)
+        base.entries.append(entry)
+        base._entries_by_shape[sid].append(entry.entry_id)
+        new_entries.append(entry)
+
+    # Hand cache rows through only when they match the base's warm
+    # cache family — _register_new_entries recomputes otherwise.
+    sig_rows = None
+    if sig_curves and base._signature_cache is not None and \
+            int(base._signature_cache[0]) == sig_curves:
+        sig_rows = np.array(cols["signatures"]).reshape(-1, 4)
+    sketch_rows = None
+    if sk_hashes and base._sketch_cache is not None and \
+            base._sketch_cache[0] == (sk_hashes, sk_grid, sk_seed):
+        sketch_rows = np.array(cols["sketches"]).reshape(-1, sk_hashes)
+    base._register_new_entries(new_entries, sig_rows, sketch_rows)
+    base.version += 1
+    return first_entry
+
+
 def _load_v3(payload, backend: str, version: int = 3) -> ShapeBase:
     """Materialize a base from a v3/v4 payload buffer.
 

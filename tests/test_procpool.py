@@ -180,10 +180,10 @@ class TestProcessEqualsThread:
 class TestSyncRobustness:
     def test_attach_failure_takes_worker_out_of_rotation(self, corpus,
                                                          monkeypatch):
-        """A live worker whose attach errors (missing snapshot, shm
-        failure) must be retired — not left serving the old corpus,
-        and the error must not surface out of query paths
-        (regression)."""
+        """A live worker whose sync errors (attach: missing snapshot /
+        shm failure; delta: missed append window) must be retired —
+        not left serving the old corpus, and the error must not
+        surface out of query paths (regression)."""
         workload, queries = corpus
         config = process_config(retry_attempts=1, breaker=None)
         with RetrievalService.from_base(build_base(workload),
@@ -192,7 +192,8 @@ class TestSyncRobustness:
             original = ProcessWorkerPool._call_worker
 
             def failing(self, worker, message, timeout):
-                if message[0] == "attach" and worker.index == 0:
+                if message[0] in ("attach", "delta") \
+                        and worker.index == 0:
                     raise WorkerOperationError(
                         "worker 0: FileNotFoundError: snapshot gone")
                 return original(self, worker, message, timeout)
@@ -204,8 +205,9 @@ class TestSyncRobustness:
             result = service.retrieve(queries[0], k=3)
             assert result.status == "degraded"    # not an exception
             assert pool.alive_workers() == [1]
-            # The sync round still completed: publications swapped and
-            # the synced version advanced past the attach failure.
+            # The sync round still completed: the synced version
+            # advanced past the failure (ingest ships as a delta
+            # round; the failing worker is simply out of rotation).
             assert pool.info()["synced_version"] == \
                 service.shards.version
 
